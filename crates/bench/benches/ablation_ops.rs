@@ -1,0 +1,93 @@
+//! Ablation of the two executor design choices DESIGN.md calls out:
+//!
+//! * **class-level conjunction** (Prop. 4.1 / Example 4.3) — when off,
+//!   conjunctions intersect materialized pair sets like the
+//!   language-unaware index;
+//! * **fused identity** (the paper's third optimization) — when off,
+//!   identity filters materialized pairs instead of checking a per-class
+//!   flag.
+//!
+//! Expected shape: disabling class-level conjunction costs the most on the
+//! conjunction templates (T, S, TT, St) — that switch *is* the paper's
+//! headline mechanism; disabling fused identity hurts the `∩ id` templates
+//! (C2i, Ti, Si, St).
+
+use cpqx_bench::harness::{avg_query_time, interests_from_queries, workload_for, Timing};
+use cpqx_bench::{BenchConfig, Engine, Method, Table};
+use cpqx_core::exec::ExecOptions;
+use cpqx_graph::datasets::Dataset;
+use cpqx_query::ast::Template;
+use cpqx_query::Cpq;
+use std::time::{Duration, Instant};
+
+fn timed_with_options(
+    idx: &cpqx_core::CpqxIndex,
+    g: &cpqx_graph::Graph,
+    queries: &[Cpq],
+    cfg: &BenchConfig,
+    options: ExecOptions,
+) -> Timing {
+    if queries.is_empty() {
+        return Timing::Skipped;
+    }
+    let budget = Duration::from_millis(cfg.cell_budget_ms);
+    let started = Instant::now();
+    let mut total = Duration::ZERO;
+    let mut n = 0u32;
+    for q in queries {
+        for _ in 0..cfg.reps {
+            let t0 = Instant::now();
+            std::hint::black_box(idx.evaluate_with_options(g, q, options));
+            total += t0.elapsed();
+            n += 1;
+            if started.elapsed() > budget {
+                return Timing::Timeout;
+            }
+        }
+    }
+    Timing::Avg(total.as_secs_f64() / n as f64)
+}
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let mut table = Table::new(
+        "ablation_ops",
+        &["dataset", "template", "full", "no class-conj", "no fused-id", "neither"],
+    );
+
+    let variants = [
+        ExecOptions { class_level_conjunction: true, fused_identity: true },
+        ExecOptions { class_level_conjunction: false, fused_identity: true },
+        ExecOptions { class_level_conjunction: true, fused_identity: false },
+        ExecOptions { class_level_conjunction: false, fused_identity: false },
+    ];
+
+    for ds in [Dataset::Robots, Dataset::EgoFacebook, Dataset::Advogato, Dataset::Epinions] {
+        let g = ds.generate(cfg.edge_budget, cfg.seed);
+        let workload = workload_for(&g, &Template::ALL, &cfg);
+        let interests =
+            interests_from_queries(workload.iter().flat_map(|(_, qs)| qs.iter()), cfg.k);
+        let (engine, _) = Engine::build(Method::Cpqx, &g, cfg.k, &interests);
+        let idx = engine.as_cpqx().unwrap();
+        // Sanity: ablations must not change answers.
+        for (_, queries) in &workload {
+            if let Some(q) = queries.first() {
+                let expected = idx.evaluate(&g, q);
+                for v in &variants[1..] {
+                    assert_eq!(idx.evaluate_with_options(&g, q, *v), expected);
+                }
+            }
+        }
+        for (template, queries) in &workload {
+            let mut row = vec![ds.name().to_string(), template.name().to_string()];
+            for v in variants {
+                row.push(timed_with_options(idx, &g, queries, &cfg, v).cell());
+            }
+            table.row(row);
+        }
+        // Reuse of `avg_query_time` keeps the "full" column comparable with
+        // Fig. 6's measurements.
+        let _ = avg_query_time;
+    }
+    table.finish();
+}

@@ -1,0 +1,85 @@
+//! Ablation of the cost-based plan optimizer (the future-work extension of
+//! Sec. IV-D) against the paper's syntactic planner, on CPQx.
+//!
+//! Expected shape: chains longer than k (C4, Si) and multi-conjunct
+//! templates (TT, ST, St) benefit from selectivity-aware chunk boundaries
+//! and cheapest-first conjuncts; templates that already compile to one or
+//! two lookups (C2, T, S) are unchanged.
+
+use cpqx_bench::harness::{interests_from_queries, workload_for, Timing};
+use cpqx_bench::{BenchConfig, Engine, Method, Table};
+use cpqx_graph::datasets::Dataset;
+use cpqx_query::ast::Template;
+use cpqx_query::Cpq;
+use std::time::{Duration, Instant};
+
+fn timed(
+    idx: &cpqx_core::CpqxIndex,
+    g: &cpqx_graph::Graph,
+    queries: &[Cpq],
+    cfg: &BenchConfig,
+    optimized: bool,
+) -> Timing {
+    if queries.is_empty() {
+        return Timing::Skipped;
+    }
+    let budget = Duration::from_millis(cfg.cell_budget_ms);
+    let started = Instant::now();
+    let mut total = Duration::ZERO;
+    let mut n = 0u32;
+    for q in queries {
+        for _ in 0..cfg.reps {
+            let t0 = Instant::now();
+            if optimized {
+                std::hint::black_box(idx.evaluate_optimized(g, q));
+            } else {
+                std::hint::black_box(idx.evaluate(g, q));
+            }
+            total += t0.elapsed();
+            n += 1;
+            if started.elapsed() > budget {
+                return Timing::Timeout;
+            }
+        }
+    }
+    Timing::Avg(total.as_secs_f64() / n as f64)
+}
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let mut table = Table::new(
+        "ablation_planner",
+        &["dataset", "template", "syntactic", "optimized", "speedup"],
+    );
+
+    for ds in [Dataset::Robots, Dataset::EgoFacebook, Dataset::Epinions] {
+        let g = ds.generate(cfg.edge_budget, cfg.seed);
+        let workload = workload_for(&g, &Template::ALL, &cfg);
+        let interests =
+            interests_from_queries(workload.iter().flat_map(|(_, qs)| qs.iter()), cfg.k);
+        let (engine, _) = Engine::build(Method::Cpqx, &g, cfg.k, &interests);
+        let idx = engine.as_cpqx().unwrap();
+        // Answers must agree before we time anything.
+        for (_, queries) in &workload {
+            for q in queries.iter().take(1) {
+                assert_eq!(idx.evaluate(&g, q), idx.evaluate_optimized(&g, q));
+            }
+        }
+        for (template, queries) in &workload {
+            let naive = timed(idx, &g, queries, &cfg, false);
+            let opt = timed(idx, &g, queries, &cfg, true);
+            let speedup = match (naive.seconds(), opt.seconds()) {
+                (Some(a), Some(b)) if b > 0.0 => format!("{:.2}x", a / b),
+                _ => "-".to_string(),
+            };
+            table.row(vec![
+                ds.name().to_string(),
+                template.name().to_string(),
+                naive.cell(),
+                opt.cell(),
+                speedup,
+            ]);
+        }
+    }
+    table.finish();
+}

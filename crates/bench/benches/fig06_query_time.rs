@@ -1,0 +1,73 @@
+//! Fig. 6: average query time for the 12 query templates of Fig. 5, for all
+//! seven methods, on the 14 real-dataset stand-ins.
+//!
+//! Expected shape (paper): CPQx/iaCPQx win by orders of magnitude on the
+//! conjunction-heavy templates (T, S, TT, St); Path is competitive on pure
+//! join chains (C2, C4); TurboHom++/Tentris are competitive on cyclic
+//! joins (Ti, Si); BFS trails everywhere. Full CPQx/Path are skipped on the
+//! six datasets where the paper reports out-of-memory.
+
+use cpqx_bench::harness::{avg_query_time, interests_from_queries, workload_for};
+use cpqx_bench::{BenchConfig, Engine, Method, Table};
+use cpqx_graph::datasets::Dataset;
+use cpqx_query::ast::Template;
+
+/// Datasets where the paper could not build the interest-unaware indexes
+/// ("out of memory", Table IV / Fig. 6 caption) — mirrored here.
+fn full_index_feasible(ds: Dataset) -> bool {
+    !matches!(
+        ds,
+        Dataset::WebGoogle
+            | Dataset::WikiTalk
+            | Dataset::Yago
+            | Dataset::CitPatents
+            | Dataset::Wikidata
+            | Dataset::Freebase
+    )
+}
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let mut headers = vec!["dataset", "template"];
+    headers.extend(Method::ALL.iter().map(|m| m.name()));
+    let mut table = Table::new("fig06_query_time", &headers);
+
+    for ds in Dataset::REAL {
+        let g = ds.generate(cfg.edge_budget, cfg.seed);
+        eprintln!(
+            "[fig06] {} stand-in: |V|={} |E|={} |L|={}",
+            ds.name(),
+            g.vertex_count(),
+            g.edge_count(),
+            g.base_label_count()
+        );
+        let workload = workload_for(&g, &Template::ALL, &cfg);
+        let interests =
+            interests_from_queries(workload.iter().flat_map(|(_, qs)| qs.iter()), cfg.k);
+
+        // Build every engine once per dataset.
+        let engines: Vec<Option<Engine>> = Method::ALL
+            .iter()
+            .map(|&m| {
+                let needs_full_index = matches!(m, Method::Cpqx | Method::Path);
+                if needs_full_index && !full_index_feasible(ds) {
+                    return None; // paper: out of memory
+                }
+                Some(Engine::build(m, &g, cfg.k, &interests).0)
+            })
+            .collect();
+
+        for (template, queries) in &workload {
+            let mut row = vec![ds.name().to_string(), template.name().to_string()];
+            for engine in &engines {
+                let cell = match engine {
+                    None => "-".to_string(),
+                    Some(e) => avg_query_time(e, &g, queries, &cfg).cell(),
+                };
+                row.push(cell);
+            }
+            table.row(row);
+        }
+    }
+    table.finish();
+}

@@ -1,0 +1,95 @@
+//! Fig. 7: query time split by empty vs non-empty answers, plus the time to
+//! obtain the *first* answer of non-empty queries, on the YAGO, Wikidata
+//! and Freebase stand-ins, for iaCPQx, TurboHom++ and Tentris.
+//!
+//! Expected shape: iaCPQx beats both matchers in all three measurements on
+//! most templates; empty queries are generally cheaper than non-empty ones
+//! (no answer-insertion cost, early termination on empty intermediates).
+
+use cpqx_bench::harness::{interests_from_queries, workload_for, Timing};
+use cpqx_bench::{BenchConfig, Engine, Method, Table};
+use cpqx_graph::datasets::Dataset;
+use cpqx_query::ast::Template;
+use cpqx_query::Cpq;
+use std::time::{Duration, Instant};
+
+/// Fig. 7 omits C2 (it is never empty under the workload filter).
+const TEMPLATES: [Template; 11] = [
+    Template::T,
+    Template::S,
+    Template::TT,
+    Template::St,
+    Template::TC,
+    Template::SC,
+    Template::ST,
+    Template::C4,
+    Template::C2i,
+    Template::Ti,
+    Template::Si,
+];
+
+fn time_queries(
+    engine: &Engine,
+    g: &cpqx_graph::Graph,
+    queries: &[&Cpq],
+    cfg: &BenchConfig,
+    first_only: bool,
+) -> Timing {
+    if queries.is_empty() {
+        return Timing::Skipped;
+    }
+    let budget = Duration::from_millis(cfg.cell_budget_ms);
+    let started = Instant::now();
+    let mut total = Duration::ZERO;
+    let mut n = 0u32;
+    for q in queries {
+        let t0 = Instant::now();
+        if first_only {
+            std::hint::black_box(engine.evaluate_first(g, q));
+        } else {
+            std::hint::black_box(engine.evaluate(g, q));
+        }
+        total += t0.elapsed();
+        n += 1;
+        if started.elapsed() > budget {
+            return Timing::Timeout;
+        }
+    }
+    Timing::Avg(total.as_secs_f64() / n as f64)
+}
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let methods = [Method::IaCpqx, Method::TurboHom, Method::Tentris];
+    let mut headers = vec!["dataset", "template", "kind"];
+    headers.extend(methods.iter().map(|m| m.name()));
+    let mut table = Table::new("fig07_empty_nonempty", &headers);
+
+    for ds in [Dataset::Yago, Dataset::Wikidata, Dataset::Freebase] {
+        let g = ds.generate(cfg.edge_budget, cfg.seed);
+        let workload = workload_for(&g, &TEMPLATES, &cfg);
+        let interests =
+            interests_from_queries(workload.iter().flat_map(|(_, qs)| qs.iter()), cfg.k);
+        let engines: Vec<Engine> =
+            methods.iter().map(|&m| Engine::build(m, &g, cfg.k, &interests).0).collect();
+        // Classify queries by answer emptiness using the index engine.
+        let oracle = &engines[0];
+        for (template, queries) in &workload {
+            let (empty, nonempty): (Vec<&Cpq>, Vec<&Cpq>) =
+                queries.iter().partition(|q| oracle.evaluate(&g, q).is_empty());
+            for (kind, qs, first) in [
+                ("empty", &empty, false),
+                ("non-empty", &nonempty, false),
+                ("first", &nonempty, true),
+            ] {
+                let mut row =
+                    vec![ds.name().to_string(), template.name().to_string(), kind.to_string()];
+                for e in &engines {
+                    row.push(time_queries(e, &g, qs, &cfg, first).cell());
+                }
+                table.row(row);
+            }
+        }
+    }
+    table.finish();
+}

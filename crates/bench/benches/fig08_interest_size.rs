@@ -1,0 +1,47 @@
+//! Fig. 8: impact of the interest-set size on iaCPQx query time, on the
+//! YAGO stand-in. The X axis is the percentage of the workload's label
+//! sequences registered as interests (100% → 0%).
+//!
+//! Expected shape: query times degrade gracefully as interests shrink —
+//! conjunction templates lose their single-lookup classes and fall back to
+//! split lookups plus joins; at 0% (only length-1 sequences indexed) times
+//! approach Path-style chain evaluation.
+
+use cpqx_bench::harness::{avg_query_time, interests_from_queries, workload_for};
+use cpqx_bench::{BenchConfig, Engine, Method, Table};
+use cpqx_graph::datasets::Dataset;
+use cpqx_query::ast::Template;
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let g = Dataset::Yago.generate(cfg.edge_budget, cfg.seed);
+    let workload = workload_for(&g, &Template::ALL, &cfg);
+    let all_interests =
+        interests_from_queries(workload.iter().flat_map(|(_, qs)| qs.iter()), cfg.k);
+
+    let mut headers = vec!["template"];
+    let percentages = [100usize, 80, 60, 40, 20, 0];
+    let cols: Vec<String> = percentages.iter().map(|p| format!("{p}%")).collect();
+    headers.extend(cols.iter().map(|s| s.as_str()));
+    let mut table = Table::new("fig08_interest_size", &headers);
+
+    // Build one iaCPQx per interest percentage (longest sequences first,
+    // mirroring "the percentage of label sequences in the set of queries").
+    let engines: Vec<Engine> = percentages
+        .iter()
+        .map(|&p| {
+            let keep = all_interests.len() * p / 100;
+            let subset: Vec<_> = all_interests.iter().take(keep).copied().collect();
+            Engine::build(Method::IaCpqx, &g, cfg.k, &subset).0
+        })
+        .collect();
+
+    for (template, queries) in &workload {
+        let mut row = vec![template.name().to_string()];
+        for e in &engines {
+            row.push(avg_query_time(e, &g, queries, &cfg).cell());
+        }
+        table.row(row);
+    }
+    table.finish();
+}

@@ -1,0 +1,37 @@
+//! Fig. 10: average query time of the LUBM and WatDiv benchmark workloads
+//! on iaCPQx as the graph grows.
+//!
+//! Expected shape: near-linear growth; the WatDiv series grows faster than
+//! LUBM because its queries join more patterns (the paper makes the same
+//! observation).
+
+use cpqx_bench::harness::{avg_query_time, interests_from_queries};
+use cpqx_bench::{BenchConfig, Engine, Method, Table};
+use cpqx_graph::generate::gmark;
+use cpqx_query::benchqueries::{lubm_queries, watdiv_queries};
+use cpqx_query::Cpq;
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let mut table =
+        Table::new("fig10_lubm_watdiv", &["vertices", "edges", "LUBM avg [s]", "WatDiv avg [s]"]);
+
+    // Size sweep: ×1, ×2, ×4, ×8 of a base gMark-style instance.
+    let base = (cfg.edge_budget / 8).max(300) as u32;
+    for mult in [1u32, 2, 4, 8] {
+        let g = gmark(base * mult, cfg.seed);
+        let mut cells = vec![g.vertex_count().to_string(), g.edge_count().to_string()];
+        for (name, queries) in [
+            ("lubm", lubm_queries(&g, cfg.seed).into_iter().map(|nq| nq.query).collect::<Vec<Cpq>>()),
+            ("watdiv", watdiv_queries(&g, cfg.seed).into_iter().map(|nq| nq.query).collect()),
+        ] {
+            let interests = interests_from_queries(queries.iter(), cfg.k);
+            let (engine, _) = Engine::build(Method::IaCpqx, &g, cfg.k, &interests);
+            let timing = avg_query_time(&engine, &g, &queries, &cfg);
+            cells.push(timing.cell());
+            let _ = name;
+        }
+        table.row(cells);
+    }
+    table.finish();
+}

@@ -1,0 +1,42 @@
+//! Fig. 11: iaCPQx query time per template as the gMark citation graph
+//! grows (the paper sweeps 1M→20M vertices; scaled here to a ×16 range).
+//!
+//! Expected shape: per-template growth is modest and roughly monotone —
+//! iaCPQx "scalably evaluates CPQs as graphs grow larger".
+
+use cpqx_bench::harness::{avg_query_time, interests_from_queries, workload_for};
+use cpqx_bench::{BenchConfig, Engine, Method, Table};
+use cpqx_graph::generate::gmark;
+use cpqx_query::ast::Template;
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let base = (cfg.edge_budget / 16).max(200) as u32;
+    let sizes: Vec<u32> = [1u32, 2, 4, 8, 16].iter().map(|m| base * m).collect();
+
+    let mut headers: Vec<String> = vec!["template".into()];
+    headers.extend(sizes.iter().map(|s| format!("|V|={s}")));
+    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut table = Table::new("fig11_scalability", &headers_ref);
+
+    // One engine + workload per size.
+    let mut per_size = Vec::new();
+    for &n in &sizes {
+        let g = gmark(n, cfg.seed);
+        let workload = workload_for(&g, &Template::ALL, &cfg);
+        let interests =
+            interests_from_queries(workload.iter().flat_map(|(_, qs)| qs.iter()), cfg.k);
+        let (engine, _) = Engine::build(Method::IaCpqx, &g, cfg.k, &interests);
+        per_size.push((g, workload, engine));
+    }
+
+    for (ti, template) in Template::ALL.iter().enumerate() {
+        let mut row = vec![template.name().to_string()];
+        for (g, workload, engine) in &per_size {
+            let queries = &workload[ti].1;
+            row.push(avg_query_time(engine, g, queries, &cfg).cell());
+        }
+        table.row(row);
+    }
+    table.finish();
+}

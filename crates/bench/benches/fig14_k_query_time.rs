@@ -1,0 +1,51 @@
+//! Fig. 14: impact of the path-length parameter k (1–4) on iaCPQx query
+//! time, per template, across dataset stand-ins.
+//!
+//! Expected shape: a large drop from k = 1 to k = 2 (two-label lookups
+//! become single probes); beyond the query diameter, larger k can slightly
+//! *hurt* (finer classes → more LOOKUP/CONJUNCTION work), and C4/Si keep
+//! improving until k reaches their diameter 4 — both effects the paper
+//! reports.
+
+use cpqx_bench::harness::{avg_query_time, interests_from_queries, workload_for};
+use cpqx_bench::{BenchConfig, Engine, Method, Table};
+use cpqx_graph::datasets::Dataset;
+use cpqx_query::ast::Template;
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let datasets = [
+        Dataset::Robots,
+        Dataset::Advogato,
+        Dataset::BioGrid,
+        Dataset::StringFC,
+        Dataset::Youtube,
+        Dataset::Yago,
+        Dataset::Wikidata,
+        Dataset::Freebase,
+    ];
+    let mut table = Table::new(
+        "fig14_k_query_time",
+        &["dataset", "template", "k=1", "k=2", "k=3", "k=4"],
+    );
+
+    for ds in datasets {
+        let g = ds.generate(cfg.edge_budget, cfg.seed);
+        let workload = workload_for(&g, &Template::ALL, &cfg);
+        let engines: Vec<Engine> = (1..=4)
+            .map(|k| {
+                let interests =
+                    interests_from_queries(workload.iter().flat_map(|(_, qs)| qs.iter()), k);
+                Engine::build(Method::IaCpqx, &g, k, &interests).0
+            })
+            .collect();
+        for (ti, template) in Template::ALL.iter().enumerate() {
+            let mut row = vec![ds.name().to_string(), template.name().to_string()];
+            for e in &engines {
+                row.push(avg_query_time(e, &g, &workload[ti].1, &cfg).cell());
+            }
+            table.row(row);
+        }
+    }
+    table.finish();
+}

@@ -1,0 +1,74 @@
+//! Table III: pruning power — the average number of class identifiers
+//! (CPQx, iaCPQx) versus s-t pairs (iaPath) touched by the LOOKUPs of S
+//! (square) queries. Smaller numbers mean more pruning; the paper reports
+//! gaps of one to five orders of magnitude.
+
+use cpqx_bench::harness::{interests_from_queries, workload_for};
+use cpqx_bench::{BenchConfig, Engine, Method, Table};
+use cpqx_graph::datasets::Dataset;
+use cpqx_query::ast::Template;
+use cpqx_query::Cpq;
+
+fn lookup_volume_cpqx(idx: &cpqx_core::CpqxIndex, q: &Cpq) -> usize {
+    idx.plan(q).lookup_seqs().iter().map(|s| idx.lookup(s).len()).sum()
+}
+
+fn lookup_volume_path(idx: &cpqx_pathindex::PathIndex, q: &Cpq) -> usize {
+    idx.plan(q).lookup_seqs().iter().map(|s| idx.lookup(s).len()).sum()
+}
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let mut table =
+        Table::new("tab03_pruning_power", &["dataset", "CPQx", "iaCPQx", "iaPath"]);
+
+    for ds in Dataset::REAL {
+        let g = ds.generate(cfg.edge_budget, cfg.seed);
+        let workload = workload_for(&g, &[Template::S], &cfg);
+        let queries = &workload[0].1;
+        if queries.is_empty() {
+            table.row(vec![ds.name().into(), "-".into(), "-".into(), "-".into()]);
+            continue;
+        }
+        let interests = interests_from_queries(queries.iter(), cfg.k);
+
+        let full_ok = !matches!(
+            ds,
+            Dataset::WebGoogle
+                | Dataset::WikiTalk
+                | Dataset::Yago
+                | Dataset::CitPatents
+                | Dataset::Wikidata
+                | Dataset::Freebase
+        );
+        let cpqx_cell = if full_ok {
+            let (e, _) = Engine::build(Method::Cpqx, &g, cfg.k, &interests);
+            let idx = e.as_cpqx().unwrap();
+            let avg: f64 = queries.iter().map(|q| lookup_volume_cpqx(idx, q)).sum::<usize>() as f64
+                / queries.len() as f64;
+            format!("{avg:.1}")
+        } else {
+            "-".to_string() // paper: index out of memory
+        };
+        let (e, _) = Engine::build(Method::IaCpqx, &g, cfg.k, &interests);
+        let ia_idx = e.as_cpqx().unwrap();
+        let ia_avg: f64 = queries.iter().map(|q| lookup_volume_cpqx(ia_idx, q)).sum::<usize>()
+            as f64
+            / queries.len() as f64;
+        let (e, _) = Engine::build(Method::IaPath, &g, cfg.k, &interests);
+        let path_idx = e.as_path().unwrap();
+        let path_avg: f64 = queries.iter().map(|q| lookup_volume_path(path_idx, q)).sum::<usize>()
+            as f64
+            / queries.len() as f64;
+
+        table.row(vec![
+            ds.name().into(),
+            cpqx_cell,
+            format!("{ia_avg:.1}"),
+            format!("{path_avg:.1}"),
+        ]);
+    }
+    table.finish();
+    println!("\nSmaller is better: class-id lookups (CPQx/iaCPQx) prune before touching pairs;");
+    println!("iaPath must retrieve full s-t pair lists for the same lookups (Table III).");
+}

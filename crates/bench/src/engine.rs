@@ -1,0 +1,200 @@
+//! The seven evaluation methods of Sec. VI under one interface.
+
+use cpqx_core::CpqxIndex;
+use cpqx_graph::{Graph, LabelSeq, Pair};
+use cpqx_matcher::{TensorEngine, TurboEngine};
+use cpqx_pathindex::PathIndex;
+use cpqx_query::eval::BfsEngine;
+use cpqx_query::Cpq;
+use std::time::{Duration, Instant};
+
+/// The methods compared in the paper's experiments.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Method {
+    /// CPQx — the paper's CPQ-aware index (Sec. IV).
+    Cpqx,
+    /// iaCPQx — the interest-aware variant (Sec. V).
+    IaCpqx,
+    /// Path — the language-unaware path index \[14\].
+    Path,
+    /// iaPath — Path restricted to the interest sequences.
+    IaPath,
+    /// TurboHom++-style homomorphic subgraph matching \[26\].
+    TurboHom,
+    /// Tentris-style tensor/WCOJ engine \[6\].
+    Tentris,
+    /// Index-free breadth-first-search evaluation.
+    Bfs,
+}
+
+impl Method {
+    /// All seven methods, in the paper's legend order.
+    pub const ALL: [Method; 7] = [
+        Method::Cpqx,
+        Method::IaCpqx,
+        Method::Path,
+        Method::IaPath,
+        Method::TurboHom,
+        Method::Tentris,
+        Method::Bfs,
+    ];
+
+    /// The four index methods of Table IV.
+    pub const INDEXES: [Method; 4] =
+        [Method::Cpqx, Method::IaCpqx, Method::Path, Method::IaPath];
+
+    /// Display name as used in the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Method::Cpqx => "CPQx",
+            Method::IaCpqx => "iaCPQx",
+            Method::Path => "Path",
+            Method::IaPath => "iaPath",
+            Method::TurboHom => "TurboHom++",
+            Method::Tentris => "Tentris",
+            Method::Bfs => "BFS",
+        }
+    }
+
+    /// Whether the method needs an interest set at build time.
+    pub fn is_interest_aware(&self) -> bool {
+        matches!(self, Method::IaCpqx | Method::IaPath)
+    }
+}
+
+impl std::fmt::Display for Method {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A built evaluation engine.
+pub enum Engine {
+    /// CPQx or iaCPQx.
+    Index(CpqxIndex),
+    /// Path or iaPath.
+    PathIdx(PathIndex),
+    /// TurboHom++ stand-in (no build phase).
+    Turbo(TurboEngine),
+    /// Tentris stand-in (no build phase).
+    Tensor(TensorEngine),
+    /// Index-free BFS (no build phase).
+    Bfs(BfsEngine),
+}
+
+impl Engine {
+    /// Builds the engine for `method`, returning it with its construction
+    /// time (zero for the index-free methods — the paper's Table IV only
+    /// reports construction for the four indexes).
+    pub fn build(method: Method, g: &Graph, k: usize, interests: &[LabelSeq]) -> (Engine, Duration) {
+        let start = Instant::now();
+        let engine = match method {
+            Method::Cpqx => Engine::Index(CpqxIndex::build(g, k)),
+            Method::IaCpqx => {
+                Engine::Index(CpqxIndex::build_interest_aware(g, k, interests.iter().copied()))
+            }
+            Method::Path => Engine::PathIdx(PathIndex::build(g, k)),
+            Method::IaPath => {
+                Engine::PathIdx(PathIndex::build_interest_aware(g, k, interests.iter().copied()))
+            }
+            Method::TurboHom => Engine::Turbo(TurboEngine),
+            Method::Tentris => Engine::Tensor(TensorEngine),
+            Method::Bfs => Engine::Bfs(BfsEngine),
+        };
+        (engine, start.elapsed())
+    }
+
+    /// Evaluates a query to its full answer set.
+    pub fn evaluate(&self, g: &Graph, q: &Cpq) -> Vec<Pair> {
+        match self {
+            Engine::Index(i) => i.evaluate(g, q),
+            Engine::PathIdx(i) => i.evaluate(g, q),
+            Engine::Turbo(e) => e.evaluate(g, q),
+            Engine::Tensor(e) => e.evaluate(g, q),
+            Engine::Bfs(e) => e.evaluate(g, q),
+        }
+    }
+
+    /// Evaluates a query to its first answer (Fig. 7).
+    pub fn evaluate_first(&self, g: &Graph, q: &Cpq) -> Option<Pair> {
+        match self {
+            Engine::Index(i) => i.evaluate_first(g, q),
+            Engine::PathIdx(i) => i.evaluate_first(g, q),
+            Engine::Turbo(e) => e.evaluate_first(g, q),
+            Engine::Tensor(e) => e.evaluate_first(g, q),
+            Engine::Bfs(e) => e.evaluate(g, q).first().copied(),
+        }
+    }
+
+    /// Index size in bytes (`None` for index-free methods).
+    pub fn size_bytes(&self) -> Option<usize> {
+        match self {
+            Engine::Index(i) => Some(i.size_bytes()),
+            Engine::PathIdx(i) => Some(i.size_bytes()),
+            _ => None,
+        }
+    }
+
+    /// The CPQ-aware index, if this engine is one.
+    pub fn as_cpqx(&self) -> Option<&CpqxIndex> {
+        match self {
+            Engine::Index(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// The path index, if this engine is one.
+    pub fn as_path(&self) -> Option<&PathIndex> {
+        match self {
+            Engine::PathIdx(i) => Some(i),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpqx_graph::generate;
+    use cpqx_query::eval::eval_reference;
+    use cpqx_query::parse_cpq;
+
+    #[test]
+    fn all_methods_build_and_agree() {
+        let g = generate::gex();
+        let f = g.label_named("f").unwrap();
+        let interests = vec![LabelSeq::from_slice(&[f.fwd(), f.fwd()])];
+        let q = parse_cpq("(f . f) & f^-1", &g).unwrap();
+        let expected = eval_reference(&g, &q);
+        for m in Method::ALL {
+            let (engine, build_time) = Engine::build(m, &g, 2, &interests);
+            assert_eq!(engine.evaluate(&g, &q), expected, "{m}");
+            let first = engine.evaluate_first(&g, &q).expect("non-empty");
+            assert!(expected.contains(&first), "{m} first answer");
+            // Only the four index methods report sizes / non-trivial builds.
+            let is_index = matches!(m, Method::Cpqx | Method::IaCpqx | Method::Path | Method::IaPath);
+            assert_eq!(engine.size_bytes().is_some(), is_index, "{m} size");
+            let _ = build_time;
+        }
+    }
+
+    #[test]
+    fn method_metadata() {
+        assert_eq!(Method::ALL.len(), 7);
+        assert_eq!(Method::INDEXES.len(), 4);
+        assert!(Method::IaCpqx.is_interest_aware());
+        assert!(!Method::Cpqx.is_interest_aware());
+        assert_eq!(Method::TurboHom.name(), "TurboHom++");
+    }
+
+    #[test]
+    fn accessors_expose_inner_indexes() {
+        let g = generate::gex();
+        let (e, _) = Engine::build(Method::Cpqx, &g, 2, &[]);
+        assert!(e.as_cpqx().is_some());
+        assert!(e.as_path().is_none());
+        let (e, _) = Engine::build(Method::Path, &g, 2, &[]);
+        assert!(e.as_path().is_some());
+        assert!(e.as_cpqx().is_none());
+    }
+}

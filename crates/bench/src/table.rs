@@ -1,0 +1,103 @@
+//! Fixed-width table printing with TSV mirrors under `results/`.
+
+use std::io::Write;
+use std::path::PathBuf;
+
+/// A simple experiment table: prints aligned columns to stdout and mirrors
+/// the rows as TSV to `results/<name>.tsv` (best-effort — the TSV mirror is
+/// skipped if the directory cannot be created).
+pub struct Table {
+    name: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table; `name` becomes the TSV file stem.
+    pub fn new(name: &str, headers: &[&str]) -> Self {
+        Table {
+            name: name.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header arity).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Prints the table and writes the TSV mirror. Returns the mirror path
+    /// if it was written.
+    pub fn finish(&self) -> Option<PathBuf> {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{c:<w$}", w = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        println!("\n== {} ==", self.name);
+        println!("{}", line(&self.headers));
+        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        for row in &self.rows {
+            println!("{}", line(row));
+        }
+        self.write_tsv()
+    }
+
+    fn write_tsv(&self) -> Option<PathBuf> {
+        let dir = results_dir()?;
+        let path = dir.join(format!("{}.tsv", self.name));
+        let mut f = std::fs::File::create(&path).ok()?;
+        writeln!(f, "{}", self.headers.join("\t")).ok()?;
+        for row in &self.rows {
+            writeln!(f, "{}", row.join("\t")).ok()?;
+        }
+        Some(path)
+    }
+}
+
+/// The `results/` directory (workspace root when run via cargo, else cwd).
+fn results_dir() -> Option<PathBuf> {
+    let base = std::env::var("CARGO_MANIFEST_DIR")
+        .map(|m| PathBuf::from(m).join("../.."))
+        .unwrap_or_else(|_| PathBuf::from("."));
+    let dir = base.join("results");
+    std::fs::create_dir_all(&dir).ok()?;
+    Some(dir)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_prints_and_mirrors() {
+        let mut t = Table::new("unit_test_table", &["a", "b"]);
+        t.row(vec!["1".into(), "hello".into()]);
+        t.row(vec!["2".into(), "x".into()]);
+        let path = t.finish();
+        if let Some(p) = path {
+            let content = std::fs::read_to_string(&p).unwrap();
+            assert!(content.starts_with("a\tb\n"));
+            assert!(content.contains("1\thello"));
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new("bad", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+}

@@ -1,0 +1,224 @@
+//! Adaptive selection of interests and k — the paper's second future-work
+//! direction ("investigate practical methods for scalable index
+//! construction that adaptively controls interests and k", Sec. VII).
+//!
+//! The advisor observes a query workload, counts the label sequences its
+//! chains would look up, and recommends (a) the smallest `k` covering the
+//! observed chain chunks and (b) a frequency-ordered interest set trimmed
+//! to an estimated size budget. The recommendation feeds directly into
+//! [`CpqxIndex::build_interest_aware`].
+
+use crate::index::CpqxIndex;
+use crate::interest::normalize_interests;
+use cpqx_graph::{Graph, LabelSeq, Pair};
+use cpqx_query::Cpq;
+use std::collections::HashMap;
+
+/// Tuning knobs for the recommendation.
+#[derive(Clone, Copy, Debug)]
+pub struct AdvisorConfig {
+    /// Upper bound for the recommended `k` (the paper sweeps 1..4).
+    pub max_k: usize,
+    /// Maximum number of multi-label interests to register.
+    pub max_interests: usize,
+    /// Approximate budget on the *pair volume* the interests may
+    /// materialize (`None` = unbounded). Volume is estimated by capped
+    /// expansion, so it is an upper-bound-ish guide, not a guarantee.
+    pub pair_budget: Option<usize>,
+}
+
+impl Default for AdvisorConfig {
+    fn default() -> Self {
+        AdvisorConfig { max_k: 4, max_interests: 64, pair_budget: None }
+    }
+}
+
+/// Workload-driven interest/k advisor.
+#[derive(Default, Debug)]
+pub struct WorkloadAdvisor {
+    /// Multi-label sequence → observation count.
+    counts: HashMap<LabelSeq, usize>,
+    observed: usize,
+}
+
+impl WorkloadAdvisor {
+    /// Creates an empty advisor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of queries observed so far.
+    pub fn observed(&self) -> usize {
+        self.observed
+    }
+
+    /// Records one query: every maximal label run contributes its windows
+    /// of lengths `2..=max_k` (the chunks a lookup could serve).
+    pub fn observe(&mut self, q: &Cpq, max_k: usize) {
+        self.observed += 1;
+        let max_k = max_k.min(cpqx_graph::MAX_SEQ_LEN);
+        for run in q.label_runs() {
+            for len in 2..=max_k.min(run.len()) {
+                for w in run.windows(len) {
+                    *self.counts.entry(LabelSeq::from_slice(w)).or_default() += 1;
+                }
+            }
+        }
+    }
+
+    /// Recommends `(k, interests)` under `cfg`, using `g` to estimate the
+    /// pair volume of each candidate interest.
+    pub fn recommend(&self, g: &Graph, cfg: &AdvisorConfig) -> (usize, Vec<LabelSeq>) {
+        // k: the longest chunk that is actually worth a single lookup —
+        // the longest observed window length, floored at 2.
+        let k = self
+            .counts
+            .keys()
+            .map(LabelSeq::len)
+            .max()
+            .unwrap_or(2)
+            .clamp(2, cfg.max_k);
+
+        // Rank candidates: frequency first, longer sequences break ties
+        // (one long lookup replaces several short ones).
+        let mut ranked: Vec<(&LabelSeq, usize)> =
+            self.counts.iter().map(|(s, &c)| (s, c)).collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then(b.0.len().cmp(&a.0.len())).then(a.0.cmp(b.0)));
+
+        let mut interests = Vec::new();
+        let mut volume = 0usize;
+        for (seq, _) in ranked {
+            if interests.len() >= cfg.max_interests {
+                break;
+            }
+            if seq.len() > k {
+                continue;
+            }
+            let est = estimate_seq_pairs(g, seq, cfg.pair_budget.unwrap_or(usize::MAX));
+            if let Some(budget) = cfg.pair_budget {
+                if volume + est > budget && !interests.is_empty() {
+                    continue; // skip: too expensive; cheaper ones may fit
+                }
+            }
+            volume += est;
+            interests.push(*seq);
+        }
+        (k, normalize_interests(interests, k).into_iter().collect())
+    }
+
+    /// Convenience: recommend and build in one step.
+    pub fn build_index(&self, g: &Graph, cfg: &AdvisorConfig) -> CpqxIndex {
+        let (k, interests) = self.recommend(g, cfg);
+        CpqxIndex::build_interest_aware(g, k, interests)
+    }
+}
+
+/// Estimates `|⟦seq⟧|` by capped adjacency expansion: exact below `cap`,
+/// truncated (and therefore an underestimate) above it — sufficient for
+/// budget-guided selection without paying full evaluation cost.
+pub fn estimate_seq_pairs(g: &Graph, seq: &LabelSeq, cap: usize) -> usize {
+    let mut pairs: Vec<Pair> = g.edge_pairs(seq.get(0)).to_vec();
+    for i in 1..seq.len() {
+        if pairs.is_empty() {
+            return 0;
+        }
+        pairs.truncate(cap);
+        pairs = cpqx_query::ops::expand_adjacency(g, &pairs, seq.get(i));
+    }
+    pairs.len().min(cap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpqx_graph::generate;
+    use cpqx_graph::{ExtLabel, Label};
+    use cpqx_query::eval::eval_reference;
+
+    fn l(i: u16) -> ExtLabel {
+        Label(i).fwd()
+    }
+
+    #[test]
+    fn frequent_sequences_rank_first() {
+        let g = generate::gex();
+        let mut adv = WorkloadAdvisor::new();
+        let hot = Cpq::chain(&[l(0), l(0)]);
+        let cold = Cpq::chain(&[l(0), l(1)]);
+        for _ in 0..10 {
+            adv.observe(&hot, 4);
+        }
+        adv.observe(&cold, 4);
+        let (_, interests) =
+            adv.recommend(&g, &AdvisorConfig { max_interests: 1, ..Default::default() });
+        assert_eq!(interests, vec![LabelSeq::from_slice(&[l(0), l(0)])]);
+    }
+
+    #[test]
+    fn k_tracks_longest_observed_chunk() {
+        let g = generate::gex();
+        let mut adv = WorkloadAdvisor::new();
+        adv.observe(&Cpq::chain(&[l(0), l(0), l(1)]), 4);
+        let (k, _) = adv.recommend(&g, &AdvisorConfig::default());
+        assert_eq!(k, 3);
+        // Capped by max_k.
+        let (k, _) = adv.recommend(&g, &AdvisorConfig { max_k: 2, ..Default::default() });
+        assert_eq!(k, 2);
+    }
+
+    #[test]
+    fn empty_workload_gets_sane_defaults() {
+        let g = generate::gex();
+        let adv = WorkloadAdvisor::new();
+        let (k, interests) = adv.recommend(&g, &AdvisorConfig::default());
+        assert_eq!(k, 2);
+        assert!(interests.is_empty());
+        // The built index still answers arbitrary queries.
+        let idx = adv.build_index(&g, &AdvisorConfig::default());
+        let q = cpqx_query::parse_cpq("(f . f) & f^-1", &g).unwrap();
+        assert_eq!(idx.evaluate(&g, &q), eval_reference(&g, &q));
+    }
+
+    #[test]
+    fn budget_limits_selection() {
+        let g = generate::random_graph(&generate::RandomGraphConfig::social(200, 1500, 3, 3));
+        let mut adv = WorkloadAdvisor::new();
+        // Observe many distinct 2-chunks.
+        for a in 0..g.ext_label_count() {
+            for b in 0..g.ext_label_count() {
+                adv.observe(&Cpq::chain(&[ExtLabel(a), ExtLabel(b)]), 2);
+            }
+        }
+        let unbounded = adv.recommend(&g, &AdvisorConfig::default()).1.len();
+        let tight = adv
+            .recommend(&g, &AdvisorConfig { pair_budget: Some(500), ..Default::default() })
+            .1
+            .len();
+        assert!(tight < unbounded, "budget must trim interests ({tight} vs {unbounded})");
+        assert!(tight >= 1, "the cheapest interest still fits");
+    }
+
+    #[test]
+    fn recommended_index_serves_workload_with_single_lookups() {
+        let g = generate::gmark(400, 2);
+        let mut adv = WorkloadAdvisor::new();
+        let cites = g.label_named("cites").unwrap().fwd();
+        let hot = Cpq::chain(&[cites, cites]);
+        for _ in 0..5 {
+            adv.observe(&hot, 4);
+        }
+        let idx = adv.build_index(&g, &AdvisorConfig::default());
+        assert!(idx.is_indexed(&LabelSeq::from_slice(&[cites, cites])));
+        assert_eq!(idx.evaluate(&g, &hot), eval_reference(&g, &hot));
+    }
+
+    #[test]
+    fn estimate_is_exact_below_cap() {
+        let g = generate::gex();
+        let f = g.label_named("f").unwrap();
+        let seq = LabelSeq::from_slice(&[f.fwd(), f.fwd()]);
+        let exact = crate::interest::seq_pairs(&g, &seq).len();
+        assert_eq!(estimate_seq_pairs(&g, &seq, usize::MAX), exact);
+        assert!(estimate_seq_pairs(&g, &seq, 1) <= exact);
+    }
+}

@@ -1,0 +1,428 @@
+//! Computing the CPQk-equivalence classes — the paper's Algorithm 1.
+//!
+//! The partition is built bottom-up by block refinement:
+//!
+//! * **Level 1**: s-t pairs connected by at least one edge are grouped by
+//!   `(is-loop, sorted set of extended edge labels v→u)`; the block id
+//!   `b₁(v,u)` identifies the group. Pairs without a length-1 path have
+//!   `b₁ = NULL` (the paper's skipping rule — the `{id}` and `{}` blocks of
+//!   Fig. 3 never get identifiers).
+//! * **Level i**: every pair `(v,m)` with an *exact* length-(i−1) path is
+//!   joined with every edge `(m,u)`; the signature of `(v,u)` at level i is
+//!   the sorted set `Sᵢ(v,u) = {(b_{i-1}(v,m), b₁(m,u))}` over all such `m`,
+//!   together with the loop flag. `bᵢ = NULL` iff the pair has no exact
+//!   length-i path.
+//! * **Classes**: pairs are grouped by `(is-loop, ⟨b₁,…,b_k⟩)` — Algorithm
+//!   2's hash of the block-id sequence.
+//!
+//! **Why this is sound for the index** (Sec. IV-C's discussion): by
+//! induction on i, the block id `bᵢ` determines the set of exact-length-i
+//! label sequences of its pairs — level 1 directly, level i because
+//! `L₌ᵢ(v,u) = ⋃_m L₌ᵢ₋₁(v,m)·L₌₁(m,u)` and the members of `Sᵢ` determine
+//! the operand sets. Hence all pairs of a class share `L≤k` and cyclicity,
+//! which is exactly the invariant query processing relies on (Prop. 4.1 and
+//! the IDENTITY check). The same induction lets us compute each block's
+//! exact-length-i sequence set *per block id* instead of per pair, which is
+//! how `Il2c` is materialized without ever enumerating paths.
+
+use cpqx_graph::{Graph, LabelSeq, Pair};
+
+/// Identifier of a CPQk-equivalence class.
+pub type ClassId = u32;
+
+/// The computed partition of `P≤k` (pairs connected by a non-trivial path
+/// of length ≤ k; pure-identity pairs with no path are not materialized,
+/// matching the index definition — `id` is answered by the executor).
+pub struct Partition {
+    /// `(pair, class)` sorted by pair.
+    pub pair_classes: Vec<(Pair, ClassId)>,
+    /// Per class: whether its pairs are cyclic (`v = u`).
+    pub class_loop: Vec<bool>,
+    /// Per class: the sorted set `L≤k(v,u)` shared by all member pairs.
+    pub class_seqs: Vec<Vec<LabelSeq>>,
+}
+
+impl Partition {
+    /// Number of classes `|C|`.
+    pub fn class_count(&self) -> usize {
+        self.class_loop.len()
+    }
+
+    /// Number of indexed pairs `|P≤k|` (non-trivially connected).
+    pub fn pair_count(&self) -> usize {
+        self.pair_classes.len()
+    }
+}
+
+/// Per-level state: pairs holding an exact-length-i path, their block ids,
+/// and each block's exact-length-i sequence set.
+struct Level {
+    /// `(pair, block)` sorted by pair.
+    pair_blocks: Vec<(Pair, u32)>,
+    /// Per block: sorted exact-length-i label sequences.
+    block_seqs: Vec<Vec<LabelSeq>>,
+}
+
+/// Computes the CPQk-equivalence classes of `g` (Algorithm 1 + the class
+/// assignment of Algorithm 2).
+pub fn cpq_path_partition(g: &Graph, k: usize) -> Partition {
+    assert!(k >= 1, "k must be at least 1");
+    assert!(k <= cpqx_graph::MAX_SEQ_LEN, "k exceeds MAX_SEQ_LEN");
+
+    let level1 = build_level1(g);
+    // Level-1 adjacency used by every refinement step: for each vertex m,
+    // the (target, b₁(m,u)) list of its outgoing extended edges.
+    let mut adj1: Vec<Vec<(u32, u32)>> = vec![Vec::new(); g.vertex_count() as usize];
+    for &(p, b) in &level1.pair_blocks {
+        adj1[p.src() as usize].push((p.dst(), b));
+    }
+
+    let mut levels: Vec<Level> = Vec::with_capacity(k);
+    levels.push(level1);
+    for _ in 2..=k {
+        let next = {
+            let prev = levels.last().unwrap();
+            refine_level(prev, &levels[0].block_seqs, &adj1)
+        };
+        levels.push(next);
+    }
+
+    assemble_classes(&levels, k)
+}
+
+/// Level 1: group edge-connected pairs by `(is-loop, sorted label set)`.
+fn build_level1(g: &Graph) -> Level {
+    // (pair, label) for every extended edge, sorted by (pair, label).
+    let mut entries: Vec<(Pair, u16)> = Vec::new();
+    for l in g.ext_labels() {
+        for &p in g.edge_pairs(l) {
+            entries.push((p, l.0));
+        }
+    }
+    entries.sort_unstable();
+
+    // Group by pair; represent each pair by its label-slice range.
+    let mut pairs: Vec<(Pair, std::ops::Range<usize>)> = Vec::new();
+    let mut i = 0;
+    while i < entries.len() {
+        let p = entries[i].0;
+        let j = i + entries[i..].partition_point(|&(q, _)| q == p);
+        pairs.push((p, i..j));
+        i = j;
+    }
+
+    // Assign block ids by sorting pair indexes on (is-loop, label slice).
+    let labels_of = |idx: usize| entries[pairs[idx].1.clone()].iter().map(|&(_, l)| l);
+    let mut order: Vec<usize> = (0..pairs.len()).collect();
+    order.sort_unstable_by(|&a, &b| {
+        pairs[a]
+            .0
+            .is_loop()
+            .cmp(&pairs[b].0.is_loop())
+            .then_with(|| labels_of(a).cmp(labels_of(b)))
+    });
+
+    let mut pair_blocks: Vec<(Pair, u32)> = vec![(Pair(0), 0); pairs.len()];
+    let mut block_seqs: Vec<Vec<LabelSeq>> = Vec::new();
+    let mut prev: Option<usize> = None;
+    for &idx in &order {
+        let same = prev.is_some_and(|p| {
+            pairs[p].0.is_loop() == pairs[idx].0.is_loop() && labels_of(p).eq(labels_of(idx))
+        });
+        if !same {
+            let seqs: Vec<LabelSeq> = entries[pairs[idx].1.clone()]
+                .iter()
+                .map(|&(_, l)| LabelSeq::single(cpqx_graph::ExtLabel(l)))
+                .collect();
+            block_seqs.push(seqs);
+        }
+        let b = (block_seqs.len() - 1) as u32;
+        pair_blocks[idx] = (pairs[idx].0, b);
+        prev = Some(idx);
+    }
+    // `pairs` was built in pair order, so pair_blocks is sorted by pair.
+    Level { pair_blocks, block_seqs }
+}
+
+/// Level i from level i−1: join exact-(i−1) pairs with edges, group by
+/// `(is-loop, sorted (b_{i-1}, b₁) set)`.
+fn refine_level(prev: &Level, level1_block_seqs: &[Vec<LabelSeq>], adj1: &[Vec<(u32, u32)>]) -> Level {
+    // Emit (pair, combo) for every decomposition prefix·edge. Dense graphs
+    // emit far more raw tuples than there are distinct ones, so the buffer
+    // is deduplicated periodically to bound peak memory.
+    const DEDUP_THRESHOLD: usize = 1 << 23;
+    let mut emissions: Vec<(Pair, u64)> = Vec::new();
+    let mut next_dedup = DEDUP_THRESHOLD;
+    for &(vm, b_prev) in &prev.pair_blocks {
+        let (v, m) = (vm.src(), vm.dst());
+        for &(u, b1) in &adj1[m as usize] {
+            emissions.push((Pair::new(v, u), ((b_prev as u64) << 32) | b1 as u64));
+        }
+        if emissions.len() >= next_dedup {
+            emissions.sort_unstable();
+            emissions.dedup();
+            next_dedup = (emissions.len() * 2).max(DEDUP_THRESHOLD);
+        }
+    }
+    emissions.sort_unstable();
+    emissions.dedup();
+
+    // Group by pair.
+    let mut pairs: Vec<(Pair, std::ops::Range<usize>)> = Vec::new();
+    let mut i = 0;
+    while i < emissions.len() {
+        let p = emissions[i].0;
+        let j = i + emissions[i..].partition_point(|&(q, _)| q == p);
+        pairs.push((p, i..j));
+        i = j;
+    }
+
+    // Assign block ids by (is-loop, combo slice).
+    let mut order: Vec<usize> = (0..pairs.len()).collect();
+    order.sort_unstable_by(|&a, &b| {
+        pairs[a]
+            .0
+            .is_loop()
+            .cmp(&pairs[b].0.is_loop())
+            .then_with(|| {
+                emissions[pairs[a].1.clone()]
+                    .iter()
+                    .map(|&(_, c)| c)
+                    .cmp(emissions[pairs[b].1.clone()].iter().map(|&(_, c)| c))
+            })
+    });
+
+    let mut pair_blocks: Vec<(Pair, u32)> = vec![(Pair(0), 0); pairs.len()];
+    let mut block_combos: Vec<Vec<u64>> = Vec::new();
+    let mut prev_idx: Option<usize> = None;
+    for &idx in &order {
+        let same = prev_idx.is_some_and(|p| {
+            pairs[p].0.is_loop() == pairs[idx].0.is_loop()
+                && emissions[pairs[p].1.clone()]
+                    .iter()
+                    .map(|&(_, c)| c)
+                    .eq(emissions[pairs[idx].1.clone()].iter().map(|&(_, c)| c))
+        });
+        if !same {
+            block_combos.push(emissions[pairs[idx].1.clone()].iter().map(|&(_, c)| c).collect());
+        }
+        pair_blocks[idx] = (pairs[idx].0, (block_combos.len() - 1) as u32);
+        prev_idx = Some(idx);
+    }
+
+    // Each block's exact-length-i sequence set: union over its combos of
+    // prev-block seqs × level-1 labels (memoized per block, not per pair —
+    // see the module docs for why this equals the paper's per-pair loop).
+    let block_seqs: Vec<Vec<LabelSeq>> = block_combos
+        .iter()
+        .map(|combos| {
+            let mut seqs = Vec::new();
+            for &c in combos {
+                let b_prev = (c >> 32) as usize;
+                let b1 = (c as u32) as usize;
+                for w in &prev.block_seqs[b_prev] {
+                    for s1 in &level1_block_seqs[b1] {
+                        seqs.push(w.concat(s1));
+                    }
+                }
+            }
+            seqs.sort_unstable();
+            seqs.dedup();
+            seqs
+        })
+        .collect();
+
+    Level { pair_blocks, block_seqs }
+}
+
+/// Final class assignment: group pairs by `(is-loop, ⟨b₁,…,b_k⟩)` and derive
+/// each class's `L≤k` from the per-level block sequence sets.
+fn assemble_classes(levels: &[Level], k: usize) -> Partition {
+    // Gather (pair, level, block) across levels.
+    let mut tuples: Vec<(Pair, u8, u32)> = Vec::new();
+    for (i, level) in levels.iter().enumerate() {
+        for &(p, b) in &level.pair_blocks {
+            tuples.push((p, i as u8, b));
+        }
+    }
+    tuples.sort_unstable();
+
+    const NULL: u32 = u32::MAX;
+    // Per distinct pair: its block signature.
+    let mut sigs: Vec<(Pair, Vec<u32>)> = Vec::new();
+    let mut i = 0;
+    while i < tuples.len() {
+        let p = tuples[i].0;
+        let mut sig = vec![NULL; k];
+        while i < tuples.len() && tuples[i].0 == p {
+            sig[tuples[i].1 as usize] = tuples[i].2;
+            i += 1;
+        }
+        sigs.push((p, sig));
+    }
+
+    // Group by (is-loop, signature).
+    let mut order: Vec<usize> = (0..sigs.len()).collect();
+    order.sort_unstable_by(|&a, &b| {
+        sigs[a]
+            .0
+            .is_loop()
+            .cmp(&sigs[b].0.is_loop())
+            .then_with(|| sigs[a].1.cmp(&sigs[b].1))
+    });
+
+    let mut class_of: Vec<u32> = vec![0; sigs.len()];
+    let mut class_loop: Vec<bool> = Vec::new();
+    let mut class_seqs: Vec<Vec<LabelSeq>> = Vec::new();
+    let mut prev: Option<usize> = None;
+    for &idx in &order {
+        let same = prev.is_some_and(|p| {
+            sigs[p].0.is_loop() == sigs[idx].0.is_loop() && sigs[p].1 == sigs[idx].1
+        });
+        if !same {
+            class_loop.push(sigs[idx].0.is_loop());
+            let mut seqs = Vec::new();
+            for (lvl, &b) in sigs[idx].1.iter().enumerate() {
+                if b != NULL {
+                    seqs.extend_from_slice(&levels[lvl].block_seqs[b as usize]);
+                }
+            }
+            seqs.sort_unstable();
+            seqs.dedup();
+            class_seqs.push(seqs);
+        }
+        class_of[idx] = (class_loop.len() - 1) as u32;
+        prev = Some(idx);
+    }
+
+    let pair_classes: Vec<(Pair, ClassId)> =
+        sigs.iter().enumerate().map(|(i, &(p, _))| (p, class_of[i])).collect();
+    Partition { pair_classes, class_loop, class_seqs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paths::label_seqs_between;
+    use cpqx_graph::generate;
+
+    /// The invariant everything rests on: classes disjointly cover all
+    /// non-trivially connected pairs, and all members of a class share
+    /// cyclicity and the full label-sequence set `L≤k`.
+    fn check_invariants(g: &Graph, k: usize) -> Partition {
+        let p = cpq_path_partition(g, k);
+        // Disjoint cover.
+        let mut seen = std::collections::HashSet::new();
+        for &(pair, c) in &p.pair_classes {
+            assert!(seen.insert(pair), "pair {pair:?} in two classes");
+            assert!((c as usize) < p.class_count());
+        }
+        // Exactly the pairs with a non-trivial path of length ≤ k.
+        for v in g.vertices() {
+            for u in g.vertices() {
+                let connected = !label_seqs_between(g, v, u, k).is_empty();
+                assert_eq!(
+                    seen.contains(&Pair::new(v, u)),
+                    connected,
+                    "membership mismatch for ({v},{u})"
+                );
+            }
+        }
+        // Class homogeneity + stored sequence sets match recomputation.
+        for &(pair, c) in &p.pair_classes {
+            let expected = label_seqs_between(g, pair.src(), pair.dst(), k);
+            assert_eq!(
+                p.class_seqs[c as usize], expected,
+                "class {c} seqs wrong for pair {pair:?}"
+            );
+            assert_eq!(p.class_loop[c as usize], pair.is_loop());
+        }
+        p
+    }
+
+    #[test]
+    fn invariants_on_gex_k2() {
+        let g = generate::gex();
+        let p = check_invariants(&g, 2);
+        assert!(p.class_count() > 10, "Gex at k=2 has many classes");
+        assert!(p.pair_count() >= p.class_count());
+    }
+
+    #[test]
+    fn invariants_on_gex_k1_and_k3() {
+        let g = generate::gex();
+        check_invariants(&g, 1);
+        check_invariants(&g, 3);
+    }
+
+    #[test]
+    fn invariants_on_random_graphs() {
+        for seed in 0..4 {
+            let cfg = generate::RandomGraphConfig::social(40, 160, 3, seed);
+            let g = generate::random_graph(&cfg);
+            check_invariants(&g, 2);
+        }
+    }
+
+    #[test]
+    fn invariants_with_self_loops() {
+        let mut b = cpqx_graph::GraphBuilder::new();
+        b.add_edge_named("a", "a", "f");
+        b.add_edge_named("a", "b", "f");
+        b.add_edge_named("b", "b", "v");
+        b.add_edge_named("b", "a", "v");
+        let g = b.build();
+        check_invariants(&g, 2);
+        check_invariants(&g, 3);
+    }
+
+    #[test]
+    fn cycle_symmetry_collapses_classes() {
+        // On a directed f-cycle every vertex looks alike: the partition at
+        // any k has one class per (distance pattern), independent of n.
+        let g = generate::cycle(6, "f");
+        let p = cpq_path_partition(&g, 2);
+        // Five classes: {f}, {ff}, {f⁻¹}, {f⁻¹f⁻¹}, and the loop class
+        // {ff⁻¹, f⁻¹f} — each with one pair per vertex.
+        assert_eq!(p.class_count(), 5);
+        assert_eq!(p.class_loop.iter().filter(|&&l| l).count(), 1);
+        for c in 0..p.class_count() {
+            let members = p.pair_classes.iter().filter(|&&(_, cc)| cc as usize == c).count();
+            assert_eq!(members, 6, "class {c} should contain one pair per vertex");
+        }
+    }
+
+    #[test]
+    fn refinement_grows_classes_with_k() {
+        let g = generate::gex();
+        let c1 = cpq_path_partition(&g, 1).class_count();
+        let c2 = cpq_path_partition(&g, 2).class_count();
+        assert!(c2 >= c1, "k=2 partition refines k=1 ({c2} < {c1})");
+    }
+
+    #[test]
+    fn loop_and_nonloop_never_share_class() {
+        let g = generate::gex();
+        let p = cpq_path_partition(&g, 2);
+        for &(pair, c) in &p.pair_classes {
+            assert_eq!(pair.is_loop(), p.class_loop[c as usize]);
+        }
+    }
+
+    #[test]
+    fn clique_has_uniform_classes() {
+        let g = generate::clique(4, "f");
+        let p = check_invariants(&g, 2);
+        // All non-loop pairs are alike; all loop pairs are alike.
+        assert_eq!(p.class_count(), 2);
+    }
+
+    #[test]
+    fn star_separates_center_from_spokes() {
+        let g = generate::star(5, "f");
+        let p = check_invariants(&g, 2);
+        // (0,i): edge f + 2-paths; (i,0): inverse; (i,j): spoke to spoke
+        // via center; (i,i)/(0,0): cyclic f·f⁻¹ patterns.
+        assert!(p.class_count() >= 4);
+    }
+}

@@ -1,0 +1,281 @@
+//! The runtime index structure `Ik = (Il2c, Ic2p)` of Def. 4.3, serving both
+//! CPQx and iaCPQx (they differ only in how the partition is computed).
+
+use crate::bisim::{cpq_path_partition, ClassId, Partition};
+use crate::exec::Executor;
+use crate::interest::{interest_partition, normalize_interests};
+use cpqx_graph::{Graph, LabelSeq, Pair};
+use cpqx_query::plan::{plan_query, Plan};
+use cpqx_query::workload::SeqProbe;
+use cpqx_query::Cpq;
+use std::collections::{BTreeSet, HashMap};
+
+/// A CPQ-aware path index (CPQx, Sec. IV) or its interest-aware variant
+/// (iaCPQx, Sec. V).
+///
+/// Two data structures, per Def. 4.3:
+///
+/// * `Il2c : L≤k → {c}` — label sequence to sorted class-id posting list,
+/// * `Ic2p : c → P(c)` — class id to sorted s-t pair list,
+///
+/// plus the auxiliary structures the paper's maintenance procedures need:
+/// per-class loop flags (O(1) IDENTITY), per-class sequence sets (to decide
+/// whether an affected pair's `L≤k` changed), and the pair → class inverted
+/// index of Sec. IV-E.
+pub struct CpqxIndex {
+    pub(crate) k: usize,
+    /// `None` for full CPQx; `Some(Lq)` for iaCPQx (length-1 sequences are
+    /// implicit and not stored here).
+    pub(crate) interests: Option<BTreeSet<LabelSeq>>,
+    pub(crate) il2c: HashMap<LabelSeq, Vec<ClassId>>,
+    pub(crate) ic2p: Vec<Vec<Pair>>,
+    pub(crate) class_loop: Vec<bool>,
+    pub(crate) class_seqs: Vec<Vec<LabelSeq>>,
+    pub(crate) p2c: HashMap<Pair, ClassId>,
+}
+
+/// Summary statistics used by the experiment harness (Tables III–IV).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct IndexStats {
+    /// `k`.
+    pub k: usize,
+    /// `|C|` — number of (non-empty) classes.
+    pub classes: usize,
+    /// `|P≤k|` — number of indexed s-t pairs.
+    pub pairs: usize,
+    /// Number of distinct label sequences keyed in `Il2c`.
+    pub sequences: usize,
+    /// Total posting-list entries in `Il2c` (≈ γ·|C|).
+    pub postings: usize,
+    /// γ — average `|L≤k(v,u)|` over indexed pairs.
+    pub gamma: f64,
+    /// Core index bytes: `Il2c` + `Ic2p` (Def. 4.3's structures, the
+    /// quantity Thm. 4.2 bounds and Table IV reports).
+    pub core_bytes: usize,
+    /// Total bytes including the maintenance structures (`class_seqs`,
+    /// `p2c`, loop flags).
+    pub total_bytes: usize,
+}
+
+impl CpqxIndex {
+    /// Builds the full CPQ-aware index of `g` with path-length parameter
+    /// `k` (Algorithms 1 and 2).
+    pub fn build(g: &Graph, k: usize) -> Self {
+        Self::from_partition(k, None, cpq_path_partition(g, k))
+    }
+
+    /// Builds the interest-aware index (Sec. V). `interests` may contain
+    /// sequences longer than `k`; they are normalized by prefix-splitting.
+    /// All length-1 sequences are always indexed.
+    pub fn build_interest_aware(
+        g: &Graph,
+        k: usize,
+        interests: impl IntoIterator<Item = LabelSeq>,
+    ) -> Self {
+        let lq = normalize_interests(interests, k);
+        let partition = interest_partition(g, k, &lq);
+        Self::from_partition(k, Some(lq), partition)
+    }
+
+    fn from_partition(k: usize, interests: Option<BTreeSet<LabelSeq>>, p: Partition) -> Self {
+        let nc = p.class_count();
+        let mut ic2p: Vec<Vec<Pair>> = vec![Vec::new(); nc];
+        let mut p2c = HashMap::with_capacity(p.pair_count());
+        // `pair_classes` is sorted by pair, so per-class lists stay sorted.
+        for &(pair, c) in &p.pair_classes {
+            ic2p[c as usize].push(pair);
+            p2c.insert(pair, c);
+        }
+        let mut il2c: HashMap<LabelSeq, Vec<ClassId>> = HashMap::new();
+        for (c, seqs) in p.class_seqs.iter().enumerate() {
+            for s in seqs {
+                // Classes are visited in ascending id order: postings sorted.
+                il2c.entry(*s).or_default().push(c as ClassId);
+            }
+        }
+        CpqxIndex {
+            k,
+            interests,
+            il2c,
+            ic2p,
+            class_loop: p.class_loop,
+            class_seqs: p.class_seqs,
+            p2c,
+        }
+    }
+
+    /// The index path-length parameter `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Whether this is the interest-aware variant.
+    pub fn is_interest_aware(&self) -> bool {
+        self.interests.is_some()
+    }
+
+    /// The interest set (iaCPQx only; length-1 sequences are implicit).
+    pub fn interests(&self) -> Option<&BTreeSet<LabelSeq>> {
+        self.interests.as_ref()
+    }
+
+    /// `Il2c(ℓ)` — the sorted class ids whose pairs match `seq`.
+    pub fn lookup(&self, seq: &LabelSeq) -> &[ClassId] {
+        self.il2c.get(seq).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// `Ic2p(c)` — the sorted s-t pairs of class `c`.
+    pub fn class_pairs(&self, c: ClassId) -> &[Pair] {
+        &self.ic2p[c as usize]
+    }
+
+    /// Whether all pairs of class `c` are cyclic (`v = u`) — the O(1)
+    /// IDENTITY check (all members share cyclicity by construction).
+    pub fn class_is_loop(&self, c: ClassId) -> bool {
+        self.class_loop[c as usize]
+    }
+
+    /// The label-sequence set shared by all pairs of class `c`.
+    pub fn class_sequences(&self, c: ClassId) -> &[LabelSeq] {
+        &self.class_seqs[c as usize]
+    }
+
+    /// The class of an s-t pair, if indexed.
+    pub fn class_of(&self, p: Pair) -> Option<ClassId> {
+        self.p2c.get(&p).copied()
+    }
+
+    /// Whether one LOOKUP can answer `seq`: full indexes answer every
+    /// sequence of length ≤ k; interest-aware indexes the interests plus all
+    /// length-1 sequences (Sec. V-B — the planner consults this).
+    pub fn is_indexed(&self, seq: &LabelSeq) -> bool {
+        if seq.is_empty() || seq.len() > self.k {
+            return false;
+        }
+        match &self.interests {
+            None => true,
+            Some(lq) => seq.len() == 1 || lq.contains(seq),
+        }
+    }
+
+    /// Lowers `q` to a physical plan against this index.
+    pub fn plan(&self, q: &Cpq) -> Plan {
+        plan_query(q, self.k, &|s| self.is_indexed(s))
+    }
+
+    /// Evaluates `q`, returning the normalized pair set (Algorithm 3).
+    pub fn evaluate(&self, g: &Graph, q: &Cpq) -> Vec<Pair> {
+        Executor::new(self, g).run(&self.plan(q))
+    }
+
+    /// Evaluates `q` with explicit executor ablation switches (see
+    /// [`crate::exec::ExecOptions`]). Results are identical to
+    /// [`CpqxIndex::evaluate`]; only the work performed differs.
+    pub fn evaluate_with_options(
+        &self,
+        g: &Graph,
+        q: &Cpq,
+        options: crate::exec::ExecOptions,
+    ) -> Vec<Pair> {
+        Executor::with_options(self, g, options).run(&self.plan(q))
+    }
+
+    /// Evaluates `q` but stops at the first result (Fig. 7's
+    /// first-answer measurements). Returns `None` for empty answers.
+    pub fn evaluate_first(&self, g: &Graph, q: &Cpq) -> Option<Pair> {
+        Executor::new(self, g).run_first(&self.plan(q))
+    }
+
+    /// Evaluates `q` and reports the execution work counters alongside the
+    /// answers (EXPLAIN ANALYZE-style; Table III's pruning-power numbers
+    /// are `classes_touched` here versus pair volume on the Path index).
+    pub fn explain(&self, g: &Graph, q: &Cpq) -> (Vec<Pair>, crate::exec::ExecStats) {
+        Executor::new(self, g).run_explained(&self.plan(q))
+    }
+
+    /// Number of classes with at least one pair (freshly built indexes have
+    /// no empty classes; lazy maintenance can leave tombstones behind).
+    pub fn live_class_count(&self) -> usize {
+        self.ic2p.iter().filter(|p| !p.is_empty()).count()
+    }
+
+    /// Total allocated class slots, including tombstones.
+    pub fn class_slots(&self) -> usize {
+        self.ic2p.len()
+    }
+
+    /// Number of indexed s-t pairs.
+    pub fn pair_count(&self) -> usize {
+        self.p2c.len()
+    }
+
+    /// Index statistics (sizes follow Thm. 4.2's accounting; see
+    /// [`IndexStats`]).
+    pub fn stats(&self) -> IndexStats {
+        let postings: usize = self.il2c.values().map(Vec::len).sum();
+        let pairs = self.pair_count();
+        // γ = average |L≤k(v,u)| over pairs = Σ_c |seqs(c)|·|P(c)| / |P≤k|.
+        let weighted: usize = self
+            .class_seqs
+            .iter()
+            .zip(&self.ic2p)
+            .map(|(s, p)| s.len() * p.len())
+            .sum();
+        let gamma = if pairs == 0 { 0.0 } else { weighted as f64 / pairs as f64 };
+        // Packed (CSR-equivalent) accounting: keys + entries + offsets.
+        // Container headers are an implementation detail, so sizes stay
+        // comparable across index designs (Table IV's IS).
+        let seq_bytes = std::mem::size_of::<LabelSeq>();
+        let il2c_bytes: usize = self
+            .il2c.values().map(|v| seq_bytes + v.len() * std::mem::size_of::<ClassId>() + 4)
+            .sum();
+        let ic2p_bytes: usize = self.ic2p.iter().map(|v| v.len() * std::mem::size_of::<Pair>()).sum::<usize>()
+            + (self.ic2p.len() + 1) * 4;
+        let core_bytes = il2c_bytes + ic2p_bytes;
+        let class_seq_bytes: usize =
+            self.class_seqs.iter().map(|v| v.len() * seq_bytes + 4).sum();
+        let p2c_bytes = self.p2c.len() * (std::mem::size_of::<Pair>() + std::mem::size_of::<ClassId>());
+        IndexStats {
+            k: self.k,
+            classes: self.live_class_count(),
+            pairs,
+            sequences: self.il2c.len(),
+            postings,
+            gamma,
+            core_bytes,
+            total_bytes: core_bytes + class_seq_bytes + p2c_bytes + self.class_loop.len(),
+        }
+    }
+
+    /// Core index size in bytes (`Il2c` + `Ic2p`), the Table IV quantity.
+    pub fn size_bytes(&self) -> usize {
+        self.stats().core_bytes
+    }
+}
+
+impl SeqProbe for CpqxIndex {
+    fn seq_nonempty(&self, seq: &LabelSeq) -> bool {
+        if self.is_indexed(seq) {
+            self.lookup(seq).iter().any(|&c| !self.class_pairs(c).is_empty())
+        } else {
+            // Conservative: split into indexed chunks and check each piece.
+            // (Non-empty pieces do not guarantee a non-empty whole, but the
+            // workload filter only needs length-≤2 windows, which are always
+            // indexed.)
+            (0..seq.len()).all(|i| {
+                let s = LabelSeq::single(seq.get(i));
+                self.lookup(&s).iter().any(|&c| !self.class_pairs(c).is_empty())
+            })
+        }
+    }
+}
+
+impl std::fmt::Debug for CpqxIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct(if self.is_interest_aware() { "iaCPQx" } else { "CPQx" })
+            .field("k", &self.k)
+            .field("classes", &self.live_class_count())
+            .field("pairs", &self.pair_count())
+            .finish()
+    }
+}

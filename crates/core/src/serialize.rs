@@ -1,0 +1,311 @@
+//! Binary persistence for the index.
+//!
+//! A production deployment builds the index once (Table IV's IT is minutes
+//! to hours at paper scale) and reloads it across restarts. The format
+//! stores the partition — per class: loop flag, sequence set, pair list —
+//! plus the mode header; `Il2c` and the pair→class inverted index are
+//! reconstructed on load, so the file holds each fact exactly once.
+//!
+//! Layout (little-endian): magic `CPQX`, format version, `k`, mode byte
+//! (full / interest-aware + interest list), class count, then the classes.
+
+use crate::bisim::ClassId;
+use crate::index::CpqxIndex;
+use cpqx_graph::{ExtLabel, LabelSeq, Pair};
+use std::collections::{BTreeSet, HashMap};
+use std::io::{Read, Write};
+
+const MAGIC: &[u8; 4] = b"CPQX";
+const VERSION: u32 = 1;
+
+/// Errors while reading a persisted index.
+#[derive(Debug)]
+pub enum LoadError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The stream does not start with the `CPQX` magic.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// Structurally invalid payload.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "i/o error: {e}"),
+            LoadError::BadMagic => write!(f, "not a CPQx index file"),
+            LoadError::BadVersion(v) => write!(f, "unsupported index format version {v}"),
+            LoadError::Corrupt(what) => write!(f, "corrupt index file: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+impl From<std::io::Error> for LoadError {
+    fn from(e: std::io::Error) -> Self {
+        LoadError::Io(e)
+    }
+}
+
+fn write_u32(w: &mut impl Write, x: u32) -> std::io::Result<()> {
+    w.write_all(&x.to_le_bytes())
+}
+
+fn write_u64(w: &mut impl Write, x: u64) -> std::io::Result<()> {
+    w.write_all(&x.to_le_bytes())
+}
+
+fn write_seq(w: &mut impl Write, s: &LabelSeq) -> std::io::Result<()> {
+    w.write_all(&[s.len() as u8])?;
+    for l in s.iter() {
+        w.write_all(&l.0.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn read_u8(r: &mut impl Read) -> Result<u8, LoadError> {
+    let mut b = [0u8; 1];
+    r.read_exact(&mut b)?;
+    Ok(b[0])
+}
+
+fn read_u16(r: &mut impl Read) -> Result<u16, LoadError> {
+    let mut b = [0u8; 2];
+    r.read_exact(&mut b)?;
+    Ok(u16::from_le_bytes(b))
+}
+
+fn read_u32(r: &mut impl Read) -> Result<u32, LoadError> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64(r: &mut impl Read) -> Result<u64, LoadError> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn read_seq(r: &mut impl Read) -> Result<LabelSeq, LoadError> {
+    let len = read_u8(r)? as usize;
+    if len > cpqx_graph::MAX_SEQ_LEN {
+        return Err(LoadError::Corrupt("label sequence too long"));
+    }
+    let mut s = LabelSeq::empty();
+    for _ in 0..len {
+        s = s.appended(ExtLabel(read_u16(r)?));
+    }
+    Ok(s)
+}
+
+impl CpqxIndex {
+    /// Serializes the index to a writer.
+    pub fn save(&self, mut w: impl Write) -> std::io::Result<()> {
+        w.write_all(MAGIC)?;
+        write_u32(&mut w, VERSION)?;
+        write_u32(&mut w, self.k as u32)?;
+        match &self.interests {
+            None => w.write_all(&[0u8])?,
+            Some(lq) => {
+                w.write_all(&[1u8])?;
+                write_u32(&mut w, lq.len() as u32)?;
+                for s in lq {
+                    write_seq(&mut w, s)?;
+                }
+            }
+        }
+        write_u32(&mut w, self.ic2p.len() as u32)?;
+        for c in 0..self.ic2p.len() {
+            w.write_all(&[self.class_loop[c] as u8])?;
+            write_u32(&mut w, self.class_seqs[c].len() as u32)?;
+            for s in &self.class_seqs[c] {
+                write_seq(&mut w, s)?;
+            }
+            write_u32(&mut w, self.ic2p[c].len() as u32)?;
+            for p in &self.ic2p[c] {
+                write_u64(&mut w, p.0)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Loads an index written by [`CpqxIndex::save`], reconstructing the
+    /// derived structures (`Il2c`, pair→class).
+    pub fn load(mut r: impl Read) -> Result<Self, LoadError> {
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(LoadError::BadMagic);
+        }
+        let version = read_u32(&mut r)?;
+        if version != VERSION {
+            return Err(LoadError::BadVersion(version));
+        }
+        let k = read_u32(&mut r)? as usize;
+        if k == 0 || k > cpqx_graph::MAX_SEQ_LEN {
+            return Err(LoadError::Corrupt("k out of range"));
+        }
+        let interests = match read_u8(&mut r)? {
+            0 => None,
+            1 => {
+                let n = read_u32(&mut r)? as usize;
+                let mut lq = BTreeSet::new();
+                for _ in 0..n {
+                    lq.insert(read_seq(&mut r)?);
+                }
+                Some(lq)
+            }
+            _ => return Err(LoadError::Corrupt("bad mode byte")),
+        };
+        let nc = read_u32(&mut r)? as usize;
+        let mut class_loop = Vec::with_capacity(nc);
+        let mut class_seqs = Vec::with_capacity(nc);
+        let mut ic2p: Vec<Vec<Pair>> = Vec::with_capacity(nc);
+        let mut il2c: HashMap<LabelSeq, Vec<ClassId>> = HashMap::new();
+        let mut p2c: HashMap<Pair, ClassId> = HashMap::new();
+        for c in 0..nc {
+            let is_loop = match read_u8(&mut r)? {
+                0 => false,
+                1 => true,
+                _ => return Err(LoadError::Corrupt("bad loop flag")),
+            };
+            let ns = read_u32(&mut r)? as usize;
+            let mut seqs = Vec::with_capacity(ns);
+            for _ in 0..ns {
+                let s = read_seq(&mut r)?;
+                if s.is_empty() || s.len() > k {
+                    return Err(LoadError::Corrupt("class sequence length out of range"));
+                }
+                seqs.push(s);
+            }
+            if seqs.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(LoadError::Corrupt("class sequences not sorted"));
+            }
+            let np = read_u32(&mut r)? as usize;
+            let mut pairs = Vec::with_capacity(np);
+            for _ in 0..np {
+                pairs.push(Pair(read_u64(&mut r)?));
+            }
+            if pairs.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(LoadError::Corrupt("class pairs not sorted"));
+            }
+            for p in &pairs {
+                if p.is_loop() != is_loop {
+                    return Err(LoadError::Corrupt("pair cyclicity disagrees with class flag"));
+                }
+                if p2c.insert(*p, c as ClassId).is_some() {
+                    return Err(LoadError::Corrupt("pair assigned to two classes"));
+                }
+            }
+            for s in &seqs {
+                il2c.entry(*s).or_default().push(c as ClassId);
+            }
+            class_loop.push(is_loop);
+            class_seqs.push(seqs);
+            ic2p.push(pairs);
+        }
+        Ok(CpqxIndex { k, interests, il2c, ic2p, class_loop, class_seqs, p2c })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpqx_graph::generate;
+    use cpqx_query::eval::eval_reference;
+    use cpqx_query::parse_cpq;
+
+    fn roundtrip(idx: &CpqxIndex) -> CpqxIndex {
+        let mut buf = Vec::new();
+        idx.save(&mut buf).unwrap();
+        CpqxIndex::load(std::io::Cursor::new(&buf)).unwrap()
+    }
+
+    #[test]
+    fn full_index_roundtrip() {
+        let g = generate::gex();
+        let idx = CpqxIndex::build(&g, 2);
+        let loaded = roundtrip(&idx);
+        assert_eq!(loaded.k(), idx.k());
+        assert_eq!(loaded.pair_count(), idx.pair_count());
+        assert_eq!(loaded.class_slots(), idx.class_slots());
+        for text in ["(f . f) & f^-1", "f . v", "(v . v^-1) & id"] {
+            let q = parse_cpq(text, &g).unwrap();
+            assert_eq!(loaded.evaluate(&g, &q), idx.evaluate(&g, &q), "{text}");
+        }
+    }
+
+    #[test]
+    fn interest_aware_roundtrip_keeps_mode() {
+        let g = generate::gex();
+        let f = g.label_named("f").unwrap();
+        let seq = LabelSeq::from_slice(&[f.fwd(), f.fwd()]);
+        let idx = CpqxIndex::build_interest_aware(&g, 2, [seq]);
+        let loaded = roundtrip(&idx);
+        assert!(loaded.is_interest_aware());
+        assert!(loaded.is_indexed(&seq));
+        assert_eq!(loaded.interests(), idx.interests());
+        let q = parse_cpq("(f . f) & f^-1", &g).unwrap();
+        assert_eq!(loaded.evaluate(&g, &q), eval_reference(&g, &q));
+    }
+
+    #[test]
+    fn loaded_index_is_maintainable() {
+        let mut g = generate::gex();
+        let idx = CpqxIndex::build(&g, 2);
+        let mut loaded = roundtrip(&idx);
+        let (sue, joe) = (g.vertex_named("sue").unwrap(), g.vertex_named("joe").unwrap());
+        let f = g.label_named("f").unwrap();
+        loaded.delete_edge(&mut g, sue, joe, f);
+        let q = parse_cpq("(f . f) & f^-1", &g).unwrap();
+        assert_eq!(loaded.evaluate(&g, &q), eval_reference(&g, &q));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = CpqxIndex::load(std::io::Cursor::new(b"NOPE....")).unwrap_err();
+        assert!(matches!(err, LoadError::BadMagic));
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let g = generate::gex();
+        let idx = CpqxIndex::build(&g, 2);
+        let mut buf = Vec::new();
+        idx.save(&mut buf).unwrap();
+        for cut in [3usize, 9, 16, buf.len() / 2, buf.len() - 1] {
+            let err = CpqxIndex::load(std::io::Cursor::new(&buf[..cut]));
+            assert!(err.is_err(), "truncation at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn bitflip_in_pair_detected_or_benign() {
+        // Flipping a pair byte either corrupts sortedness/cyclicity (error)
+        // or produces a structurally valid different index — never a panic.
+        let g = generate::gex();
+        let idx = CpqxIndex::build(&g, 2);
+        let mut buf = Vec::new();
+        idx.save(&mut buf).unwrap();
+        for i in (buf.len().saturating_sub(64)..buf.len()).step_by(7) {
+            let mut corrupted = buf.clone();
+            corrupted[i] ^= 0xFF;
+            let _ = CpqxIndex::load(std::io::Cursor::new(&corrupted));
+        }
+    }
+
+    #[test]
+    fn version_mismatch_reported() {
+        let g = generate::gex();
+        let idx = CpqxIndex::build(&g, 2);
+        let mut buf = Vec::new();
+        idx.save(&mut buf).unwrap();
+        buf[4] = 0xFF; // mangle version
+        let err = CpqxIndex::load(std::io::Cursor::new(&buf)).unwrap_err();
+        assert!(matches!(err, LoadError::BadVersion(_)));
+    }
+}

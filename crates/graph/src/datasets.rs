@@ -1,0 +1,204 @@
+//! Scaled synthetic stand-ins for the datasets of the paper's Table II.
+//!
+//! The originals (SNAP/KONECT exports, YAGO, Wikidata, Freebase, the
+//! authors' gMark instances) are not available offline, so each dataset is
+//! replaced by a generated graph that preserves the properties the index
+//! interacts with: the vertex/edge ratio, the label-alphabet size, the
+//! exponential label-frequency skew (λ = 0.5 — the paper itself assigns such
+//! labels to its unlabeled graphs), and a topology family. Sizes are scaled
+//! by an edge budget so experiments run on one machine; the scaling keeps
+//! `|E|/|V|` and `|L|` fixed, which is what drives `P≤k` growth and
+//! therefore index behaviour.
+
+use crate::generate::{gmark, random_graph, RandomGraphConfig, Topology};
+use crate::graph::Graph;
+
+/// The datasets of Table II (9 real-labeled + 5 synthetic-labeled + 5 gMark).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Dataset {
+    Robots,
+    EgoFacebook,
+    Advogato,
+    Youtube,
+    StringHS,
+    StringFC,
+    BioGrid,
+    Epinions,
+    WebGoogle,
+    WikiTalk,
+    Yago,
+    CitPatents,
+    Wikidata,
+    Freebase,
+    GMark1m,
+    GMark5m,
+    GMark10m,
+    GMark15m,
+    GMark20m,
+}
+
+/// Static description of a Table II dataset (original sizes; `|E|`/`|L|`
+/// are the paper's *extended* counts including inverses).
+#[derive(Clone, Copy, Debug)]
+pub struct DatasetSpec {
+    /// Dataset name as printed in the paper.
+    pub name: &'static str,
+    /// `|V|` of the original.
+    pub vertices: u64,
+    /// `|E|` of the original, inverse edges included.
+    pub ext_edges: u64,
+    /// `|L|` of the original, inverse labels included.
+    pub ext_labels: u32,
+    /// Whether the original carries real edge labels (Table II's last column).
+    pub real_labels: bool,
+    /// Topology family used by the stand-in generator.
+    pub topology: Topology,
+}
+
+impl DatasetSpec {
+    /// Base (non-extended) edge count of the original.
+    pub fn base_edges(&self) -> u64 {
+        self.ext_edges / 2
+    }
+
+    /// Base (non-extended) label count of the original.
+    pub fn base_labels(&self) -> u16 {
+        (self.ext_labels / 2) as u16
+    }
+}
+
+const PL: Topology = Topology::PowerLaw { exponent: 2.2 };
+const ER: Topology = Topology::ErdosRenyi;
+
+impl Dataset {
+    /// The 14 real graphs of Table II, in paper order.
+    pub const REAL: [Dataset; 14] = [
+        Dataset::Robots,
+        Dataset::EgoFacebook,
+        Dataset::Advogato,
+        Dataset::Youtube,
+        Dataset::StringHS,
+        Dataset::StringFC,
+        Dataset::BioGrid,
+        Dataset::Epinions,
+        Dataset::WebGoogle,
+        Dataset::WikiTalk,
+        Dataset::Yago,
+        Dataset::CitPatents,
+        Dataset::Wikidata,
+        Dataset::Freebase,
+    ];
+
+    /// The five gMark scalability instances.
+    pub const GMARK: [Dataset; 5] = [
+        Dataset::GMark1m,
+        Dataset::GMark5m,
+        Dataset::GMark10m,
+        Dataset::GMark15m,
+        Dataset::GMark20m,
+    ];
+
+    /// Table II row for this dataset.
+    pub fn spec(&self) -> DatasetSpec {
+        match self {
+            Dataset::Robots => DatasetSpec { name: "Robots", vertices: 1_484, ext_edges: 5_920, ext_labels: 8, real_labels: true, topology: PL },
+            Dataset::EgoFacebook => DatasetSpec { name: "ego-Facebook", vertices: 4_039, ext_edges: 176_468, ext_labels: 16, real_labels: false, topology: PL },
+            Dataset::Advogato => DatasetSpec { name: "Advogato", vertices: 5_417, ext_edges: 102_654, ext_labels: 8, real_labels: true, topology: PL },
+            Dataset::Youtube => DatasetSpec { name: "Youtube", vertices: 15_088, ext_edges: 21_452_214, ext_labels: 10, real_labels: true, topology: PL },
+            Dataset::StringHS => DatasetSpec { name: "StringHS", vertices: 16_956, ext_edges: 2_483_530, ext_labels: 14, real_labels: true, topology: ER },
+            Dataset::StringFC => DatasetSpec { name: "StringFC", vertices: 15_515, ext_edges: 4_089_600, ext_labels: 14, real_labels: true, topology: ER },
+            Dataset::BioGrid => DatasetSpec { name: "BioGrid", vertices: 64_332, ext_edges: 1_724_554, ext_labels: 14, real_labels: true, topology: ER },
+            Dataset::Epinions => DatasetSpec { name: "Epinions", vertices: 131_828, ext_edges: 1_681_598, ext_labels: 16, real_labels: false, topology: PL },
+            Dataset::WebGoogle => DatasetSpec { name: "WebGoogle", vertices: 875_713, ext_edges: 10_210_074, ext_labels: 16, real_labels: false, topology: PL },
+            Dataset::WikiTalk => DatasetSpec { name: "WikiTalk", vertices: 2_394_385, ext_edges: 10_042_820, ext_labels: 16, real_labels: false, topology: PL },
+            Dataset::Yago => DatasetSpec { name: "YAGO", vertices: 4_295_825, ext_edges: 24_861_400, ext_labels: 74, real_labels: true, topology: PL },
+            Dataset::CitPatents => DatasetSpec { name: "CitPatents", vertices: 3_774_768, ext_edges: 33_037_896, ext_labels: 16, real_labels: false, topology: PL },
+            Dataset::Wikidata => DatasetSpec { name: "Wikidata", vertices: 9_292_714, ext_edges: 110_851_582, ext_labels: 1054, real_labels: true, topology: PL },
+            Dataset::Freebase => DatasetSpec { name: "Freebase", vertices: 14_420_276, ext_edges: 213_225_620, ext_labels: 1556, real_labels: true, topology: PL },
+            Dataset::GMark1m => DatasetSpec { name: "g-Mark-1m", vertices: 1_006_802, ext_edges: 15_925_506, ext_labels: 12, real_labels: true, topology: PL },
+            Dataset::GMark5m => DatasetSpec { name: "g-Mark-5m", vertices: 5_005_992, ext_edges: 84_994_500, ext_labels: 12, real_labels: true, topology: PL },
+            Dataset::GMark10m => DatasetSpec { name: "g-Mark-10m", vertices: 10_005_721, ext_edges: 183_748_319, ext_labels: 12, real_labels: true, topology: PL },
+            Dataset::GMark15m => DatasetSpec { name: "g-Mark-15m", vertices: 15_003_647, ext_edges: 255_538_724, ext_labels: 12, real_labels: true, topology: PL },
+            Dataset::GMark20m => DatasetSpec { name: "g-Mark-20m", vertices: 20_004_856, ext_edges: 393_797_046, ext_labels: 12, real_labels: true, topology: PL },
+        }
+    }
+
+    /// The paper's name for this dataset.
+    pub fn name(&self) -> &'static str {
+        self.spec().name
+    }
+
+    /// Generates the stand-in graph, scaled so the base edge count does not
+    /// exceed `max_base_edges` (vertex count scales proportionally, with
+    /// `|E|/|V|` and `|L|` preserved). Deterministic in `seed`.
+    pub fn generate(&self, max_base_edges: usize, seed: u64) -> Graph {
+        let spec = self.spec();
+        let scale = (max_base_edges as f64 / spec.base_edges() as f64).min(1.0);
+        let vertices = ((spec.vertices as f64 * scale) as u32).max(64);
+        let base_edges = ((spec.base_edges() as f64 * scale) as usize).max(128);
+        match self {
+            Dataset::GMark1m
+            | Dataset::GMark5m
+            | Dataset::GMark10m
+            | Dataset::GMark15m
+            | Dataset::GMark20m => gmark(vertices.max(200), seed),
+            _ => {
+                let mut cfg = RandomGraphConfig::social(vertices, base_edges, spec.base_labels(), seed);
+                cfg.topology = spec.topology;
+                random_graph(&cfg)
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Dataset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_match_table_ii_counts() {
+        assert_eq!(Dataset::REAL.len(), 14);
+        let y = Dataset::Yago.spec();
+        assert_eq!(y.ext_labels, 74);
+        assert_eq!(y.base_labels(), 37);
+        assert_eq!(Dataset::Freebase.spec().base_labels(), 778);
+    }
+
+    #[test]
+    fn generation_respects_budget() {
+        let g = Dataset::Youtube.generate(5_000, 1);
+        assert!(g.edge_count() <= 5_100, "edge budget respected, got {}", g.edge_count());
+        assert_eq!(g.base_label_count(), 5);
+    }
+
+    #[test]
+    fn edge_vertex_ratio_preserved() {
+        let spec = Dataset::Epinions.spec();
+        let orig_ratio = spec.base_edges() as f64 / spec.vertices as f64;
+        let g = Dataset::Epinions.generate(20_000, 2);
+        let ratio = g.edge_count() as f64 / g.vertex_count() as f64;
+        assert!((ratio - orig_ratio).abs() / orig_ratio < 0.25, "ratio {ratio} vs {orig_ratio}");
+    }
+
+    #[test]
+    fn gmark_stand_in_uses_schema() {
+        let g = Dataset::GMark1m.generate(10_000, 3);
+        assert_eq!(g.base_label_count(), 6);
+        assert!(g.label_named("cites").is_some());
+    }
+
+    #[test]
+    fn small_dataset_generates_at_full_size() {
+        let g = Dataset::Robots.generate(1_000_000, 4);
+        assert_eq!(g.vertex_count(), 1_484);
+        assert_eq!(g.edge_count(), 2_960);
+        assert_eq!(g.base_label_count(), 4);
+    }
+}

@@ -1,0 +1,428 @@
+//! Seeded graph generators: random topologies, the gMark-style citation
+//! schema, the paper's Fig. 1 example graph, and deterministic shapes for
+//! tests.
+
+use crate::graph::{Graph, GraphBuilder, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Topology family for [`random_graph`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Topology {
+    /// Uniformly random endpoints (biological-network stand-in).
+    ErdosRenyi,
+    /// Power-law degree distribution `P(d) ∝ d^(-exponent)` (social/web
+    /// stand-in). Endpoints are sampled Chung-Lu style with weights
+    /// `w_i ∝ (i+1)^(-1/(exponent-1))`.
+    PowerLaw {
+        /// Degree-distribution exponent (2.0–2.5 matches most social graphs).
+        exponent: f64,
+    },
+}
+
+/// Edge-label frequency distribution for [`random_graph`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum LabelDist {
+    /// All labels equally likely.
+    Uniform,
+    /// `P(ℓ = i) ∝ exp(-λ · i)` — the paper assigns exactly this
+    /// (λ = 0.5, following YAGO's label skew) to its unlabeled graphs.
+    Exponential {
+        /// Decay rate λ.
+        lambda: f64,
+    },
+}
+
+/// Configuration for [`random_graph`].
+#[derive(Clone, Debug)]
+pub struct RandomGraphConfig {
+    /// Number of vertices.
+    pub vertices: u32,
+    /// Number of *base* edges to draw (distinct `(v, u, ℓ)` triples).
+    pub base_edges: usize,
+    /// Number of base labels.
+    pub base_labels: u16,
+    /// Endpoint sampling topology.
+    pub topology: Topology,
+    /// Label frequency skew.
+    pub label_dist: LabelDist,
+    /// RNG seed — generation is fully deterministic given the config.
+    pub seed: u64,
+}
+
+impl RandomGraphConfig {
+    /// A power-law graph with the paper's exponential label skew — the
+    /// default stand-in configuration for the real datasets of Table II.
+    pub fn social(vertices: u32, base_edges: usize, base_labels: u16, seed: u64) -> Self {
+        RandomGraphConfig {
+            vertices,
+            base_edges,
+            base_labels,
+            topology: Topology::PowerLaw { exponent: 2.2 },
+            label_dist: LabelDist::Exponential { lambda: 0.5 },
+            seed,
+        }
+    }
+
+    /// A uniform ER graph (biological-network stand-in).
+    pub fn uniform(vertices: u32, base_edges: usize, base_labels: u16, seed: u64) -> Self {
+        RandomGraphConfig {
+            vertices,
+            base_edges,
+            base_labels,
+            topology: Topology::ErdosRenyi,
+            label_dist: LabelDist::Exponential { lambda: 0.5 },
+            seed,
+        }
+    }
+}
+
+/// Cumulative-weight sampler over `0..n`.
+struct WeightedSampler {
+    cumulative: Vec<f64>,
+}
+
+impl WeightedSampler {
+    fn new(weights: impl Iterator<Item = f64>) -> Self {
+        let mut cumulative: Vec<f64> = Vec::new();
+        let mut acc = 0.0;
+        for w in weights {
+            acc += w;
+            cumulative.push(acc);
+        }
+        assert!(acc > 0.0, "weights must not all be zero");
+        WeightedSampler { cumulative }
+    }
+
+    fn uniform(n: usize) -> Self {
+        Self::new((0..n).map(|_| 1.0))
+    }
+
+    fn power_law(n: usize, exponent: f64) -> Self {
+        Self::new((0..n).map(|i| ((i + 1) as f64).powf(-exponent)))
+    }
+
+    fn exponential(n: usize, lambda: f64) -> Self {
+        Self::new((0..n).map(|i| (-lambda * i as f64).exp()))
+    }
+
+    fn sample(&self, rng: &mut impl Rng) -> usize {
+        let total = *self.cumulative.last().unwrap();
+        let x: f64 = rng.gen::<f64>() * total;
+        self.cumulative.partition_point(|&c| c < x).min(self.cumulative.len() - 1)
+    }
+}
+
+/// Generates a random labeled graph per `cfg`.
+///
+/// Draws until `base_edges` *distinct* triples are collected (or the space
+/// is exhausted), so the generated graph has exactly the requested size on
+/// non-degenerate configurations.
+pub fn random_graph(cfg: &RandomGraphConfig) -> Graph {
+    assert!(cfg.vertices > 0, "graph must have at least one vertex");
+    assert!(cfg.base_labels > 0, "graph must have at least one label");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let vs = match cfg.topology {
+        Topology::ErdosRenyi => WeightedSampler::uniform(cfg.vertices as usize),
+        Topology::PowerLaw { exponent } => {
+            // Chung-Lu: degree-distribution exponent γ ⇒ weight exponent 1/(γ-1).
+            WeightedSampler::power_law(cfg.vertices as usize, 1.0 / (exponent - 1.0))
+        }
+    };
+    let ls = match cfg.label_dist {
+        LabelDist::Uniform => WeightedSampler::uniform(cfg.base_labels as usize),
+        LabelDist::Exponential { lambda } => {
+            WeightedSampler::exponential(cfg.base_labels as usize, lambda)
+        }
+    };
+    // Shuffle vertex identities so that weight rank is not identical to id
+    // order (avoids artificial locality in the CSR layout).
+    let mut identity: Vec<u32> = (0..cfg.vertices).collect();
+    for i in (1..identity.len()).rev() {
+        identity.swap(i, rng.gen_range(0..=i));
+    }
+
+    let mut seen = std::collections::HashSet::with_capacity(cfg.base_edges * 2);
+    let mut b = GraphBuilder::new();
+    b.ensure_vertices(cfg.vertices);
+    b.ensure_labels(cfg.base_labels);
+    let max_attempts = cfg.base_edges.saturating_mul(20).max(1024);
+    let mut attempts = 0;
+    while seen.len() < cfg.base_edges && attempts < max_attempts {
+        attempts += 1;
+        let v = identity[vs.sample(&mut rng)];
+        let u = identity[vs.sample(&mut rng)];
+        let l = ls.sample(&mut rng) as u16;
+        if seen.insert((v, u, l)) {
+            b.add_edge(v, u, crate::label::Label(l));
+        }
+    }
+    b.build()
+}
+
+/// The six edge predicates of the gMark citation schema used in the paper's
+/// scalability study (Sec. VI, "synthetic datasets").
+pub const GMARK_LABELS: [&str; 6] =
+    ["cites", "supervises", "livesIn", "worksIn", "publishesIn", "heldIn"];
+
+/// Generates a gMark-style citation network.
+///
+/// Vertex types: researchers (90%), venues (5%), cities (5%). Edge
+/// predicates and their type constraints follow the paper: `cites` and
+/// `supervises` between researchers, `livesIn`/`worksIn` from researchers to
+/// cities, `publishesIn` from researchers to venues, `heldIn` from venues to
+/// cities. The base-edge/vertex ratio (~8, Table II) is preserved; citation
+/// out-degrees are power-law distributed.
+pub fn gmark(vertices: u32, seed: u64) -> Graph {
+    assert!(vertices >= 20, "gmark graphs need at least 20 vertices");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_res = (vertices as f64 * 0.90) as u32;
+    let n_ven = (vertices as f64 * 0.05).max(1.0) as u32;
+    let n_city = vertices - n_res - n_ven;
+
+    let mut b = GraphBuilder::new();
+    b.ensure_vertices(vertices);
+    for l in GMARK_LABELS {
+        b.label(l);
+    }
+    let res = |i: u32| i; // researchers occupy [0, n_res)
+    let ven = |i: u32| n_res + i; // venues occupy [n_res, n_res + n_ven)
+    let city = |i: u32| n_res + n_ven + i;
+
+    let cites = b.label("cites");
+    let supervises = b.label("supervises");
+    let lives_in = b.label("livesIn");
+    let works_in = b.label("worksIn");
+    let publishes_in = b.label("publishesIn");
+    let held_in = b.label("heldIn");
+
+    let res_sampler = WeightedSampler::power_law(n_res as usize, 1.8);
+    // cites: ~5 per researcher, preferential targets.
+    for r in 0..n_res {
+        let out = rng.gen_range(0..=10);
+        for _ in 0..out {
+            let t = res_sampler.sample(&mut rng) as u32;
+            if t != r {
+                b.add_edge(res(r), res(t), cites);
+            }
+        }
+    }
+    // supervises: ~0.5 per researcher.
+    for r in 0..n_res {
+        if rng.gen_bool(0.5) {
+            let t = rng.gen_range(0..n_res);
+            if t != r {
+                b.add_edge(res(t), res(r), supervises);
+            }
+        }
+    }
+    // livesIn / worksIn: one city each; often the same city (realistic skew).
+    for r in 0..n_res {
+        let home = rng.gen_range(0..n_city);
+        b.add_edge(res(r), city(home), lives_in);
+        let work = if rng.gen_bool(0.7) { home } else { rng.gen_range(0..n_city) };
+        b.add_edge(res(r), city(work), works_in);
+    }
+    // publishesIn: 1–3 venues per researcher, skewed to popular venues.
+    let ven_sampler = WeightedSampler::power_law(n_ven as usize, 1.5);
+    for r in 0..n_res {
+        for _ in 0..rng.gen_range(1..=3) {
+            let t = ven_sampler.sample(&mut rng) as u32;
+            b.add_edge(res(r), ven(t), publishes_in);
+        }
+    }
+    // heldIn: each venue is held in one city.
+    for v in 0..n_ven {
+        b.add_edge(ven(v), city(rng.gen_range(0..n_city)), held_in);
+    }
+    b.build()
+}
+
+/// Builds the paper's Fig. 1 example graph `Gex`: twelve users, two blogs,
+/// labels `f` (follows) and `v` (visits).
+///
+/// This is a faithful reconstruction of the figure's headline structure: the
+/// `sue → joe → zoe → sue` follows-triad (so the query `(f∘f) ∩ f⁻¹` of the
+/// introduction returns exactly `{(sue, zoe), (joe, sue), (zoe, joe)}`), the
+/// two blogs with their visitor communities, and the `ada`-centred follow
+/// fan-out. Some peripheral edges are reconstructed rather than copied
+/// (the figure's full edge list is not machine-readable); tests assert the
+/// properties the paper states about `Gex`, not the exact Fig. 3 class ids.
+pub fn gex() -> Graph {
+    let mut b = GraphBuilder::new();
+    // Follows.
+    for (v, u) in [
+        ("sue", "joe"),
+        ("joe", "zoe"),
+        ("zoe", "sue"),
+        ("ada", "tim"),
+        ("ada", "tom"),
+        ("tim", "flo"),
+        ("tom", "jay"),
+        ("flo", "aya"),
+        ("jay", "aya"),
+        ("aya", "ben"),
+        ("ben", "liz"),
+        ("liz", "jon"),
+    ] {
+        b.add_edge_named(v, u, "f");
+    }
+    // Visits.
+    for v in ["ada", "tim", "tom", "sue", "joe", "zoe", "jon", "liz"] {
+        b.add_edge_named(v, "123", "v");
+    }
+    for v in ["flo", "jay", "aya", "ben"] {
+        b.add_edge_named(v, "987", "v");
+    }
+    b.build()
+}
+
+/// A directed path `0 → 1 → … → n` where edge `i` carries `labels[i]`.
+pub fn labeled_path(labels: &[&str]) -> Graph {
+    let mut b = GraphBuilder::new();
+    for (i, l) in labels.iter().enumerate() {
+        let v = i.to_string();
+        let u = (i + 1).to_string();
+        b.add_edge_named(&v, &u, l);
+    }
+    b.build()
+}
+
+/// A directed cycle of `n` vertices, all edges labeled `label`.
+pub fn cycle(n: u32, label: &str) -> Graph {
+    let mut b = GraphBuilder::new();
+    b.ensure_vertices(n);
+    let l = b.label(label);
+    for i in 0..n {
+        b.add_edge(i, (i + 1) % n, l);
+    }
+    b.build()
+}
+
+/// A star: center `0` with `n` spokes `0 → i` labeled `label`.
+pub fn star(n: u32, label: &str) -> Graph {
+    let mut b = GraphBuilder::new();
+    b.ensure_vertices(n + 1);
+    let l = b.label(label);
+    for i in 1..=n {
+        b.add_edge(0, i, l);
+    }
+    b.build()
+}
+
+/// A complete directed graph (no self-loops) on `n` vertices, one label.
+pub fn clique(n: u32, label: &str) -> Graph {
+    let mut b = GraphBuilder::new();
+    b.ensure_vertices(n);
+    let l = b.label(label);
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                b.add_edge(i, j, l);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Picks `count` distinct existing base edges of `g`, deterministically from
+/// `seed` — used by the maintenance experiments to choose update victims.
+pub fn sample_edges(g: &Graph, count: usize, seed: u64) -> Vec<(VertexId, VertexId, crate::label::Label)> {
+    let all: Vec<_> = g.base_edges().collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut idx: Vec<usize> = (0..all.len()).collect();
+    for i in (1..idx.len()).rev() {
+        idx.swap(i, rng.gen_range(0..=i));
+    }
+    idx.into_iter().take(count).map(|i| all[i]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_graph_is_deterministic() {
+        let cfg = RandomGraphConfig::social(100, 400, 4, 42);
+        let g1 = random_graph(&cfg);
+        let g2 = random_graph(&cfg);
+        assert_eq!(g1.edge_count(), g2.edge_count());
+        let e1: Vec<_> = g1.base_edges().collect();
+        let e2: Vec<_> = g2.base_edges().collect();
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn random_graph_hits_requested_size() {
+        let cfg = RandomGraphConfig::social(500, 2000, 8, 7);
+        let g = random_graph(&cfg);
+        assert_eq!(g.vertex_count(), 500);
+        assert_eq!(g.edge_count(), 2000);
+        assert_eq!(g.base_label_count(), 8);
+    }
+
+    #[test]
+    fn exponential_labels_are_skewed() {
+        let cfg = RandomGraphConfig::social(2000, 20000, 8, 11);
+        let g = random_graph(&cfg);
+        let c0 = g.edge_pairs(crate::label::Label(0).fwd()).len();
+        let c7 = g.edge_pairs(crate::label::Label(7).fwd()).len();
+        assert!(c0 > 4 * c7.max(1), "label 0 ({c0}) should dominate label 7 ({c7})");
+    }
+
+    #[test]
+    fn gmark_respects_schema() {
+        let g = gmark(1000, 3);
+        let cites = g.label_named("cites").unwrap();
+        let held_in = g.label_named("heldIn").unwrap();
+        let lives_in = g.label_named("livesIn").unwrap();
+        assert!(!g.edge_pairs(cites.fwd()).is_empty());
+        assert!(!g.edge_pairs(held_in.fwd()).is_empty());
+        // livesIn targets must be cities (ids at the top of the range).
+        let n_res = (1000f64 * 0.9) as u32;
+        for p in g.edge_pairs(lives_in.fwd()) {
+            assert!(p.src() < n_res, "livesIn source must be a researcher");
+            assert!(p.dst() >= n_res, "livesIn target must not be a researcher");
+        }
+    }
+
+    #[test]
+    fn gex_has_the_triad() {
+        let g = gex();
+        assert_eq!(g.vertex_count(), 14);
+        let f = g.label_named("f").unwrap();
+        let (sue, joe, zoe) = (
+            g.vertex_named("sue").unwrap(),
+            g.vertex_named("joe").unwrap(),
+            g.vertex_named("zoe").unwrap(),
+        );
+        assert!(g.has_edge(sue, joe, f.fwd()));
+        assert!(g.has_edge(joe, zoe, f.fwd()));
+        assert!(g.has_edge(zoe, sue, f.fwd()));
+    }
+
+    #[test]
+    fn shapes() {
+        let p = labeled_path(&["a", "b", "c"]);
+        assert_eq!(p.vertex_count(), 4);
+        assert_eq!(p.edge_count(), 3);
+        let c = cycle(5, "f");
+        assert_eq!(c.edge_count(), 5);
+        let s = star(4, "f");
+        assert_eq!(s.edge_count(), 4);
+        let k = clique(4, "f");
+        assert_eq!(k.edge_count(), 12);
+    }
+
+    #[test]
+    fn sample_edges_distinct_and_seeded() {
+        let g = gmark(500, 9);
+        let s1 = sample_edges(&g, 50, 1);
+        let s2 = sample_edges(&g, 50, 1);
+        assert_eq!(s1, s2);
+        let mut d = s1.clone();
+        d.sort_unstable();
+        d.dedup();
+        assert_eq!(d.len(), 50);
+    }
+}

@@ -1,0 +1,595 @@
+//! The directed edge-labeled graph type and its builder.
+
+use crate::label::{ExtLabel, Label};
+use crate::pair::Pair;
+use std::collections::HashMap;
+
+/// Dense vertex identifier (`u32`, per the small-integer-id guideline).
+pub type VertexId = u32;
+
+/// A directed edge-labeled graph `G = (V, E, L)` in its *extended* form.
+///
+/// Every base edge `(v, u, ℓ)` is stored twice: as `(v, u, ℓ)` and as the
+/// inverse extended edge `(u, v, ℓ⁻¹)`, mirroring the paper's extension of
+/// `E` and `L` (Sec. III-A). Two access paths are maintained:
+///
+/// * **adjacency**: per vertex, a vector of `(ext label, target)` entries
+///   sorted by `(label, target)` — O(log d) membership, O(d) updates;
+/// * **label-grouped pairs**: per extended label, a sorted vector of
+///   [`Pair`]s — the relation `⟦ℓ⟧` used by index construction, LOOKUP
+///   leaves of the baseline engines, and the matchers.
+///
+/// Both views are kept consistent under [`Graph::insert_edge`] /
+/// [`Graph::remove_edge`], which the maintenance experiments
+/// (Tables V–VII, Fig. 13) rely on. Multi-edges collapse (`E` is a set).
+#[derive(Clone)]
+pub struct Graph {
+    vertex_names: Vec<String>,
+    label_names: Vec<String>,
+    /// Per-vertex adjacency of extended edges, sorted by `(label, target)`.
+    adj: Vec<Vec<(u16, VertexId)>>,
+    /// Per-extended-label sorted pair lists.
+    label_pairs: Vec<Vec<Pair>>,
+    base_edge_count: usize,
+}
+
+impl Graph {
+    /// Number of vertices `|V|`.
+    #[inline]
+    pub fn vertex_count(&self) -> u32 {
+        self.adj.len() as u32
+    }
+
+    /// Number of *base* edges (the paper's Table II counts `|E|` with
+    /// inverses; that is `2 ×` this value).
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.base_edge_count
+    }
+
+    /// Number of base labels `|L|` (Table II's `|L|` is `2 ×` this).
+    #[inline]
+    pub fn base_label_count(&self) -> u16 {
+        self.label_names.len() as u16
+    }
+
+    /// Number of extended labels (`2 × |L|`).
+    #[inline]
+    pub fn ext_label_count(&self) -> u16 {
+        (self.label_names.len() * 2) as u16
+    }
+
+    /// Iterates over all vertex ids.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        0..self.vertex_count()
+    }
+
+    /// Iterates over all extended labels.
+    pub fn ext_labels(&self) -> impl Iterator<Item = ExtLabel> + '_ {
+        (0..self.ext_label_count()).map(ExtLabel)
+    }
+
+    /// Iterates over all base labels.
+    pub fn labels(&self) -> impl Iterator<Item = Label> + '_ {
+        (0..self.base_label_count()).map(Label)
+    }
+
+    /// The sorted relation `⟦ℓ⟧ = {(v, u) | (v, u, ℓ) ∈ E}` for an extended
+    /// label.
+    #[inline]
+    pub fn edge_pairs(&self, l: ExtLabel) -> &[Pair] {
+        &self.label_pairs[l.0 as usize]
+    }
+
+    /// Whether the extended edge `(v, u, ℓ)` exists.
+    pub fn has_edge(&self, v: VertexId, u: VertexId, l: ExtLabel) -> bool {
+        self.adj[v as usize].binary_search(&(l.0, u)).is_ok()
+    }
+
+    /// The full extended adjacency of `v`, sorted by `(label, target)`.
+    #[inline]
+    pub fn adjacency(&self, v: VertexId) -> &[(u16, VertexId)] {
+        &self.adj[v as usize]
+    }
+
+    /// Sorted targets reachable from `v` via one extended edge labeled `l`.
+    pub fn neighbors(&self, v: VertexId, l: ExtLabel) -> &[(u16, VertexId)] {
+        let a = &self.adj[v as usize];
+        let lo = a.partition_point(|&(x, _)| x < l.0);
+        let hi = a.partition_point(|&(x, _)| x <= l.0);
+        &a[lo..hi]
+    }
+
+    /// Out-degree of `v` restricted to extended label `l`.
+    pub fn degree(&self, v: VertexId, l: ExtLabel) -> usize {
+        self.neighbors(v, l).len()
+    }
+
+    /// Total extended degree of `v` (forward + inverse edges).
+    #[inline]
+    pub fn ext_degree(&self, v: VertexId) -> usize {
+        self.adj[v as usize].len()
+    }
+
+    /// Maximum extended degree `d` over all vertices (Thm. 4.3's `d`).
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Adds an isolated vertex, returning its id.
+    pub fn add_vertex(&mut self, name: impl Into<String>) -> VertexId {
+        let id = self.vertex_count();
+        self.vertex_names.push(name.into());
+        self.adj.push(Vec::new());
+        id
+    }
+
+    /// Inserts the base edge `(v, u, ℓ)` together with its inverse extended
+    /// edge. Returns `false` if it already existed.
+    ///
+    /// # Panics
+    /// Panics if `v`, `u` or `ℓ` are out of range.
+    pub fn insert_edge(&mut self, v: VertexId, u: VertexId, l: Label) -> bool {
+        assert!(v < self.vertex_count() && u < self.vertex_count(), "vertex out of range");
+        assert!(l.0 < self.base_label_count(), "label out of range");
+        let fwd = (l.fwd().0, u);
+        let idx = match self.adj[v as usize].binary_search(&fwd) {
+            Ok(_) => return false,
+            Err(i) => i,
+        };
+        self.adj[v as usize].insert(idx, fwd);
+        let inv = (l.inv().0, v);
+        let idx = self.adj[u as usize]
+            .binary_search(&inv)
+            .expect_err("forward edge absent but inverse present");
+        self.adj[u as usize].insert(idx, inv);
+        Self::insert_pair(&mut self.label_pairs[l.fwd().0 as usize], Pair::new(v, u));
+        Self::insert_pair(&mut self.label_pairs[l.inv().0 as usize], Pair::new(u, v));
+        self.base_edge_count += 1;
+        true
+    }
+
+    /// Removes the base edge `(v, u, ℓ)` and its inverse extended edge.
+    /// Returns `false` if it did not exist.
+    pub fn remove_edge(&mut self, v: VertexId, u: VertexId, l: Label) -> bool {
+        let fwd = (l.fwd().0, u);
+        let idx = match self.adj[v as usize].binary_search(&fwd) {
+            Ok(i) => i,
+            Err(_) => return false,
+        };
+        self.adj[v as usize].remove(idx);
+        let inv = (l.inv().0, v);
+        let idx = self.adj[u as usize]
+            .binary_search(&inv)
+            .expect("forward edge present but inverse absent");
+        self.adj[u as usize].remove(idx);
+        Self::remove_pair(&mut self.label_pairs[l.fwd().0 as usize], Pair::new(v, u));
+        Self::remove_pair(&mut self.label_pairs[l.inv().0 as usize], Pair::new(u, v));
+        self.base_edge_count -= 1;
+        true
+    }
+
+    /// Removes every edge incident to `v` (the paper's vertex-deletion
+    /// procedure composes edge deletions) and returns the removed base
+    /// edges as `(src, dst, label)` triples. The vertex id itself remains
+    /// allocated but isolated.
+    pub fn isolate_vertex(&mut self, v: VertexId) -> Vec<(VertexId, VertexId, Label)> {
+        let incident: Vec<(u16, VertexId)> = self.adj[v as usize].clone();
+        let mut removed = Vec::with_capacity(incident.len());
+        for (el, t) in incident {
+            let el = ExtLabel(el);
+            let (src, dst) = if el.is_inverse() { (t, v) } else { (v, t) };
+            if self.remove_edge(src, dst, el.base()) {
+                removed.push((src, dst, el.base()));
+            }
+        }
+        removed
+    }
+
+    /// Iterates over all base edges as `(v, u, label)`.
+    pub fn base_edges(&self) -> impl Iterator<Item = (VertexId, VertexId, Label)> + '_ {
+        self.labels().flat_map(move |l| {
+            self.edge_pairs(l.fwd()).iter().map(move |p| (p.src(), p.dst(), l))
+        })
+    }
+
+    /// The display name of a vertex.
+    pub fn vertex_name(&self, v: VertexId) -> &str {
+        &self.vertex_names[v as usize]
+    }
+
+    /// The display name of a base label.
+    pub fn label_name(&self, l: Label) -> &str {
+        &self.label_names[l.0 as usize]
+    }
+
+    /// The display form of an extended label (`name` or `name⁻¹`).
+    pub fn ext_label_name(&self, l: ExtLabel) -> String {
+        if l.is_inverse() {
+            format!("{}⁻¹", self.label_name(l.base()))
+        } else {
+            self.label_name(l.base()).to_string()
+        }
+    }
+
+    /// Looks up a vertex by name (linear scan; intended for examples/tests).
+    pub fn vertex_named(&self, name: &str) -> Option<VertexId> {
+        self.vertex_names.iter().position(|n| n == name).map(|i| i as u32)
+    }
+
+    /// Looks up a base label by name (linear scan over the small alphabet).
+    pub fn label_named(&self, name: &str) -> Option<Label> {
+        self.label_names.iter().position(|n| n == name).map(|i| Label(i as u16))
+    }
+
+    /// Looks up a vertex-tag label (`@tag`); see
+    /// [`GraphBuilder::tag_vertex`].
+    pub fn tag_label(&self, tag: &str) -> Option<Label> {
+        self.label_named(&format!("@{tag}"))
+    }
+
+    /// Whether `v` carries the vertex tag.
+    pub fn vertex_has_tag(&self, v: VertexId, tag: &str) -> bool {
+        self.tag_label(tag).is_some_and(|l| self.has_edge(v, v, l.fwd()))
+    }
+
+    /// Approximate deep memory footprint in bytes (graph accounting used by
+    /// the experiment harness).
+    pub fn size_bytes(&self) -> usize {
+        let adj: usize = self.adj.iter().map(|a| a.capacity() * 8 + 24).sum();
+        let pairs: usize = self.label_pairs.iter().map(|p| p.capacity() * 8 + 24).sum();
+        adj + pairs
+    }
+
+    /// Summary statistics of the graph (degree distribution, label skew).
+    pub fn stats(&self) -> GraphStats {
+        let n = self.vertex_count() as usize;
+        let mut degrees: Vec<usize> = self.adj.iter().map(Vec::len).collect();
+        degrees.sort_unstable();
+        let max_degree = degrees.last().copied().unwrap_or(0);
+        let median_degree = if n == 0 { 0 } else { degrees[n / 2] };
+        let avg_degree = if n == 0 {
+            0.0
+        } else {
+            degrees.iter().sum::<usize>() as f64 / n as f64
+        };
+        let mut label_counts: Vec<usize> =
+            self.labels().map(|l| self.edge_pairs(l.fwd()).len()).collect();
+        label_counts.sort_unstable_by(|a, b| b.cmp(a));
+        let label_skew = match (label_counts.first(), label_counts.last()) {
+            (Some(&hi), Some(&lo)) if lo > 0 => hi as f64 / lo as f64,
+            _ => f64::INFINITY,
+        };
+        GraphStats {
+            vertices: self.vertex_count(),
+            base_edges: self.edge_count(),
+            base_labels: self.base_label_count(),
+            max_degree,
+            median_degree,
+            avg_degree,
+            label_skew,
+        }
+    }
+
+    fn insert_pair(v: &mut Vec<Pair>, p: Pair) {
+        if let Err(i) = v.binary_search(&p) {
+            v.insert(i, p);
+        }
+    }
+
+    fn remove_pair(v: &mut Vec<Pair>, p: Pair) {
+        if let Ok(i) = v.binary_search(&p) {
+            v.remove(i);
+        }
+    }
+}
+
+/// Summary statistics of a graph (extended-degree based).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GraphStats {
+    /// `|V|`.
+    pub vertices: u32,
+    /// Base (non-extended) edge count.
+    pub base_edges: usize,
+    /// Base label count.
+    pub base_labels: u16,
+    /// Maximum extended degree (Thm. 4.3's `d`).
+    pub max_degree: usize,
+    /// Median extended degree.
+    pub median_degree: usize,
+    /// Mean extended degree.
+    pub avg_degree: f64,
+    /// Most-frequent / least-frequent base label ratio (∞ if a label is
+    /// unused).
+    pub label_skew: f64,
+}
+
+impl std::fmt::Debug for Graph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Graph")
+            .field("vertices", &self.vertex_count())
+            .field("base_edges", &self.edge_count())
+            .field("base_labels", &self.base_label_count())
+            .finish()
+    }
+}
+
+/// Incremental builder for [`Graph`].
+///
+/// Vertices and labels can be interned by name ([`GraphBuilder::vertex`],
+/// [`GraphBuilder::label`]) or created anonymously in bulk
+/// ([`GraphBuilder::ensure_vertices`], [`GraphBuilder::ensure_labels`]).
+#[derive(Default)]
+pub struct GraphBuilder {
+    vertex_names: Vec<String>,
+    vertex_index: HashMap<String, VertexId>,
+    label_names: Vec<String>,
+    label_index: HashMap<String, Label>,
+    edges: Vec<(VertexId, VertexId, Label)>,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a vertex by name, returning its id.
+    pub fn vertex(&mut self, name: &str) -> VertexId {
+        if let Some(&id) = self.vertex_index.get(name) {
+            return id;
+        }
+        let id = self.vertex_names.len() as VertexId;
+        self.vertex_names.push(name.to_string());
+        self.vertex_index.insert(name.to_string(), id);
+        id
+    }
+
+    /// Ensures at least `n` anonymous vertices (named by their index) exist.
+    pub fn ensure_vertices(&mut self, n: u32) {
+        while (self.vertex_names.len() as u32) < n {
+            let id = self.vertex_names.len();
+            self.vertex_names.push(id.to_string());
+        }
+    }
+
+    /// Interns a base label by name.
+    pub fn label(&mut self, name: &str) -> Label {
+        if let Some(&l) = self.label_index.get(name) {
+            return l;
+        }
+        let l = Label(self.label_names.len() as u16);
+        self.label_names.push(name.to_string());
+        self.label_index.insert(name.to_string(), l);
+        l
+    }
+
+    /// Ensures at least `n` anonymous labels (named `l0`, `l1`, …) exist.
+    pub fn ensure_labels(&mut self, n: u16) {
+        while (self.label_names.len() as u16) < n {
+            let name = format!("l{}", self.label_names.len());
+            self.label(&name);
+        }
+    }
+
+    /// Adds a base edge by vertex/label ids.
+    pub fn add_edge(&mut self, v: VertexId, u: VertexId, l: Label) {
+        self.edges.push((v, u, l));
+    }
+
+    /// Adds a base edge by names, interning as needed.
+    pub fn add_edge_named(&mut self, v: &str, u: &str, l: &str) {
+        let (v, u, l) = (self.vertex(v), self.vertex(u), self.label(l));
+        self.add_edge(v, u, l);
+    }
+
+    /// Tags a vertex with a (vertex-label) tag — the standard encoding for
+    /// vertex labels the paper's footnote 5 alludes to: a self-loop edge
+    /// carrying the reserved label `@tag`. A CPQ can then filter endpoints
+    /// by composing with the tag atom, e.g. `@person ∘ f` finds `f`-edges
+    /// whose source is tagged `person`, and `@person ∩ id` all tagged
+    /// vertices.
+    pub fn tag_vertex(&mut self, v: &str, tag: &str) {
+        let v = self.vertex(v);
+        self.tag_vertex_id(v, tag);
+    }
+
+    /// Tags a vertex by id; see [`GraphBuilder::tag_vertex`].
+    pub fn tag_vertex_id(&mut self, v: VertexId, tag: &str) {
+        let l = self.label(&format!("@{tag}"));
+        self.add_edge(v, v, l);
+    }
+
+    /// Finalizes the graph: sorts adjacency, collapses multi-edges, builds
+    /// the per-label pair lists.
+    pub fn build(self) -> Graph {
+        let n = self.vertex_names.len();
+        let nl = self.label_names.len();
+        let mut adj: Vec<Vec<(u16, VertexId)>> = vec![Vec::new(); n];
+        let mut label_pairs: Vec<Vec<Pair>> = vec![Vec::new(); nl * 2];
+        let mut edges = self.edges;
+        edges.sort_unstable();
+        edges.dedup();
+        for &(v, u, l) in &edges {
+            assert!((v as usize) < n && (u as usize) < n, "edge endpoint out of range");
+            assert!((l.0 as usize) < nl, "edge label out of range");
+            adj[v as usize].push((l.fwd().0, u));
+            adj[u as usize].push((l.inv().0, v));
+            label_pairs[l.fwd().0 as usize].push(Pair::new(v, u));
+            label_pairs[l.inv().0 as usize].push(Pair::new(u, v));
+        }
+        for a in &mut adj {
+            a.sort_unstable();
+            a.dedup();
+        }
+        for p in &mut label_pairs {
+            p.sort_unstable();
+            p.dedup();
+        }
+        Graph {
+            vertex_names: self.vertex_names,
+            label_names: self.label_names,
+            adj,
+            label_pairs,
+            base_edge_count: edges.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Graph {
+        let mut b = GraphBuilder::new();
+        b.add_edge_named("a", "b", "f");
+        b.add_edge_named("b", "c", "f");
+        b.add_edge_named("a", "c", "v");
+        b.add_edge_named("c", "c", "f");
+        b.build()
+    }
+
+    #[test]
+    fn build_counts() {
+        let g = tiny();
+        assert_eq!(g.vertex_count(), 3);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.base_label_count(), 2);
+        assert_eq!(g.ext_label_count(), 4);
+    }
+
+    #[test]
+    fn inverse_edges_are_materialized() {
+        let g = tiny();
+        let f = g.label_named("f").unwrap();
+        let (a, b) = (g.vertex_named("a").unwrap(), g.vertex_named("b").unwrap());
+        assert!(g.has_edge(a, b, f.fwd()));
+        assert!(g.has_edge(b, a, f.inv()));
+        assert!(!g.has_edge(b, a, f.fwd()));
+        assert_eq!(g.edge_pairs(f.fwd()).len(), 3);
+        assert_eq!(g.edge_pairs(f.inv()).len(), 3);
+    }
+
+    #[test]
+    fn neighbors_are_label_scoped() {
+        let g = tiny();
+        let f = g.label_named("f").unwrap();
+        let v = g.label_named("v").unwrap();
+        let a = g.vertex_named("a").unwrap();
+        let nf: Vec<_> = g.neighbors(a, f.fwd()).iter().map(|&(_, t)| t).collect();
+        let nv: Vec<_> = g.neighbors(a, v.fwd()).iter().map(|&(_, t)| t).collect();
+        assert_eq!(nf, vec![g.vertex_named("b").unwrap()]);
+        assert_eq!(nv, vec![g.vertex_named("c").unwrap()]);
+    }
+
+    #[test]
+    fn multi_edges_collapse() {
+        let mut b = GraphBuilder::new();
+        b.add_edge_named("a", "b", "f");
+        b.add_edge_named("a", "b", "f");
+        let g = b.build();
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut g = tiny();
+        let f = g.label_named("f").unwrap();
+        let (a, c) = (g.vertex_named("a").unwrap(), g.vertex_named("c").unwrap());
+        assert!(!g.has_edge(a, c, f.fwd()));
+        assert!(g.insert_edge(a, c, f));
+        assert!(!g.insert_edge(a, c, f), "duplicate insert must be a no-op");
+        assert!(g.has_edge(a, c, f.fwd()));
+        assert!(g.has_edge(c, a, f.inv()));
+        assert_eq!(g.edge_count(), 5);
+        assert!(g.remove_edge(a, c, f));
+        assert!(!g.remove_edge(a, c, f));
+        assert!(!g.has_edge(a, c, f.fwd()));
+        assert!(!g.has_edge(c, a, f.inv()));
+        assert_eq!(g.edge_count(), 4);
+    }
+
+    #[test]
+    fn insert_keeps_views_consistent() {
+        let mut g = tiny();
+        let f = g.label_named("f").unwrap();
+        let (a, c) = (g.vertex_named("a").unwrap(), g.vertex_named("c").unwrap());
+        g.insert_edge(a, c, f);
+        assert!(g.edge_pairs(f.fwd()).windows(2).all(|w| w[0] < w[1]), "pair list stays sorted");
+        assert!(g.edge_pairs(f.fwd()).contains(&Pair::new(a, c)));
+        assert!(g.edge_pairs(f.inv()).contains(&Pair::new(c, a)));
+    }
+
+    #[test]
+    fn isolate_vertex_removes_all_incident() {
+        let mut g = tiny();
+        let b = g.vertex_named("b").unwrap();
+        let removed = g.isolate_vertex(b);
+        assert_eq!(removed.len(), 2);
+        assert_eq!(g.ext_degree(b), 0);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn self_loop_handling() {
+        let g = tiny();
+        let f = g.label_named("f").unwrap();
+        let c = g.vertex_named("c").unwrap();
+        assert!(g.has_edge(c, c, f.fwd()));
+        assert!(g.has_edge(c, c, f.inv()));
+        assert!(g.edge_pairs(f.fwd()).contains(&Pair::new(c, c)));
+    }
+
+    #[test]
+    fn add_vertex_grows() {
+        let mut g = tiny();
+        let d = g.add_vertex("d");
+        assert_eq!(g.vertex_count(), 4);
+        assert_eq!(g.vertex_name(d), "d");
+        assert_eq!(g.ext_degree(d), 0);
+    }
+
+    #[test]
+    fn base_edges_iterates_forward_only() {
+        let g = tiny();
+        assert_eq!(g.base_edges().count(), g.edge_count());
+    }
+
+    #[test]
+    fn vertex_tags_are_self_loops() {
+        let mut b = GraphBuilder::new();
+        b.add_edge_named("alice", "post1", "wrote");
+        b.tag_vertex("alice", "person");
+        b.tag_vertex("post1", "post");
+        let g = b.build();
+        let alice = g.vertex_named("alice").unwrap();
+        let post = g.vertex_named("post1").unwrap();
+        assert!(g.vertex_has_tag(alice, "person"));
+        assert!(!g.vertex_has_tag(alice, "post"));
+        assert!(g.vertex_has_tag(post, "post"));
+        assert!(!g.vertex_has_tag(post, "person"));
+        assert!(g.tag_label("person").is_some());
+        assert!(g.tag_label("nosuch").is_none());
+        // Tags are ordinary labels: the tag self-loop is a base edge.
+        let tl = g.tag_label("person").unwrap();
+        assert!(g.has_edge(alice, alice, tl.fwd()));
+    }
+
+    #[test]
+    fn stats_summarize_structure() {
+        let g = tiny();
+        let s = g.stats();
+        assert_eq!(s.vertices, 3);
+        assert_eq!(s.base_edges, 4);
+        assert_eq!(s.base_labels, 2);
+        // c: f-in from b, self-loop f (both directions), v-in from a → 4.
+        assert_eq!(s.max_degree, 4);
+        assert!(s.avg_degree > 0.0);
+        assert!(s.label_skew >= 1.0);
+        // Empty graph: no panics, zeroed stats.
+        let empty = GraphBuilder::new().build();
+        let s = empty.stats();
+        assert_eq!(s.vertices, 0);
+        assert_eq!(s.max_degree, 0);
+    }
+}

@@ -1,0 +1,273 @@
+//! Labels, extended (direction-aware) labels, and inline label sequences.
+
+use std::fmt;
+
+/// Maximum length of a [`LabelSeq`]; bounds the index parameter `k`.
+///
+/// The paper evaluates `k ∈ {1, 2, 3, 4}`; 8 leaves generous headroom while
+/// keeping sequences inline and `Copy`.
+pub const MAX_SEQ_LEN: usize = 8;
+
+/// A base edge label (`ℓ ∈ L`), e.g. `follows` in the paper's Fig. 1.
+///
+/// Stored as a dense `u16` id interned by [`crate::Graph`]; up to 32 767 base
+/// labels are supported (the largest alphabet in Table II, Freebase, has 778
+/// base labels).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Label(pub u16);
+
+impl Label {
+    /// The forward extended label for this base label.
+    #[inline]
+    pub fn fwd(self) -> ExtLabel {
+        ExtLabel(self.0 * 2)
+    }
+
+    /// The inverse extended label (`ℓ⁻¹`) for this base label.
+    #[inline]
+    pub fn inv(self) -> ExtLabel {
+        ExtLabel(self.0 * 2 + 1)
+    }
+}
+
+/// An extended label: a base label together with a traversal direction.
+///
+/// The paper extends `L` with `ℓ⁻¹` for each `ℓ ∈ L`. We interleave the two:
+/// `ext = base * 2 + direction`, so [`ExtLabel::inverse`] is a single XOR and
+/// extended labels of a graph with `|L|` base labels are exactly
+/// `0 .. 2·|L|` — convenient as vector indexes.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ExtLabel(pub u16);
+
+impl ExtLabel {
+    /// The underlying base label.
+    #[inline]
+    pub fn base(self) -> Label {
+        Label(self.0 / 2)
+    }
+
+    /// Whether this is the inverse direction (`ℓ⁻¹`).
+    #[inline]
+    pub fn is_inverse(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// The opposite direction of the same base label.
+    #[inline]
+    pub fn inverse(self) -> ExtLabel {
+        ExtLabel(self.0 ^ 1)
+    }
+}
+
+/// A label sequence `⟨ℓ₁, …, ℓⱼ⟩ ∈ L≤k` over extended labels.
+///
+/// Stored inline (no heap allocation) so sequences are `Copy` and cheap to
+/// hash and compare; they key the index's `Il2c` structure. The empty
+/// sequence is allowed as a builder seed but never appears as an index key
+/// (the identity query `id` is handled by the executor, not by lookup).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LabelSeq {
+    len: u8,
+    items: [u16; MAX_SEQ_LEN],
+}
+
+impl LabelSeq {
+    /// The empty sequence.
+    #[inline]
+    pub const fn empty() -> Self {
+        LabelSeq { len: 0, items: [0; MAX_SEQ_LEN] }
+    }
+
+    /// A length-1 sequence.
+    #[inline]
+    pub fn single(l: ExtLabel) -> Self {
+        let mut s = Self::empty();
+        s.items[0] = l.0;
+        s.len = 1;
+        s
+    }
+
+    /// Builds a sequence from a slice of extended labels.
+    ///
+    /// # Panics
+    /// Panics if the slice is longer than [`MAX_SEQ_LEN`].
+    pub fn from_slice(labels: &[ExtLabel]) -> Self {
+        assert!(labels.len() <= MAX_SEQ_LEN, "label sequence longer than MAX_SEQ_LEN");
+        let mut s = Self::empty();
+        for (i, l) in labels.iter().enumerate() {
+            s.items[i] = l.0;
+        }
+        s.len = labels.len() as u8;
+        s
+    }
+
+    /// Number of labels in the sequence.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the sequence is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The `i`-th extended label.
+    #[inline]
+    pub fn get(&self, i: usize) -> ExtLabel {
+        debug_assert!(i < self.len());
+        ExtLabel(self.items[i])
+    }
+
+    /// Iterates over the extended labels of the sequence.
+    pub fn iter(&self) -> impl Iterator<Item = ExtLabel> + '_ {
+        self.items[..self.len()].iter().map(|&x| ExtLabel(x))
+    }
+
+    /// Returns a copy of the sequence with `l` appended.
+    ///
+    /// # Panics
+    /// Panics if the sequence is already at [`MAX_SEQ_LEN`].
+    #[inline]
+    pub fn appended(&self, l: ExtLabel) -> Self {
+        assert!(self.len() < MAX_SEQ_LEN, "label sequence overflow");
+        let mut s = *self;
+        s.items[s.len as usize] = l.0;
+        s.len += 1;
+        s
+    }
+
+    /// Concatenation of two sequences.
+    ///
+    /// # Panics
+    /// Panics if the result exceeds [`MAX_SEQ_LEN`].
+    pub fn concat(&self, other: &LabelSeq) -> Self {
+        assert!(self.len() + other.len() <= MAX_SEQ_LEN, "label sequence overflow");
+        let mut s = *self;
+        for l in other.iter() {
+            s.items[s.len as usize] = l.0;
+            s.len += 1;
+        }
+        s
+    }
+
+    /// The prefix of length `n` (`n ≤ len`).
+    pub fn prefix(&self, n: usize) -> Self {
+        debug_assert!(n <= self.len());
+        let mut s = *self;
+        s.len = n as u8;
+        for i in n..MAX_SEQ_LEN {
+            s.items[i] = 0;
+        }
+        s
+    }
+
+    /// The suffix starting at position `n`.
+    pub fn suffix(&self, n: usize) -> Self {
+        debug_assert!(n <= self.len());
+        let mut s = Self::empty();
+        for i in n..self.len() {
+            s = s.appended(ExtLabel(self.items[i]));
+        }
+        s
+    }
+
+    /// The sequence read backwards with every label inverted — the label
+    /// sequence of the reversed path.
+    pub fn reversed_inverse(&self) -> Self {
+        let mut s = Self::empty();
+        for i in (0..self.len()).rev() {
+            s = s.appended(ExtLabel(self.items[i]).inverse());
+        }
+        s
+    }
+}
+
+impl fmt::Debug for LabelSeq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, l) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{}{}", l.base().0, if l.is_inverse() { "⁻¹" } else { "" })?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+impl FromIterator<ExtLabel> for LabelSeq {
+    fn from_iter<T: IntoIterator<Item = ExtLabel>>(iter: T) -> Self {
+        let mut s = Self::empty();
+        for l in iter {
+            s = s.appended(l);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ext_label_roundtrip() {
+        let l = Label(7);
+        assert_eq!(l.fwd().base(), l);
+        assert_eq!(l.inv().base(), l);
+        assert!(!l.fwd().is_inverse());
+        assert!(l.inv().is_inverse());
+        assert_eq!(l.fwd().inverse(), l.inv());
+        assert_eq!(l.inv().inverse(), l.fwd());
+    }
+
+    #[test]
+    fn seq_build_and_access() {
+        let s = LabelSeq::from_slice(&[Label(0).fwd(), Label(1).inv(), Label(2).fwd()]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.get(0), Label(0).fwd());
+        assert_eq!(s.get(1), Label(1).inv());
+        assert_eq!(s.get(2), Label(2).fwd());
+        assert!(!s.is_empty());
+        assert!(LabelSeq::empty().is_empty());
+    }
+
+    #[test]
+    fn seq_prefix_suffix_concat() {
+        let s = LabelSeq::from_slice(&[Label(0).fwd(), Label(1).fwd(), Label(2).fwd(), Label(3).fwd()]);
+        let p = s.prefix(2);
+        let q = s.suffix(2);
+        assert_eq!(p.len(), 2);
+        assert_eq!(q.len(), 2);
+        assert_eq!(p.concat(&q), s);
+        assert_eq!(s.prefix(0), LabelSeq::empty());
+        assert_eq!(s.suffix(4), LabelSeq::empty());
+    }
+
+    #[test]
+    fn seq_equality_ignores_cleared_tail() {
+        // prefix() must zero the tail so Eq/Hash by value are consistent.
+        let a = LabelSeq::from_slice(&[Label(5).fwd(), Label(6).fwd()]).prefix(1);
+        let b = LabelSeq::single(Label(5).fwd());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn seq_reversed_inverse() {
+        let s = LabelSeq::from_slice(&[Label(0).fwd(), Label(1).inv()]);
+        let r = s.reversed_inverse();
+        assert_eq!(r.get(0), Label(1).fwd());
+        assert_eq!(r.get(1), Label(0).inv());
+        assert_eq!(r.reversed_inverse(), s);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn seq_overflow_panics() {
+        let mut s = LabelSeq::empty();
+        for _ in 0..=MAX_SEQ_LEN {
+            s = s.appended(Label(0).fwd());
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Source-target vertex pairs packed into a single machine word.
+
+use crate::graph::VertexId;
+use std::fmt;
+
+/// An s-t vertex pair `(v, u)` packed as `v << 32 | u`.
+///
+/// The packing makes pair sets flat sorted `Vec<Pair>`s: sorting orders by
+/// source first, then target, which is exactly what the index's sorted-merge
+/// operators (Sec. IV-D) need. The type is `#[repr(transparent)]` over `u64`
+/// so vectors of pairs have no overhead versus raw words.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(transparent)]
+pub struct Pair(pub u64);
+
+impl Pair {
+    /// Packs `(v, u)`.
+    #[inline]
+    pub fn new(v: VertexId, u: VertexId) -> Self {
+        Pair(((v as u64) << 32) | u as u64)
+    }
+
+    /// The source vertex `v`.
+    #[inline]
+    pub fn src(self) -> VertexId {
+        (self.0 >> 32) as u32
+    }
+
+    /// The target vertex `u`.
+    #[inline]
+    pub fn dst(self) -> VertexId {
+        self.0 as u32
+    }
+
+    /// Whether the pair is cyclic (`v = u`), the paper's Def. 4.1 cond. 1.
+    #[inline]
+    pub fn is_loop(self) -> bool {
+        self.src() == self.dst()
+    }
+
+    /// The reversed pair `(u, v)`.
+    #[inline]
+    pub fn swap(self) -> Pair {
+        Pair::new(self.dst(), self.src())
+    }
+}
+
+impl fmt::Debug for Pair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.src(), self.dst())
+    }
+}
+
+/// Sorts and deduplicates a pair vector in place (set normalization).
+pub fn normalize(pairs: &mut Vec<Pair>) {
+    pairs.sort_unstable();
+    pairs.dedup();
+}
+
+/// Intersects two sorted, deduplicated pair slices.
+pub fn intersect_sorted(a: &[Pair], b: &[Pair], out: &mut Vec<Pair>) {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_roundtrip() {
+        let p = Pair::new(0xDEAD_BEEF, 0x0042_4242);
+        assert_eq!(p.src(), 0xDEAD_BEEF);
+        assert_eq!(p.dst(), 0x0042_4242);
+        assert!(!p.is_loop());
+        assert!(Pair::new(3, 3).is_loop());
+        assert_eq!(p.swap().src(), p.dst());
+    }
+
+    #[test]
+    fn ordering_is_source_major() {
+        let a = Pair::new(1, 9);
+        let b = Pair::new(2, 0);
+        assert!(a < b);
+        let c = Pair::new(1, 10);
+        assert!(a < c);
+    }
+
+    #[test]
+    fn normalize_dedups() {
+        let mut v = vec![Pair::new(2, 1), Pair::new(1, 1), Pair::new(2, 1)];
+        normalize(&mut v);
+        assert_eq!(v, vec![Pair::new(1, 1), Pair::new(2, 1)]);
+    }
+
+    #[test]
+    fn intersection() {
+        let a = vec![Pair::new(1, 1), Pair::new(1, 2), Pair::new(3, 1)];
+        let b = vec![Pair::new(1, 2), Pair::new(2, 2), Pair::new(3, 1)];
+        let mut out = Vec::new();
+        intersect_sorted(&a, &b, &mut out);
+        assert_eq!(out, vec![Pair::new(1, 2), Pair::new(3, 1)]);
+    }
+}

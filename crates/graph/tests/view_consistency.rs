@@ -1,0 +1,105 @@
+//! Property test: the graph's two access paths — per-vertex adjacency and
+//! per-label pair lists — stay mutually consistent under arbitrary
+//! insert/remove/isolate sequences (the maintenance experiments depend on
+//! this invariant).
+
+use cpqx_graph::generate::{random_graph, RandomGraphConfig};
+use cpqx_graph::{ExtLabel, Graph, Label, Pair};
+use proptest::prelude::*;
+
+fn check_views(g: &Graph) {
+    // Every adjacency entry appears in the label's pair list and vice versa.
+    let mut from_adj: Vec<(u16, Pair)> = Vec::new();
+    for v in g.vertices() {
+        for &(l, t) in g.adjacency(v) {
+            from_adj.push((l, Pair::new(v, t)));
+        }
+    }
+    from_adj.sort_unstable();
+    let mut from_pairs: Vec<(u16, Pair)> = Vec::new();
+    for l in g.ext_labels() {
+        let pairs = g.edge_pairs(l);
+        assert!(pairs.windows(2).all(|w| w[0] < w[1]), "pair list sorted+deduped");
+        for &p in pairs {
+            from_pairs.push((l.0, p));
+        }
+    }
+    from_pairs.sort_unstable();
+    assert_eq!(from_adj, from_pairs, "adjacency and pair views diverged");
+    // Forward/inverse mirror property.
+    for l in g.labels() {
+        let fwd = g.edge_pairs(l.fwd());
+        let inv = g.edge_pairs(l.inv());
+        assert_eq!(fwd.len(), inv.len());
+        for p in fwd {
+            assert!(inv.binary_search(&p.swap()).is_ok(), "missing inverse of {p:?}");
+        }
+    }
+    // Edge count equals forward pairs.
+    let forward_total: usize = g.labels().map(|l| g.edge_pairs(l.fwd()).len()).sum();
+    assert_eq!(forward_total, g.edge_count());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn views_stay_consistent_under_updates(
+        seed in 0u64..500,
+        script in prop::collection::vec((0u32..30, 0u32..30, 0u16..3, 0u8..3), 0..40),
+    ) {
+        let cfg = RandomGraphConfig::social(30, 80, 3, seed);
+        let mut g = random_graph(&cfg);
+        check_views(&g);
+        for (v, u, l, op) in script {
+            let v = v % g.vertex_count();
+            let u = u % g.vertex_count();
+            let l = Label(l % g.base_label_count());
+            match op {
+                0 => {
+                    g.insert_edge(v, u, l);
+                }
+                1 => {
+                    g.remove_edge(v, u, l);
+                }
+                _ => {
+                    g.isolate_vertex(v);
+                }
+            }
+        }
+        check_views(&g);
+    }
+
+    #[test]
+    fn has_edge_agrees_with_pair_lists(seed in 0u64..200) {
+        let cfg = RandomGraphConfig::uniform(25, 70, 2, seed);
+        let g = random_graph(&cfg);
+        for v in g.vertices() {
+            for u in g.vertices() {
+                for l in g.ext_labels() {
+                    let via_adj = g.has_edge(v, u, l);
+                    let via_pairs = g.edge_pairs(l).binary_search(&Pair::new(v, u)).is_ok();
+                    prop_assert_eq!(via_adj, via_pairs);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn neighbors_slice_is_exact(seed in 0u64..200) {
+        let cfg = RandomGraphConfig::social(25, 70, 3, seed);
+        let g = random_graph(&cfg);
+        for v in g.vertices() {
+            let mut total = 0;
+            for l in g.ext_labels() {
+                let slice = g.neighbors(v, l);
+                prop_assert!(slice.iter().all(|&(ll, _)| ExtLabel(ll) == l));
+                for &(_, t) in slice {
+                    prop_assert!(g.has_edge(v, t, l));
+                }
+                total += slice.len();
+            }
+            prop_assert_eq!(total, g.ext_degree(v));
+        }
+    }
+}

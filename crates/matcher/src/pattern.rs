@@ -1,0 +1,214 @@
+//! Compiling a CPQ into a pattern graph for subgraph-matching engines.
+//!
+//! Evaluating a CPQ "amounts to finding all embeddings of the pattern
+//! specified by the query into the graph" (Sec. III-B) under *homomorphic*
+//! semantics: distinct pattern variables may map to the same graph vertex.
+//! Joins introduce fresh middle variables, conjunctions share endpoints,
+//! and `id` unifies the two endpoints of its scope (union-find).
+
+use cpqx_graph::Label;
+use cpqx_query::Cpq;
+
+/// One labeled edge of the pattern, always stored in the base-label forward
+/// direction (an inverse atom flips its endpoints).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PatternEdge {
+    /// Source variable.
+    pub from: u32,
+    /// Target variable.
+    pub to: u32,
+    /// Base edge label.
+    pub label: Label,
+}
+
+/// A query pattern graph with designated source and target variables.
+#[derive(Clone, Debug)]
+pub struct PatternGraph {
+    /// Number of variables after unification.
+    pub var_count: u32,
+    /// Deduplicated pattern edges.
+    pub edges: Vec<PatternEdge>,
+    /// The variable bound to answer sources `s`.
+    pub src: u32,
+    /// The variable bound to answer targets `t` (may equal `src`).
+    pub dst: u32,
+}
+
+impl PatternGraph {
+    /// Compiles a CPQ into its pattern graph.
+    pub fn from_cpq(q: &Cpq) -> Self {
+        let mut b = Builder { next: 2, uf: UnionFind::new(2), edges: Vec::new() };
+        b.lower(q, 0, 1);
+        b.finish()
+    }
+
+    /// The pattern edges incident to a variable.
+    pub fn incident(&self, var: u32) -> impl Iterator<Item = &PatternEdge> + '_ {
+        self.edges.iter().filter(move |e| e.from == var || e.to == var)
+    }
+}
+
+struct Builder {
+    next: u32,
+    uf: UnionFind,
+    edges: Vec<(u32, u32, Label)>,
+}
+
+impl Builder {
+    fn fresh(&mut self) -> u32 {
+        let v = self.next;
+        self.next += 1;
+        self.uf.grow();
+        v
+    }
+
+    fn lower(&mut self, q: &Cpq, s: u32, t: u32) {
+        match q {
+            Cpq::Id => self.uf.union(s, t),
+            Cpq::Label(l) => {
+                if l.is_inverse() {
+                    self.edges.push((t, s, l.base()));
+                } else {
+                    self.edges.push((s, t, l.base()));
+                }
+            }
+            Cpq::Join(a, b) => {
+                let m = self.fresh();
+                self.lower(a, s, m);
+                self.lower(b, m, t);
+            }
+            Cpq::Conj(a, b) => {
+                self.lower(a, s, t);
+                self.lower(b, s, t);
+            }
+        }
+    }
+
+    fn finish(mut self) -> PatternGraph {
+        // Canonicalize variables through the union-find, then compact ids.
+        let mut remap: Vec<Option<u32>> = vec![None; self.next as usize];
+        let mut var_count = 0u32;
+        let canon = |v: u32, remap: &mut Vec<Option<u32>>, uf: &mut UnionFind, count: &mut u32| {
+            let root = uf.find(v) as usize;
+            *remap[root].get_or_insert_with(|| {
+                let id = *count;
+                *count += 1;
+                id
+            })
+        };
+        let src = canon(0, &mut remap, &mut self.uf, &mut var_count);
+        let dst = canon(1, &mut remap, &mut self.uf, &mut var_count);
+        let mut edges: Vec<PatternEdge> = self
+            .edges
+            .iter()
+            .map(|&(f, t, l)| PatternEdge {
+                from: canon(f, &mut remap, &mut self.uf, &mut var_count),
+                to: canon(t, &mut remap, &mut self.uf, &mut var_count),
+                label: l,
+            })
+            .collect();
+        edges.sort_unstable_by_key(|e| (e.from, e.to, e.label.0));
+        edges.dedup();
+        PatternGraph { var_count, edges, src, dst }
+    }
+}
+
+struct UnionFind {
+    parent: Vec<u32>,
+}
+
+impl UnionFind {
+    fn new(n: u32) -> Self {
+        UnionFind { parent: (0..n).collect() }
+    }
+
+    fn grow(&mut self) {
+        self.parent.push(self.parent.len() as u32);
+    }
+
+    fn find(&mut self, v: u32) -> u32 {
+        let p = self.parent[v as usize];
+        if p == v {
+            return v;
+        }
+        let root = self.find(p);
+        self.parent[v as usize] = root;
+        root
+    }
+
+    fn union(&mut self, a: u32, b: u32) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[rb as usize] = ra;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpqx_graph::generate::gex;
+    use cpqx_query::parse_cpq;
+
+    #[test]
+    fn chain_introduces_middle_variable() {
+        let g = gex();
+        let q = parse_cpq("f . v", &g).unwrap();
+        let p = PatternGraph::from_cpq(&q);
+        assert_eq!(p.var_count, 3);
+        assert_eq!(p.edges.len(), 2);
+        assert_ne!(p.src, p.dst);
+    }
+
+    #[test]
+    fn inverse_flips_edge_direction() {
+        let g = gex();
+        let p = PatternGraph::from_cpq(&parse_cpq("f^-1", &g).unwrap());
+        assert_eq!(p.edges.len(), 1);
+        assert_eq!(p.edges[0].from, p.dst);
+        assert_eq!(p.edges[0].to, p.src);
+    }
+
+    #[test]
+    fn conjunction_shares_endpoints() {
+        let g = gex();
+        // Triangle: (f.f) & f⁻¹ — 3 vars, 3 edges.
+        let p = PatternGraph::from_cpq(&parse_cpq("(f . f) & f^-1", &g).unwrap());
+        assert_eq!(p.var_count, 3);
+        assert_eq!(p.edges.len(), 3);
+    }
+
+    #[test]
+    fn identity_unifies_endpoints() {
+        let g = gex();
+        let p = PatternGraph::from_cpq(&parse_cpq("(f . f) & id", &g).unwrap());
+        assert_eq!(p.src, p.dst);
+        assert_eq!(p.var_count, 2); // s=t plus the middle variable
+        assert_eq!(p.edges.len(), 2);
+    }
+
+    #[test]
+    fn nested_identity_unification_propagates() {
+        let g = gex();
+        // ((f & id) . v): f's endpoints unify, then v continues from them.
+        let p = PatternGraph::from_cpq(&parse_cpq("(f & id) . v", &g).unwrap());
+        // Vars: s (=middle), t. The f-edge is a self-loop on s.
+        assert_eq!(p.var_count, 2);
+        assert!(p.edges.iter().any(|e| e.from == e.to));
+    }
+
+    #[test]
+    fn duplicate_atoms_collapse() {
+        let g = gex();
+        let p = PatternGraph::from_cpq(&parse_cpq("f & f", &g).unwrap());
+        assert_eq!(p.edges.len(), 1);
+    }
+
+    #[test]
+    fn bare_id_has_no_edges() {
+        let g = gex();
+        let p = PatternGraph::from_cpq(&parse_cpq("id", &g).unwrap());
+        assert!(p.edges.is_empty());
+        assert_eq!(p.src, p.dst);
+    }
+}

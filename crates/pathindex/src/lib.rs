@@ -1,0 +1,456 @@
+//! The state-of-the-art language-**unaware** path index baseline —
+//! "Path" in the paper's evaluation (Fletcher, Peters, Poulovassilis,
+//! EDBT 2016 \[14\]) — and its interest-aware variant "iaPath".
+//!
+//! The index is a single inverted structure `Il2p` mapping every label
+//! sequence of length ≤ k with a non-empty result to its sorted s-t pair
+//! list. Unlike CPQx it stores each pair once *per sequence* (size
+//! `O(γ·|P≤k|)`, Sec. III-C), and query processing always manipulates pair
+//! sets — there is no class-level pruning, which is exactly the gap the
+//! CPQ-aware index exploits. The planner and the physical pair operators
+//! are shared with CPQx so benchmark comparisons isolate the index design.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use cpqx_core::interest::{normalize_interests, seq_pairs};
+use cpqx_core::paths::label_seqs_between;
+use cpqx_graph::{Graph, Label, LabelSeq, Pair, VertexId};
+use cpqx_query::ops;
+use cpqx_query::plan::{plan_query, Plan};
+use cpqx_query::workload::SeqProbe;
+use cpqx_query::Cpq;
+use std::collections::{BTreeSet, HashMap};
+
+/// The language-unaware path index (`Path` / `iaPath` in the paper).
+pub struct PathIndex {
+    k: usize,
+    /// `None` for the full index, `Some(Lq)` for iaPath.
+    interests: Option<BTreeSet<LabelSeq>>,
+    il2p: HashMap<LabelSeq, Vec<Pair>>,
+}
+
+/// Statistics for the experiment harness.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PathIndexStats {
+    /// `k`.
+    pub k: usize,
+    /// Distinct label sequences indexed.
+    pub sequences: usize,
+    /// Total stored pairs — the `γ·|P≤k|` of Sec. III-C.
+    pub stored_pairs: usize,
+    /// Index bytes (sequence keys + postings).
+    pub bytes: usize,
+}
+
+impl PathIndex {
+    /// Builds the full index: every label sequence of length `1..=k` with a
+    /// non-empty pair set, discovered by DFS over the sequence-prefix tree
+    /// (`pairs(w·ℓ) = pairs(w) ⋈ ⟦ℓ⟧`, pruning empty prefixes).
+    pub fn build(g: &Graph, k: usize) -> Self {
+        assert!((1..=cpqx_graph::MAX_SEQ_LEN).contains(&k));
+        let mut il2p = HashMap::new();
+        for l in g.ext_labels() {
+            let pairs = g.edge_pairs(l);
+            if pairs.is_empty() {
+                continue;
+            }
+            extend_prefix(g, k, LabelSeq::single(l), pairs.to_vec(), &mut il2p);
+        }
+        PathIndex { k, interests: None, il2p }
+    }
+
+    /// Builds iaPath: only the interest sequences (plus all length-1
+    /// sequences) are indexed. Long interests are prefix-split.
+    pub fn build_interest_aware(
+        g: &Graph,
+        k: usize,
+        interests: impl IntoIterator<Item = LabelSeq>,
+    ) -> Self {
+        assert!((1..=cpqx_graph::MAX_SEQ_LEN).contains(&k));
+        let lq = normalize_interests(interests, k);
+        let mut il2p = HashMap::new();
+        for l in g.ext_labels() {
+            let pairs = g.edge_pairs(l);
+            if !pairs.is_empty() {
+                il2p.insert(LabelSeq::single(l), pairs.to_vec());
+            }
+        }
+        for seq in &lq {
+            if seq.len() > 1 {
+                let pairs = seq_pairs(g, seq);
+                if !pairs.is_empty() {
+                    il2p.insert(*seq, pairs);
+                }
+            }
+        }
+        PathIndex { k, interests: Some(lq), il2p }
+    }
+
+    /// The index path-length parameter `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Whether this is the interest-aware variant.
+    pub fn is_interest_aware(&self) -> bool {
+        self.interests.is_some()
+    }
+
+    /// The sorted pair list of a sequence (empty if absent).
+    pub fn lookup(&self, seq: &LabelSeq) -> &[Pair] {
+        self.il2p.get(seq).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Whether one lookup answers `seq` (mirrors
+    /// [`cpqx_core::CpqxIndex::is_indexed`]).
+    pub fn is_indexed(&self, seq: &LabelSeq) -> bool {
+        if seq.is_empty() || seq.len() > self.k {
+            return false;
+        }
+        match &self.interests {
+            None => true,
+            Some(lq) => seq.len() == 1 || lq.contains(seq),
+        }
+    }
+
+    /// Lowers `q` into the shared physical plan.
+    pub fn plan(&self, q: &Cpq) -> Plan {
+        plan_query(q, self.k, &|s| self.is_indexed(s))
+    }
+
+    /// Evaluates `q` — all operators work on pair sets (no class pruning).
+    pub fn evaluate(&self, g: &Graph, q: &Cpq) -> Vec<Pair> {
+        self.eval_plan(g, &self.plan(q))
+    }
+
+    /// Evaluates `q`, returning only the first answer.
+    pub fn evaluate_first(&self, g: &Graph, q: &Cpq) -> Option<Pair> {
+        self.eval_plan(g, &self.plan(q)).first().copied()
+    }
+
+    fn eval_plan(&self, g: &Graph, plan: &Plan) -> Vec<Pair> {
+        match plan {
+            Plan::AllId => ops::all_loops(g),
+            Plan::Lookup(seq) => self.lookup(seq).to_vec(),
+            Plan::LookupId(seq) => ops::filter_loops(self.lookup(seq)),
+            Plan::Join(a, b) => {
+                let left = self.eval_plan(g, a);
+                if left.is_empty() {
+                    return Vec::new();
+                }
+                ops::join_pairs(&left, &self.eval_plan(g, b))
+            }
+            Plan::JoinId(a, b) => {
+                let left = self.eval_plan(g, a);
+                if left.is_empty() {
+                    return Vec::new();
+                }
+                ops::join_pairs_id(&left, &self.eval_plan(g, b))
+            }
+            Plan::Conj(a, b) => {
+                let left = self.eval_plan(g, a);
+                if left.is_empty() {
+                    return Vec::new();
+                }
+                ops::intersect_pairs(&left, &self.eval_plan(g, b))
+            }
+            Plan::ConjId(a, b) => {
+                let left = self.eval_plan(g, a);
+                if left.is_empty() {
+                    return Vec::new();
+                }
+                let out = ops::intersect_pairs(&left, &self.eval_plan(g, b));
+                ops::filter_loops(&out)
+            }
+        }
+    }
+
+    /// Deletes an edge from the graph and updates the postings. Deletion
+    /// only removes paths, so affected pairs lose sequences: their old sets
+    /// are computed before the edge goes away, the survivors after.
+    pub fn delete_edge(&mut self, g: &mut Graph, v: VertexId, u: VertexId, l: Label) -> bool {
+        if !g.has_edge(v, u, l.fwd()) {
+            return false;
+        }
+        let candidates = affected(g, v, u, self.k);
+        let old: Vec<(Pair, Vec<LabelSeq>)> =
+            candidates.iter().map(|&p| (p, self.indexed_seqs_of(g, p))).collect();
+        g.remove_edge(v, u, l);
+        for (pair, old_seqs) in old {
+            let new_seqs = self.indexed_seqs_of(g, pair);
+            for s in old_seqs {
+                if !new_seqs.contains(&s) {
+                    if let Some(list) = self.il2p.get_mut(&s) {
+                        if let Ok(i) = list.binary_search(&pair) {
+                            list.remove(i);
+                        }
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Inserts an edge and updates the postings. Insertion only adds paths,
+    /// so affected pairs gain sequences (idempotent sorted inserts).
+    pub fn insert_edge(&mut self, g: &mut Graph, v: VertexId, u: VertexId, l: Label) -> bool {
+        if !g.insert_edge(v, u, l) {
+            return false;
+        }
+        for pair in affected(g, v, u, self.k) {
+            for s in self.indexed_seqs_of(g, pair) {
+                let list = self.il2p.entry(s).or_default();
+                if let Err(i) = list.binary_search(&pair) {
+                    list.insert(i, pair);
+                }
+            }
+        }
+        true
+    }
+
+    /// iaPath: registers and materializes a new interest sequence.
+    pub fn insert_interest(&mut self, g: &Graph, seq: LabelSeq) -> bool {
+        if seq.len() <= 1 || seq.len() > self.k {
+            return false;
+        }
+        let Some(lq) = self.interests.as_mut() else {
+            return false;
+        };
+        if !lq.insert(seq) {
+            return false;
+        }
+        let pairs = seq_pairs(g, &seq);
+        if !pairs.is_empty() {
+            self.il2p.insert(seq, pairs);
+        }
+        true
+    }
+
+    /// iaPath: drops an interest sequence and its posting list.
+    pub fn delete_interest(&mut self, seq: &LabelSeq) -> bool {
+        if seq.len() <= 1 {
+            return false;
+        }
+        let Some(lq) = self.interests.as_mut() else {
+            return false;
+        };
+        if !lq.remove(seq) {
+            return false;
+        }
+        self.il2p.remove(seq);
+        true
+    }
+
+    /// Index statistics (`stored_pairs` is the paper's `γ·|P≤k|` size).
+    pub fn stats(&self) -> PathIndexStats {
+        let stored_pairs: usize = self.il2p.values().map(Vec::len).sum();
+        // Packed accounting, matching the CPQ-aware index (Table IV's IS).
+        let bytes: usize = self
+            .il2p.values().map(|v| std::mem::size_of::<LabelSeq>() + v.len() * std::mem::size_of::<Pair>() + 4)
+            .sum();
+        PathIndexStats { k: self.k, sequences: self.il2p.len(), stored_pairs, bytes }
+    }
+
+    /// Index size in bytes (the Table IV quantity).
+    pub fn size_bytes(&self) -> usize {
+        self.stats().bytes
+    }
+
+    /// The indexed sequence set of a pair on the current graph.
+    fn indexed_seqs_of(&self, g: &Graph, p: Pair) -> Vec<LabelSeq> {
+        let all = label_seqs_between(g, p.src(), p.dst(), self.k);
+        match &self.interests {
+            None => all,
+            Some(lq) => all.into_iter().filter(|s| s.len() == 1 || lq.contains(s)).collect(),
+        }
+    }
+}
+
+/// DFS over the non-empty sequence-prefix tree (full build).
+fn extend_prefix(
+    g: &Graph,
+    k: usize,
+    seq: LabelSeq,
+    pairs: Vec<Pair>,
+    il2p: &mut HashMap<LabelSeq, Vec<Pair>>,
+) {
+    if seq.len() < k {
+        for l in g.ext_labels() {
+            if g.edge_pairs(l).is_empty() {
+                continue;
+            }
+            let next = ops::expand_adjacency(g, &pairs, l);
+            if !next.is_empty() {
+                extend_prefix(g, k, seq.appended(l), next, il2p);
+            }
+        }
+    }
+    il2p.insert(seq, pairs);
+}
+
+/// Pairs possibly affected by an update of edge `(v, u)` — the same
+/// distance-bucketed over-approximation the CPQ-aware index uses.
+fn affected(g: &Graph, v: VertexId, u: VertexId, k: usize) -> Vec<Pair> {
+    cpqx_core::paths::affected_pairs(g, v, u, k)
+}
+
+impl SeqProbe for PathIndex {
+    fn seq_nonempty(&self, seq: &LabelSeq) -> bool {
+        if self.is_indexed(seq) {
+            !self.lookup(seq).is_empty()
+        } else {
+            (0..seq.len()).all(|i| !self.lookup(&LabelSeq::single(seq.get(i))).is_empty())
+        }
+    }
+}
+
+impl std::fmt::Debug for PathIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct(if self.is_interest_aware() { "iaPath" } else { "Path" })
+            .field("k", &self.k)
+            .field("sequences", &self.il2p.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpqx_graph::generate;
+    use cpqx_query::eval::eval_reference;
+    use cpqx_query::parse_cpq;
+
+    #[test]
+    fn lookup_matches_reference_sequences() {
+        let g = generate::gex();
+        let idx = PathIndex::build(&g, 2);
+        let f = g.label_named("f").unwrap();
+        let v = g.label_named("v").unwrap();
+        let seq = LabelSeq::from_slice(&[f.fwd(), v.fwd()]);
+        let q = Cpq::label(f).join(Cpq::label(v));
+        assert_eq!(idx.lookup(&seq), eval_reference(&g, &q).as_slice());
+    }
+
+    #[test]
+    fn evaluate_matches_reference() {
+        use cpqx_query::ast::Template;
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for seed in 0..3u64 {
+            let cfg = generate::RandomGraphConfig::social(60, 240, 3, seed);
+            let g = generate::random_graph(&cfg);
+            let idx = PathIndex::build(&g, 2);
+            for t in Template::ALL {
+                for _ in 0..3 {
+                    let labels: Vec<cpqx_graph::ExtLabel> = (0..t.arity())
+                        .map(|_| cpqx_graph::ExtLabel(rng.gen_range(0..g.ext_label_count())))
+                        .collect();
+                    let q = t.instantiate(&labels);
+                    assert_eq!(idx.evaluate(&g, &q), eval_reference(&g, &q), "{}", t.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ia_path_matches_reference_off_interest() {
+        let g = generate::gex();
+        let f = g.label_named("f").unwrap();
+        let idx = PathIndex::build_interest_aware(
+            &g,
+            2,
+            [LabelSeq::from_slice(&[f.fwd(), f.fwd()])],
+        );
+        for src in ["(f . f) & f^-1", "(v . v^-1) & id", "f . v", "f^-1 . f . v"] {
+            let q = parse_cpq(src, &g).unwrap();
+            assert_eq!(idx.evaluate(&g, &q), eval_reference(&g, &q), "query {src}");
+        }
+    }
+
+    #[test]
+    fn size_is_gamma_p() {
+        // Stored pairs = Σ_seq |⟦seq⟧| — strictly more than |P≤2| when γ>1.
+        let g = generate::gex();
+        let path = PathIndex::build(&g, 2);
+        let cpqx = cpqx_core::CpqxIndex::build(&g, 2);
+        let s = path.stats();
+        assert!(s.stored_pairs >= cpqx.pair_count());
+        // Thm. 4.2's comparison: γ|C| + |P≤k| ≤ γ|P≤k| realized as
+        // CPQx postings + pairs vs Path stored pairs.
+        let cs = cpqx.stats();
+        assert!(cs.postings + cs.pairs <= s.stored_pairs + cs.pairs);
+        assert!(cs.postings <= s.stored_pairs);
+        assert!(cs.classes <= cs.pairs);
+    }
+
+    #[test]
+    fn maintenance_matches_reference_and_fresh_build() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let cfg = generate::RandomGraphConfig::social(40, 160, 3, 2);
+        let mut g = generate::random_graph(&cfg);
+        let mut idx = PathIndex::build(&g, 2);
+        for round in 0..30 {
+            let v = rng.gen_range(0..g.vertex_count());
+            let u = rng.gen_range(0..g.vertex_count());
+            let l = Label(rng.gen_range(0..g.base_label_count()));
+            if rng.gen_bool(0.5) {
+                idx.insert_edge(&mut g, v, u, l);
+            } else {
+                idx.delete_edge(&mut g, v, u, l);
+            }
+            if round % 10 == 9 {
+                for src_q in ["l0 . l1", "(l0 . l1) & l2", "(l0 . l0^-1) & id"] {
+                    let q = parse_cpq(src_q, &g).unwrap();
+                    assert_eq!(idx.evaluate(&g, &q), eval_reference(&g, &q), "round {round}");
+                }
+            }
+        }
+        // Non-empty postings must equal a fresh build exactly (Path
+        // maintenance is precise — there is no class structure to fragment).
+        let fresh = PathIndex::build(&g, 2);
+        let mut keys: Vec<_> = idx.il2p.iter().filter(|(_, v)| !v.is_empty()).map(|(k, _)| *k).collect();
+        keys.sort_unstable();
+        let mut fresh_keys: Vec<_> =
+            fresh.il2p.iter().filter(|(_, v)| !v.is_empty()).map(|(k, _)| *k).collect();
+        fresh_keys.sort_unstable();
+        assert_eq!(keys, fresh_keys);
+        for k in keys {
+            assert_eq!(idx.il2p[&k], fresh.il2p[&k], "postings differ for {k:?}");
+        }
+    }
+
+    #[test]
+    fn interest_updates() {
+        let g = generate::gex();
+        let f = g.label_named("f").unwrap();
+        let v = g.label_named("v").unwrap();
+        let mut idx =
+            PathIndex::build_interest_aware(&g, 2, [LabelSeq::from_slice(&[f.fwd(), f.fwd()])]);
+        let seq = LabelSeq::from_slice(&[v.fwd(), v.inv()]);
+        assert!(!idx.is_indexed(&seq));
+        assert!(idx.insert_interest(&g, seq));
+        assert!(idx.is_indexed(&seq));
+        let q = parse_cpq("v . v^-1", &g).unwrap();
+        assert_eq!(idx.lookup(&seq), eval_reference(&g, &q).as_slice());
+        assert!(idx.delete_interest(&seq));
+        assert!(idx.lookup(&seq).is_empty());
+        let q2 = parse_cpq("(v . v^-1) & id", &g).unwrap();
+        assert_eq!(idx.evaluate(&g, &q2), eval_reference(&g, &q2));
+    }
+
+    #[test]
+    fn full_index_contains_all_nonempty_seqs() {
+        let g = generate::gex();
+        let idx = PathIndex::build(&g, 2);
+        for a in g.ext_labels() {
+            for b in g.ext_labels() {
+                let seq = LabelSeq::from_slice(&[a, b]);
+                let q = Cpq::ext(a).join(Cpq::ext(b));
+                let expected = eval_reference(&g, &q);
+                assert_eq!(idx.lookup(&seq), expected.as_slice(), "seq {seq:?}");
+            }
+        }
+    }
+}

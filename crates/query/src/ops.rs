@@ -1,0 +1,148 @@
+//! Physical pair-set operators shared by every engine.
+//!
+//! All operators consume and produce *normalized* pair sets: sorted
+//! source-major, deduplicated. The index executors (Sec. IV-D), the Path
+//! baseline, and the BFS baseline all reuse these, so engine comparisons in
+//! the benchmarks measure index design rather than operator implementations
+//! (the paper does the same: "we used the same query plans for all methods").
+
+use cpqx_graph::{ExtLabel, Graph, Pair};
+
+/// Sorted-merge join `{(v, y) | (v, u) ∈ left, (u, y) ∈ right}`.
+///
+/// `right` must be normalized. `left` may be in any order (it is re-sorted
+/// target-major internally). Output is normalized.
+pub fn join_pairs(left: &[Pair], right: &[Pair]) -> Vec<Pair> {
+    join_pairs_inner(left, right, false)
+}
+
+/// The paper's fused `JOIN-ID`: like [`join_pairs`] but keeps only cyclic
+/// results (`v = y`).
+pub fn join_pairs_id(left: &[Pair], right: &[Pair]) -> Vec<Pair> {
+    join_pairs_inner(left, right, true)
+}
+
+fn join_pairs_inner(left: &[Pair], right: &[Pair], require_loop: bool) -> Vec<Pair> {
+    if left.is_empty() || right.is_empty() {
+        return Vec::new();
+    }
+    // Re-key the left side target-major.
+    let mut by_target: Vec<Pair> = left.iter().map(|p| p.swap()).collect();
+    by_target.sort_unstable();
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < by_target.len() && j < right.len() {
+        let ku = by_target[i].src();
+        let kv = right[j].src();
+        match ku.cmp(&kv) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                let i_end = by_target[i..].partition_point(|p| p.src() == ku) + i;
+                let j_end = right[j..].partition_point(|p| p.src() == kv) + j;
+                for a in &by_target[i..i_end] {
+                    for b in &right[j..j_end] {
+                        let v = a.dst();
+                        let y = b.dst();
+                        if !require_loop || v == y {
+                            out.push(Pair::new(v, y));
+                        }
+                    }
+                }
+                i = i_end;
+                j = j_end;
+            }
+        }
+    }
+    cpqx_graph::pair::normalize(&mut out);
+    out
+}
+
+/// Sorted intersection of two normalized pair sets.
+pub fn intersect_pairs(a: &[Pair], b: &[Pair]) -> Vec<Pair> {
+    let mut out = Vec::new();
+    cpqx_graph::pair::intersect_sorted(a, b, &mut out);
+    out
+}
+
+/// Filters a normalized pair set to cyclic pairs (the bare `IDENTITY`
+/// operator applied to a pair set).
+pub fn filter_loops(pairs: &[Pair]) -> Vec<Pair> {
+    pairs.iter().copied().filter(|p| p.is_loop()).collect()
+}
+
+/// Expands a normalized pair set by one adjacency step: for every `(v, u)`
+/// and every edge `(u, t, ℓ)`, emits `(v, t)`. This is the frontier
+/// expansion the index-free BFS baseline uses for chain suffixes.
+pub fn expand_adjacency(g: &Graph, pairs: &[Pair], l: ExtLabel) -> Vec<Pair> {
+    let mut out = Vec::new();
+    for p in pairs {
+        for &(_, t) in g.neighbors(p.dst(), l) {
+            out.push(Pair::new(p.src(), t));
+        }
+    }
+    cpqx_graph::pair::normalize(&mut out);
+    out
+}
+
+/// The full identity relation `{(v, v)}` of a graph.
+pub fn all_loops(g: &Graph) -> Vec<Pair> {
+    g.vertices().map(|v| Pair::new(v, v)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpqx_graph::generate;
+
+    fn p(v: u32, u: u32) -> Pair {
+        Pair::new(v, u)
+    }
+
+    #[test]
+    fn join_matches_middle() {
+        let left = vec![p(0, 1), p(0, 2), p(5, 1)];
+        let right = vec![p(1, 7), p(2, 8), p(3, 9)];
+        assert_eq!(join_pairs(&left, &right), vec![p(0, 7), p(0, 8), p(5, 7)]);
+    }
+
+    #[test]
+    fn join_dedups() {
+        let left = vec![p(0, 1), p(0, 2)];
+        let right = vec![p(1, 7), p(2, 7)];
+        assert_eq!(join_pairs(&left, &right), vec![p(0, 7)]);
+    }
+
+    #[test]
+    fn join_id_keeps_cycles_only() {
+        let left = vec![p(0, 1), p(7, 2)];
+        let right = vec![p(1, 0), p(2, 8)];
+        assert_eq!(join_pairs_id(&left, &right), vec![p(0, 0)]);
+    }
+
+    #[test]
+    fn join_empty_sides() {
+        assert!(join_pairs(&[], &[p(0, 1)]).is_empty());
+        assert!(join_pairs(&[p(0, 1)], &[]).is_empty());
+    }
+
+    #[test]
+    fn expand_matches_join_on_edge_relation() {
+        let g = generate::gex();
+        let f = g.label_named("f").unwrap().fwd();
+        let v = g.label_named("v").unwrap().fwd();
+        let base = g.edge_pairs(f).to_vec();
+        let a = expand_adjacency(&g, &base, v);
+        let b = join_pairs(&base, g.edge_pairs(v));
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn loops_filter() {
+        let pairs = vec![p(0, 0), p(0, 1), p(2, 2)];
+        assert_eq!(filter_loops(&pairs), vec![p(0, 0), p(2, 2)]);
+        let g = generate::cycle(4, "f");
+        assert_eq!(all_loops(&g).len(), 4);
+    }
+}

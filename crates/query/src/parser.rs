@@ -1,0 +1,256 @@
+//! Text syntax for CPQ expressions.
+//!
+//! Grammar (whitespace-insensitive):
+//!
+//! ```text
+//! expr   := term (('&' | '∩') term)*          conjunction, left-assoc
+//! term   := factor (('.' | '∘') factor)*      join, left-assoc
+//! factor := 'id' | label | '(' expr ')'
+//! label  := IDENT ('^-1' | '⁻¹')?
+//! ```
+//!
+//! Label identifiers are resolved against the graph's label table, so
+//! `f^-1` denotes the inverse extended label of `f`. Example:
+//! `(f . f) & f^-1` is the paper's triad query `ﬀ ∩ f⁻¹`.
+
+use crate::ast::Cpq;
+use cpqx_graph::Graph;
+
+/// Parse failure with byte position and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the input where the error was detected.
+    pub position: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    LParen,
+    RParen,
+    Join,
+    Conj,
+    Id,
+    Label(String, bool), // name, inverse?
+}
+
+fn tokenize(input: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
+    let mut toks = Vec::new();
+    let bytes: Vec<char> = input.chars().collect();
+    let mut pos_bytes = 0usize;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        let start = pos_bytes;
+        match c {
+            c if c.is_whitespace() => {
+                pos_bytes += c.len_utf8();
+                i += 1;
+            }
+            '(' => {
+                toks.push((start, Tok::LParen));
+                pos_bytes += 1;
+                i += 1;
+            }
+            ')' => {
+                toks.push((start, Tok::RParen));
+                pos_bytes += 1;
+                i += 1;
+            }
+            '.' | '∘' | '/' => {
+                toks.push((start, Tok::Join));
+                pos_bytes += c.len_utf8();
+                i += 1;
+            }
+            '&' | '∩' => {
+                toks.push((start, Tok::Conj));
+                pos_bytes += c.len_utf8();
+                i += 1;
+            }
+            // `@` starts vertex-tag labels (the self-loop encoding of
+            // vertex labels — see `GraphBuilder::tag_vertex`).
+            c if c.is_alphanumeric() || c == '_' || c == '@' => {
+                let mut name = String::new();
+                while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_' || bytes[i] == '@') {
+                    name.push(bytes[i]);
+                    pos_bytes += bytes[i].len_utf8();
+                    i += 1;
+                }
+                // Optional inverse suffix: `^-1` or `⁻¹`.
+                let mut inverse = false;
+                if i + 2 < bytes.len() && bytes[i] == '^' && bytes[i + 1] == '-' && bytes[i + 2] == '1' {
+                    inverse = true;
+                    pos_bytes += 3;
+                    i += 3;
+                } else if i + 1 < bytes.len() && bytes[i] == '⁻' && bytes[i + 1] == '¹' {
+                    inverse = true;
+                    pos_bytes += bytes[i].len_utf8() + bytes[i + 1].len_utf8();
+                    i += 2;
+                }
+                if name == "id" && !inverse {
+                    toks.push((start, Tok::Id));
+                } else {
+                    toks.push((start, Tok::Label(name, inverse)));
+                }
+            }
+            other => {
+                return Err(ParseError {
+                    position: start,
+                    message: format!("unexpected character {other:?}"),
+                });
+            }
+        }
+    }
+    Ok(toks)
+}
+
+struct Parser<'a> {
+    toks: Vec<(usize, Tok)>,
+    pos: usize,
+    graph: &'a Graph,
+    input_len: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn here(&self) -> usize {
+        self.toks.get(self.pos).map(|(p, _)| *p).unwrap_or(self.input_len)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(_, t)| t.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn expr(&mut self) -> Result<Cpq, ParseError> {
+        let mut q = self.term()?;
+        while matches!(self.peek(), Some(Tok::Conj)) {
+            self.bump();
+            q = q.conj(self.term()?);
+        }
+        Ok(q)
+    }
+
+    fn term(&mut self) -> Result<Cpq, ParseError> {
+        let mut q = self.factor()?;
+        while matches!(self.peek(), Some(Tok::Join)) {
+            self.bump();
+            q = q.join(self.factor()?);
+        }
+        Ok(q)
+    }
+
+    fn factor(&mut self) -> Result<Cpq, ParseError> {
+        let at = self.here();
+        match self.bump() {
+            Some(Tok::Id) => Ok(Cpq::Id),
+            Some(Tok::Label(name, inverse)) => {
+                let l = self.graph.label_named(&name).ok_or_else(|| ParseError {
+                    position: at,
+                    message: format!("unknown label {name:?}"),
+                })?;
+                Ok(Cpq::ext(if inverse { l.inv() } else { l.fwd() }))
+            }
+            Some(Tok::LParen) => {
+                let q = self.expr()?;
+                match self.bump() {
+                    Some(Tok::RParen) => Ok(q),
+                    _ => Err(ParseError { position: self.here(), message: "expected `)`".into() }),
+                }
+            }
+            other => Err(ParseError {
+                position: at,
+                message: format!("expected `id`, a label, or `(`, got {other:?}"),
+            }),
+        }
+    }
+}
+
+/// Parses a CPQ expression, resolving label names against `g`.
+pub fn parse_cpq(input: &str, g: &Graph) -> Result<Cpq, ParseError> {
+    let toks = tokenize(input)?;
+    let mut p = Parser { toks, pos: 0, graph: g, input_len: input.len() };
+    let q = p.expr()?;
+    if p.pos != p.toks.len() {
+        return Err(ParseError { position: p.here(), message: "trailing input".into() });
+    }
+    Ok(q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpqx_graph::generate::gex;
+
+    #[test]
+    fn parses_triad_query() {
+        let g = gex();
+        let q = parse_cpq("(f . f) & f^-1", &g).unwrap();
+        let f = g.label_named("f").unwrap();
+        assert_eq!(q, Cpq::label(f).join(Cpq::label(f)).conj(Cpq::inv(f)));
+    }
+
+    #[test]
+    fn unicode_operators() {
+        let g = gex();
+        let a = parse_cpq("(f ∘ f) ∩ f⁻¹", &g).unwrap();
+        let b = parse_cpq("(f . f) & f^-1", &g).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn precedence_join_binds_tighter() {
+        let g = gex();
+        let a = parse_cpq("f . f & v", &g).unwrap();
+        let b = parse_cpq("(f . f) & v", &g).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn identity_and_nesting() {
+        let g = gex();
+        let q = parse_cpq("((f . v) & (v . f)) & id", &g).unwrap();
+        assert!(matches!(q, Cpq::Conj(_, ref b) if **b == Cpq::Id));
+    }
+
+    #[test]
+    fn roundtrip_via_to_text() {
+        let g = gex();
+        for src in ["(f . f) & f^-1", "f^-1 . v", "((f . v) & (v . f)) & id", "id"] {
+            let q = parse_cpq(src, &g).unwrap();
+            let rendered = q.to_text(&g);
+            assert_eq!(parse_cpq(&rendered, &g).unwrap(), q, "roundtrip of {src}");
+        }
+    }
+
+    #[test]
+    fn unknown_label_is_reported() {
+        let g = gex();
+        let err = parse_cpq("f . nosuch", &g).unwrap_err();
+        assert!(err.message.contains("nosuch"));
+        assert_eq!(err.position, 4);
+    }
+
+    #[test]
+    fn syntax_errors() {
+        let g = gex();
+        assert!(parse_cpq("(f . f", &g).is_err());
+        assert!(parse_cpq("f &", &g).is_err());
+        assert!(parse_cpq("f f", &g).is_err());
+        assert!(parse_cpq("", &g).is_err());
+        assert!(parse_cpq("f @ v", &g).is_err());
+    }
+}

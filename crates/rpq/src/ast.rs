@@ -1,0 +1,331 @@
+//! The RPQ algebra and its text syntax.
+
+use cpqx_graph::{ExtLabel, Graph};
+
+/// A regular path query expression.
+///
+/// `RPQ ::= ε | ℓ | ℓ⁻¹ | RPQ·RPQ | RPQ|RPQ | RPQ* | RPQ+ | RPQ?`
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Rpq {
+    /// The empty word (identity relation).
+    Epsilon,
+    /// A single extended label.
+    Label(ExtLabel),
+    /// Concatenation.
+    Concat(Box<Rpq>, Box<Rpq>),
+    /// Alternation (union).
+    Alt(Box<Rpq>, Box<Rpq>),
+    /// Kleene star (zero or more).
+    Star(Box<Rpq>),
+    /// One or more.
+    Plus(Box<Rpq>),
+    /// Zero or one.
+    Opt(Box<Rpq>),
+}
+
+impl Rpq {
+    /// A forward label atom.
+    pub fn label(l: cpqx_graph::Label) -> Rpq {
+        Rpq::Label(l.fwd())
+    }
+
+    /// An inverse label atom.
+    pub fn inv(l: cpqx_graph::Label) -> Rpq {
+        Rpq::Label(l.inv())
+    }
+
+    /// `self · other`.
+    pub fn then(self, other: Rpq) -> Rpq {
+        Rpq::Concat(Box::new(self), Box::new(other))
+    }
+
+    /// `self | other`.
+    pub fn or(self, other: Rpq) -> Rpq {
+        Rpq::Alt(Box::new(self), Box::new(other))
+    }
+
+    /// `self*`.
+    pub fn star(self) -> Rpq {
+        Rpq::Star(Box::new(self))
+    }
+
+    /// `self+`.
+    pub fn plus(self) -> Rpq {
+        Rpq::Plus(Box::new(self))
+    }
+
+    /// `self?`.
+    pub fn opt(self) -> Rpq {
+        Rpq::Opt(Box::new(self))
+    }
+
+    /// Whether the language contains the empty word (nullable).
+    pub fn nullable(&self) -> bool {
+        match self {
+            Rpq::Epsilon | Rpq::Star(_) | Rpq::Opt(_) => true,
+            Rpq::Label(_) => false,
+            Rpq::Concat(a, b) => a.nullable() && b.nullable(),
+            Rpq::Alt(a, b) => a.nullable() || b.nullable(),
+            Rpq::Plus(a) => a.nullable(),
+        }
+    }
+
+    /// Whether the expression is star-free (hence CPQ-chain expressible
+    /// when it is also alternation-free).
+    pub fn is_star_free(&self) -> bool {
+        match self {
+            Rpq::Epsilon | Rpq::Label(_) => true,
+            Rpq::Concat(a, b) | Rpq::Alt(a, b) => a.is_star_free() && b.is_star_free(),
+            Rpq::Star(_) | Rpq::Plus(_) => false,
+            Rpq::Opt(a) => a.is_star_free(),
+        }
+    }
+
+    /// Renders the expression in the crate's text syntax using the graph's
+    /// label names; output parses back via [`parse_rpq`].
+    pub fn to_text(&self, g: &Graph) -> String {
+        match self {
+            Rpq::Epsilon => "eps".to_string(),
+            Rpq::Label(l) => {
+                let name = g.label_name(l.base());
+                if l.is_inverse() {
+                    format!("{name}^-1")
+                } else {
+                    name.to_string()
+                }
+            }
+            Rpq::Concat(a, b) => format!("({} . {})", a.to_text(g), b.to_text(g)),
+            Rpq::Alt(a, b) => format!("({} | {})", a.to_text(g), b.to_text(g)),
+            Rpq::Star(a) => format!("({})*", a.to_text(g)),
+            Rpq::Plus(a) => format!("({})+", a.to_text(g)),
+            Rpq::Opt(a) => format!("({})?", a.to_text(g)),
+        }
+    }
+}
+
+/// Parse failure with byte position and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RpqParseError {
+    /// Byte offset of the error.
+    pub position: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for RpqParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "rpq parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for RpqParseError {}
+
+/// Parses an RPQ expression, resolving label names against `g`.
+///
+/// Grammar (whitespace-insensitive): `alt := cat ('|' cat)*`,
+/// `cat := post (('.'|'∘') post)*`, `post := atom ('*'|'+'|'?')*`,
+/// `atom := 'eps' | label['^-1'|'⁻¹'] | '(' alt ')'`.
+pub fn parse_rpq(input: &str, g: &Graph) -> Result<Rpq, RpqParseError> {
+    let chars: Vec<char> = input.chars().collect();
+    let mut p = Parser { chars, pos: 0, byte: 0, graph: g };
+    p.skip_ws();
+    let r = p.alt()?;
+    p.skip_ws();
+    if p.pos != p.chars.len() {
+        return Err(p.err("trailing input"));
+    }
+    Ok(r)
+}
+
+struct Parser<'g> {
+    chars: Vec<char>,
+    pos: usize,
+    byte: usize,
+    graph: &'g Graph,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: impl Into<String>) -> RpqParseError {
+        RpqParseError { position: self.byte, message: msg.into() }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        self.byte += c.len_utf8();
+        Some(c)
+    }
+
+    fn skip_ws(&mut self) {
+        while self.peek().is_some_and(char::is_whitespace) {
+            self.bump();
+        }
+    }
+
+    fn alt(&mut self) -> Result<Rpq, RpqParseError> {
+        let mut r = self.cat()?;
+        loop {
+            self.skip_ws();
+            if self.peek() == Some('|') {
+                self.bump();
+                self.skip_ws();
+                r = r.or(self.cat()?);
+            } else {
+                return Ok(r);
+            }
+        }
+    }
+
+    fn cat(&mut self) -> Result<Rpq, RpqParseError> {
+        let mut r = self.postfix()?;
+        loop {
+            self.skip_ws();
+            if matches!(self.peek(), Some('.') | Some('∘') | Some('/')) {
+                self.bump();
+                self.skip_ws();
+                r = r.then(self.postfix()?);
+            } else {
+                return Ok(r);
+            }
+        }
+    }
+
+    fn postfix(&mut self) -> Result<Rpq, RpqParseError> {
+        let mut r = self.atom()?;
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some('*') => {
+                    self.bump();
+                    r = r.star();
+                }
+                Some('+') => {
+                    self.bump();
+                    r = r.plus();
+                }
+                Some('?') => {
+                    self.bump();
+                    r = r.opt();
+                }
+                _ => return Ok(r),
+            }
+        }
+    }
+
+    fn atom(&mut self) -> Result<Rpq, RpqParseError> {
+        self.skip_ws();
+        match self.peek() {
+            Some('(') => {
+                self.bump();
+                let r = self.alt()?;
+                self.skip_ws();
+                if self.bump() != Some(')') {
+                    return Err(self.err("expected `)`"));
+                }
+                Ok(r)
+            }
+            Some(c) if c.is_alphanumeric() || c == '_' || c == '@' => {
+                let mut name = String::new();
+                while self
+                    .peek()
+                    .is_some_and(|c| c.is_alphanumeric() || c == '_' || c == '@')
+                {
+                    name.push(self.bump().unwrap());
+                }
+                if name == "eps" {
+                    return Ok(Rpq::Epsilon);
+                }
+                // Optional inverse suffix.
+                let mut inverse = false;
+                if self.peek() == Some('^') {
+                    let save = (self.pos, self.byte);
+                    self.bump();
+                    if self.bump() == Some('-') && self.bump() == Some('1') {
+                        inverse = true;
+                    } else {
+                        self.pos = save.0;
+                        self.byte = save.1;
+                    }
+                } else if self.peek() == Some('⁻') {
+                    self.bump();
+                    if self.bump() != Some('¹') {
+                        return Err(self.err("expected `¹` after `⁻`"));
+                    }
+                    inverse = true;
+                }
+                let l = self
+                    .graph
+                    .label_named(&name)
+                    .ok_or_else(|| self.err(format!("unknown label {name:?}")))?;
+                Ok(Rpq::Label(if inverse { l.inv() } else { l.fwd() }))
+            }
+            other => Err(self.err(format!("expected atom, got {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpqx_graph::generate::gex;
+
+    #[test]
+    fn parses_core_forms() {
+        let g = gex();
+        let f = g.label_named("f").unwrap();
+        let v = g.label_named("v").unwrap();
+        assert_eq!(parse_rpq("f", &g).unwrap(), Rpq::label(f));
+        assert_eq!(parse_rpq("f^-1", &g).unwrap(), Rpq::inv(f));
+        assert_eq!(parse_rpq("f . v", &g).unwrap(), Rpq::label(f).then(Rpq::label(v)));
+        assert_eq!(parse_rpq("f | v", &g).unwrap(), Rpq::label(f).or(Rpq::label(v)));
+        assert_eq!(parse_rpq("f*", &g).unwrap(), Rpq::label(f).star());
+        assert_eq!(parse_rpq("f+", &g).unwrap(), Rpq::label(f).plus());
+        assert_eq!(parse_rpq("f?", &g).unwrap(), Rpq::label(f).opt());
+        assert_eq!(parse_rpq("eps", &g).unwrap(), Rpq::Epsilon);
+    }
+
+    #[test]
+    fn precedence_star_then_concat_then_alt() {
+        let g = gex();
+        let f = g.label_named("f").unwrap();
+        let v = g.label_named("v").unwrap();
+        // f . v* | f = (f . (v*)) | f
+        let r = parse_rpq("f . v* | f", &g).unwrap();
+        assert_eq!(r, Rpq::label(f).then(Rpq::label(v).star()).or(Rpq::label(f)));
+        // (f | v)* parses the group
+        let r = parse_rpq("(f | v)*", &g).unwrap();
+        assert_eq!(r, Rpq::label(f).or(Rpq::label(v)).star());
+    }
+
+    #[test]
+    fn nullable_and_star_free() {
+        let g = gex();
+        assert!(parse_rpq("f*", &g).unwrap().nullable());
+        assert!(parse_rpq("f?", &g).unwrap().nullable());
+        assert!(!parse_rpq("f+", &g).unwrap().nullable());
+        assert!(!parse_rpq("f . v", &g).unwrap().nullable());
+        assert!(parse_rpq("f . v | f", &g).unwrap().is_star_free());
+        assert!(!parse_rpq("f . v*", &g).unwrap().is_star_free());
+    }
+
+    #[test]
+    fn errors() {
+        let g = gex();
+        assert!(parse_rpq("", &g).is_err());
+        assert!(parse_rpq("(f", &g).is_err());
+        assert!(parse_rpq("f |", &g).is_err());
+        assert!(parse_rpq("nosuch", &g).is_err());
+        assert!(parse_rpq("f v", &g).is_err(), "juxtaposition is not concatenation");
+    }
+
+    #[test]
+    fn double_postfix() {
+        let g = gex();
+        let f = g.label_named("f").unwrap();
+        assert_eq!(parse_rpq("f*?", &g).unwrap(), Rpq::label(f).star().opt());
+    }
+}

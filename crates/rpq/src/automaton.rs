@@ -1,0 +1,216 @@
+//! Thompson construction: RPQ → ε-NFA.
+//!
+//! The automaton is the classical evaluation vehicle for RPQ (DataGuides,
+//! A[k]- and T-indexes all reason over it, Table I); here it drives the
+//! reference product-graph evaluator.
+
+use crate::ast::Rpq;
+use cpqx_graph::ExtLabel;
+
+/// A labeled ε-NFA with a single start and a single accept state.
+#[derive(Debug, Clone)]
+pub struct Nfa {
+    /// Number of states.
+    pub states: usize,
+    /// Labeled transitions `(from, label, to)`.
+    pub transitions: Vec<(u32, ExtLabel, u32)>,
+    /// ε-transitions `(from, to)`.
+    pub epsilons: Vec<(u32, u32)>,
+    /// Start state.
+    pub start: u32,
+    /// Accept state.
+    pub accept: u32,
+}
+
+impl Nfa {
+    /// Thompson construction.
+    pub fn compile(r: &Rpq) -> Nfa {
+        let mut b = Builder { transitions: Vec::new(), epsilons: Vec::new(), next: 0 };
+        let (start, accept) = b.build(r);
+        Nfa {
+            states: b.next as usize,
+            transitions: b.transitions,
+            epsilons: b.epsilons,
+            start,
+            accept,
+        }
+    }
+
+    /// Per-state outgoing labeled transitions, as an adjacency structure.
+    pub fn labeled_adjacency(&self) -> Vec<Vec<(ExtLabel, u32)>> {
+        let mut adj = vec![Vec::new(); self.states];
+        for &(s, l, t) in &self.transitions {
+            adj[s as usize].push((l, t));
+        }
+        adj
+    }
+
+    /// Per-state outgoing ε-transitions.
+    pub fn epsilon_adjacency(&self) -> Vec<Vec<u32>> {
+        let mut adj = vec![Vec::new(); self.states];
+        for &(s, t) in &self.epsilons {
+            adj[s as usize].push(t);
+        }
+        adj
+    }
+
+    /// The ε-closure of a state set (sorted, deduplicated).
+    pub fn epsilon_closure(&self, states: &[u32]) -> Vec<u32> {
+        let eps = self.epsilon_adjacency();
+        let mut seen = vec![false; self.states];
+        let mut stack: Vec<u32> = states.to_vec();
+        for &s in states {
+            seen[s as usize] = true;
+        }
+        while let Some(s) = stack.pop() {
+            for &t in &eps[s as usize] {
+                if !seen[t as usize] {
+                    seen[t as usize] = true;
+                    stack.push(t);
+                }
+            }
+        }
+        (0..self.states as u32).filter(|&s| seen[s as usize]).collect()
+    }
+}
+
+struct Builder {
+    transitions: Vec<(u32, ExtLabel, u32)>,
+    epsilons: Vec<(u32, u32)>,
+    next: u32,
+}
+
+impl Builder {
+    fn fresh(&mut self) -> u32 {
+        let s = self.next;
+        self.next += 1;
+        s
+    }
+
+    /// Returns the fragment's (start, accept).
+    fn build(&mut self, r: &Rpq) -> (u32, u32) {
+        match r {
+            Rpq::Epsilon => {
+                let s = self.fresh();
+                let t = self.fresh();
+                self.epsilons.push((s, t));
+                (s, t)
+            }
+            Rpq::Label(l) => {
+                let s = self.fresh();
+                let t = self.fresh();
+                self.transitions.push((s, *l, t));
+                (s, t)
+            }
+            Rpq::Concat(a, b) => {
+                let (sa, ta) = self.build(a);
+                let (sb, tb) = self.build(b);
+                self.epsilons.push((ta, sb));
+                (sa, tb)
+            }
+            Rpq::Alt(a, b) => {
+                let s = self.fresh();
+                let t = self.fresh();
+                let (sa, ta) = self.build(a);
+                let (sb, tb) = self.build(b);
+                self.epsilons.push((s, sa));
+                self.epsilons.push((s, sb));
+                self.epsilons.push((ta, t));
+                self.epsilons.push((tb, t));
+                (s, t)
+            }
+            Rpq::Star(a) => {
+                let s = self.fresh();
+                let t = self.fresh();
+                let (sa, ta) = self.build(a);
+                self.epsilons.push((s, sa));
+                self.epsilons.push((s, t));
+                self.epsilons.push((ta, sa));
+                self.epsilons.push((ta, t));
+                (s, t)
+            }
+            Rpq::Plus(a) => {
+                let (sa, ta) = self.build(a);
+                let t = self.fresh();
+                self.epsilons.push((ta, sa));
+                self.epsilons.push((ta, t));
+                (sa, t)
+            }
+            Rpq::Opt(a) => {
+                let s = self.fresh();
+                let t = self.fresh();
+                let (sa, ta) = self.build(a);
+                self.epsilons.push((s, sa));
+                self.epsilons.push((s, t));
+                self.epsilons.push((ta, t));
+                (s, t)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpqx_graph::generate::gex;
+
+    fn word_accepted(nfa: &Nfa, word: &[ExtLabel]) -> bool {
+        let mut cur = nfa.epsilon_closure(&[nfa.start]);
+        let adj = nfa.labeled_adjacency();
+        for &l in word {
+            let mut next = Vec::new();
+            for &s in &cur {
+                for &(tl, t) in &adj[s as usize] {
+                    if tl == l {
+                        next.push(t);
+                    }
+                }
+            }
+            next.sort_unstable();
+            next.dedup();
+            cur = nfa.epsilon_closure(&next);
+            if cur.is_empty() {
+                return false;
+            }
+        }
+        cur.contains(&nfa.accept)
+    }
+
+    #[test]
+    fn word_membership() {
+        let g = gex();
+        let f = g.label_named("f").unwrap().fwd();
+        let v = g.label_named("v").unwrap().fwd();
+        let cases = [
+            ("f", vec![f], true),
+            ("f", vec![v], false),
+            ("f . v", vec![f, v], true),
+            ("f . v", vec![f], false),
+            ("f | v", vec![v], true),
+            ("f*", vec![], true),
+            ("f*", vec![f, f, f], true),
+            ("f*", vec![f, v], false),
+            ("f+", vec![], false),
+            ("f+", vec![f], true),
+            ("f?", vec![], true),
+            ("f? . v", vec![v], true),
+            ("(f . v)* | f", vec![f, v, f, v], true),
+            ("(f . v)* | f", vec![f, v, f], false),
+        ];
+        for (expr, word, expect) in cases {
+            let r = crate::parse_rpq(expr, &g).unwrap();
+            let nfa = Nfa::compile(&r);
+            assert_eq!(word_accepted(&nfa, &word), expect, "{expr} on {word:?}");
+        }
+    }
+
+    #[test]
+    fn nullability_matches_acceptance_of_empty_word() {
+        let g = gex();
+        for expr in ["f", "f*", "f+", "f?", "f . v", "f* . v*", "(f | eps)"] {
+            let r = crate::parse_rpq(expr, &g).unwrap();
+            let nfa = Nfa::compile(&r);
+            assert_eq!(word_accepted(&nfa, &[]), r.nullable(), "{expr}");
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Regular path queries (RPQ) on the CPQx substrate.
+//!
+//! RPQ is the *complementary* language to CPQ in the paper's taxonomy
+//! (Sec. II, Table I): regular expressions over edge labels, with
+//! disjunction and Kleene star but no conjunction or cycles. The paper's
+//! concluding remarks call for "query compilation and optimization
+//! strategies for CPQ combined with other languages such as RPQ" — this
+//! crate is that bridge:
+//!
+//! * [`ast`] — the RPQ algebra (`ℓ`, `ℓ⁻¹`, concatenation, alternation,
+//!   `*`, `+`, `?`, `ε`) with a text parser extending the CPQ syntax,
+//! * [`automaton`] — Thompson construction to an ε-NFA,
+//! * [`eval`] — two evaluators: the classical product-graph BFS
+//!   ([`eval::eval_product`], the reference), and an index-accelerated
+//!   algebraic evaluator ([`eval::IndexRpqEngine`]) that chunks
+//!   concatenation runs into CPQx `Il2c` lookups (exactly like the CPQ
+//!   planner) and computes closures by semi-naive fixpoint over the
+//!   indexed relations.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ast;
+pub mod automaton;
+pub mod eval;
+
+pub use ast::{parse_rpq, Rpq};
+pub use automaton::Nfa;
+pub use eval::{eval_product, IndexRpqEngine};

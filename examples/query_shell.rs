@@ -1,0 +1,104 @@
+//! Interactive CPQ shell over an edge-list graph.
+//!
+//! Reads a graph (edge-list path as the first argument, or the paper's
+//! `Gex` by default), builds CPQx, then evaluates one CPQ per stdin line.
+//!
+//! ```text
+//! cargo run --release --example query_shell [graph.tsv]
+//! > (f . f) & f^-1
+//! (sue, zoe)
+//! (joe, sue)
+//! (zoe, joe)
+//! 3 answers in 12.3µs
+//! ```
+//!
+//! Commands: `:classes` prints partition statistics, `:explain <cpq>`
+//! shows the physical plan and execution counters, `:quit` exits.
+
+use cpqx::graph::generate::gex;
+use cpqx::graph::io::read_edge_list;
+use cpqx::index::CpqxIndex;
+use cpqx::query::parse_cpq;
+use std::io::BufRead;
+
+fn main() {
+    let g = match std::env::args().nth(1) {
+        Some(path) => {
+            let file = std::fs::File::open(&path).unwrap_or_else(|e| {
+                eprintln!("cannot open {path}: {e}");
+                std::process::exit(1);
+            });
+            read_edge_list(std::io::BufReader::new(file)).unwrap_or_else(|e| {
+                eprintln!("cannot parse {path}: {e}");
+                std::process::exit(1);
+            })
+        }
+        None => gex(),
+    };
+    eprintln!(
+        "loaded graph: {} vertices, {} edges, labels: {}",
+        g.vertex_count(),
+        g.edge_count(),
+        g.labels().map(|l| g.label_name(l).to_string()).collect::<Vec<_>>().join(", ")
+    );
+    let index = CpqxIndex::build(&g, 2);
+    let s = index.stats();
+    eprintln!("CPQx(k=2) ready: {} classes / {} pairs. Enter CPQs (`:quit` to exit).", s.classes, s.pairs);
+
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        let line = line.trim();
+        match line {
+            "" => continue,
+            ":quit" | ":q" => break,
+            ":classes" => {
+                let s = index.stats();
+                eprintln!(
+                    "classes={} pairs={} sequences={} γ={:.2} core={}B",
+                    s.classes, s.pairs, s.sequences, s.gamma, s.core_bytes
+                );
+                continue;
+            }
+            _ if line.starts_with(":explain") => {
+                let text = line.trim_start_matches(":explain").trim();
+                match parse_cpq(text, &g) {
+                    Err(e) => eprintln!("error: {e}"),
+                    Ok(q) => {
+                        let plan = index.plan(&q);
+                        eprint!("{plan}");
+                        let (result, stats) = index.explain(&g, &q);
+                        eprintln!(
+                            "{} answers; lookups={} classes={} pairs_materialized={} \
+                             class_conj={} pair_intersect={} joins={}",
+                            result.len(),
+                            stats.lookups,
+                            stats.classes_touched,
+                            stats.pairs_materialized,
+                            stats.class_conjunctions,
+                            stats.pair_intersections,
+                            stats.joins
+                        );
+                    }
+                }
+                continue;
+            }
+            _ => {}
+        }
+        match parse_cpq(line, &g) {
+            Err(e) => eprintln!("error: {e}"),
+            Ok(q) => {
+                let t0 = std::time::Instant::now();
+                let result = index.evaluate(&g, &q);
+                let dt = t0.elapsed();
+                for p in result.iter().take(20) {
+                    println!("({}, {})", g.vertex_name(p.src()), g.vertex_name(p.dst()));
+                }
+                if result.len() > 20 {
+                    println!("… and {} more", result.len() - 20);
+                }
+                eprintln!("{} answers in {dt:.2?} (diameter {})", result.len(), q.diameter());
+            }
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! `cpqx` — a Rust reproduction of *Language-aware Indexing for Conjunctive
+//! Path Queries* (Sasaki, Fletcher, Onizuka; ICDE 2022).
+//!
+//! This facade crate re-exports the workspace members under stable paths:
+//!
+//! * [`graph`] — directed edge-labeled graphs, generators, dataset stand-ins,
+//! * [`query`] — the CPQ language: AST, parser, planner, evaluators, workloads,
+//! * [`index`] — CPQx and iaCPQx, the paper's CPQ-aware path indexes,
+//! * [`pathindex`] — the language-unaware Path/iaPath baseline (EDBT 2016),
+//! * [`matcher`] — homomorphic subgraph-matching baselines (TurboHom++- and
+//!   Tentris-style engines).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use cpqx::graph::generate::gex;
+//! use cpqx::index::CpqxIndex;
+//! use cpqx::query::parse_cpq;
+//!
+//! // The paper's running example: people and their followers in a triad.
+//! let g = gex();
+//! let index = CpqxIndex::build(&g, 2);
+//! let f = g.label_named("f").unwrap();
+//! let q = parse_cpq("(f . f) & f^-1", &g).unwrap();
+//! let result = index.evaluate(&g, &q);
+//! assert_eq!(result.len(), 3); // (sue,zoe), (joe,sue), (zoe,joe)
+//! let _ = f;
+//! ```
+
+#![warn(missing_docs)]
+
+pub use cpqx_core as index;
+pub use cpqx_graph as graph;
+pub use cpqx_matcher as matcher;
+pub use cpqx_pathindex as pathindex;
+pub use cpqx_query as query;
+pub use cpqx_rpq as rpq;

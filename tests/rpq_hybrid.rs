@@ -1,0 +1,91 @@
+//! Workspace-level tests of the RPQ layer: property-based agreement of the
+//! index-accelerated evaluator with the product-automaton reference, text
+//! round-trips, and mixed CPQ/RPQ consistency on one index.
+
+use cpqx::graph::generate::{random_graph, RandomGraphConfig};
+use cpqx::graph::ExtLabel;
+use cpqx::index::CpqxIndex;
+use cpqx::rpq::{eval_product, parse_rpq, IndexRpqEngine, Rpq};
+use proptest::prelude::*;
+
+/// Strategy: random RPQ over `labels` base labels, depth-bounded.
+fn rpq_strategy(labels: u16) -> impl Strategy<Value = Rpq> {
+    let leaf = prop_oneof![
+        10 => (0..labels * 2).prop_map(|l| Rpq::Label(ExtLabel(l))),
+        1 => Just(Rpq::Epsilon),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            3 => (inner.clone(), inner.clone()).prop_map(|(a, b)| a.then(b)),
+            3 => (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            1 => inner.clone().prop_map(Rpq::star),
+            1 => inner.clone().prop_map(Rpq::plus),
+            1 => inner.prop_map(Rpq::opt),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn index_engine_equals_product_automaton(
+        seed in 0u64..300,
+        r in rpq_strategy(2),
+    ) {
+        let cfg = RandomGraphConfig::social(20, 60, 2, seed);
+        let g = random_graph(&cfg);
+        let idx = CpqxIndex::build(&g, 2);
+        let fast = IndexRpqEngine::new(&idx).evaluate(&g, &r);
+        let slow = eval_product(&g, &r);
+        prop_assert_eq!(fast, slow, "expr {:?}", r);
+    }
+
+    #[test]
+    fn rpq_text_roundtrip(r in rpq_strategy(2)) {
+        let g = random_graph(&RandomGraphConfig::social(10, 20, 2, 1));
+        let text = r.to_text(&g);
+        let back = parse_rpq(&text, &g).unwrap();
+        prop_assert_eq!(back, r);
+    }
+}
+
+#[test]
+fn star_free_linear_rpq_equals_cpq_chain() {
+    // A pure concatenation of labels is both an RPQ and a CPQ chain — the
+    // two pipelines must coincide on the same index.
+    let g = random_graph(&RandomGraphConfig::social(50, 200, 3, 9));
+    let idx = CpqxIndex::build(&g, 2);
+    let rpq = parse_rpq("l0 . l1 . l2", &g).unwrap();
+    let cpq = cpqx::query::parse_cpq("l0 . l1 . l2", &g).unwrap();
+    assert!(rpq.is_star_free());
+    assert_eq!(IndexRpqEngine::new(&idx).evaluate(&g, &rpq), idx.evaluate(&g, &cpq));
+}
+
+#[test]
+fn label_constrained_reachability() {
+    // The classic RPQ use case the paper's Table I indexes target:
+    // single-label transitive reachability.
+    let g = cpqx::graph::generate::gex();
+    let idx = CpqxIndex::build(&g, 2);
+    let r = parse_rpq("f+", &g).unwrap();
+    let result = IndexRpqEngine::new(&idx).evaluate(&g, &r);
+    assert_eq!(result, eval_product(&g, &r));
+    // The follows-triad makes sue/joe/zoe mutually reachable.
+    let (sue, zoe) = (g.vertex_named("sue").unwrap(), g.vertex_named("zoe").unwrap());
+    assert!(result.contains(&cpqx::graph::Pair::new(sue, zoe)));
+    assert!(result.contains(&cpqx::graph::Pair::new(zoe, sue)));
+}
+
+#[test]
+fn rpq_after_maintenance() {
+    // The RPQ engine reads the index live, so lazy maintenance must keep
+    // its answers correct too.
+    let mut g = cpqx::graph::generate::gex();
+    let mut idx = CpqxIndex::build(&g, 2);
+    let (sue, joe) = (g.vertex_named("sue").unwrap(), g.vertex_named("joe").unwrap());
+    let f = g.label_named("f").unwrap();
+    idx.delete_edge(&mut g, sue, joe, f);
+    let r = parse_rpq("f+", &g).unwrap();
+    assert_eq!(IndexRpqEngine::new(&idx).evaluate(&g, &r), eval_product(&g, &r));
+}
