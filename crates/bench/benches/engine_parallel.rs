@@ -1,0 +1,66 @@
+//! Criterion micro-benchmarks for the engine subsystem: sequential vs
+//! sharded index build across shard counts, and cached vs uncached query
+//! serving through the engine.
+//!
+//! The acceptance gate for the sharded builder — "measurable speedup with
+//! ≥2 shards on a multi-core host" — is what the `build` group measures;
+//! the `serving` group quantifies what the result cache buys on a
+//! repeating workload.
+
+use cpqx_bench::harness::workload_for;
+use cpqx_bench::BenchConfig;
+use cpqx_core::CpqxIndex;
+use cpqx_engine::{build_sharded, BuildOptions, Engine};
+use cpqx_graph::generate::{random_graph, RandomGraphConfig};
+use cpqx_graph::Graph;
+use cpqx_query::ast::Template;
+use cpqx_query::Cpq;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_graph() -> Graph {
+    random_graph(&RandomGraphConfig::social(3_000, 14_000, 4, 20220509))
+}
+
+fn bench_build(c: &mut Criterion) {
+    let g = bench_graph();
+    let mut group = c.benchmark_group("build");
+    group.bench_function("sequential", |b| b.iter(|| CpqxIndex::build(&g, 2)));
+    for shards in [2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("sharded", shards), &shards, |b, &s| {
+            b.iter(|| build_sharded(&g, 2, BuildOptions { shards: Some(s), threads: None }));
+        });
+    }
+    group.finish();
+}
+
+fn bench_serving(c: &mut Criterion) {
+    let g = bench_graph();
+    let cfg = BenchConfig::from_env();
+    let workload: Vec<Cpq> =
+        workload_for(&g, &Template::ALL, &cfg).into_iter().flat_map(|(_, qs)| qs).collect();
+    assert!(!workload.is_empty());
+    let engine = Engine::build(g, 2);
+    // Warm the caches once so "cached" measures steady-state hits.
+    for q in &workload {
+        engine.query(q);
+    }
+    let mut group = c.benchmark_group("serving");
+    let mut i = 0;
+    group.bench_function("cached", |b| {
+        b.iter(|| {
+            i = (i + 1) % workload.len();
+            engine.query(&workload[i])
+        })
+    });
+    let mut j = 0;
+    group.bench_function("uncached", |b| {
+        b.iter(|| {
+            j = (j + 1) % workload.len();
+            engine.query_uncached(&workload[j])
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_build, bench_serving);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Engine subsystem throughput: sequential vs sharded index build, and
+//! cached vs uncached query serving through the engine's batch API.
+//!
+//! Expected shape: with ≥2 shards on a multi-core host the sharded build
+//! beats the sequential build on every non-trivial dataset (the level-1
+//! pass is shared; refinement parallelizes); cached serving beats uncached
+//! serving by orders of magnitude once the workload repeats.
+//!
+//! Knobs: the usual `CPQX_*` variables (see `cpqx-bench` docs) plus
+//! `CPQX_ENGINE_SHARDS` (default: available parallelism) and
+//! `CPQX_ENGINE_BATCH_REPEATS` (default 4 — how many times the workload
+//! repeats inside the cached serving measurement).
+
+use cpqx_bench::harness::{time_once, workload_for};
+use cpqx_bench::{BenchConfig, Table};
+use cpqx_core::CpqxIndex;
+use cpqx_engine::{build_sharded, BatchOptions, BuildOptions, Engine, EngineOptions};
+use cpqx_graph::datasets::Dataset;
+use cpqx_query::ast::Template;
+use cpqx_query::Cpq;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let shards = env_usize(
+        "CPQX_ENGINE_SHARDS",
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+    );
+    let repeats = env_usize("CPQX_ENGINE_BATCH_REPEATS", 4);
+    let sharded_col = format!("sharded x{shards}[s]");
+
+    let mut build_table =
+        Table::new("engine_build", &["dataset", "|V|", "|E|", "seq[s]", &sharded_col, "speedup"]);
+    let mut serve_table = Table::new(
+        "engine_serving",
+        &["dataset", "queries", "uncached qps", "cached qps", "hit rate", "p50", "p99"],
+    );
+
+    for ds in [Dataset::Advogato, Dataset::StringHS, Dataset::BioGrid] {
+        let g = ds.generate(cfg.edge_budget, cfg.seed);
+        let workload: Vec<Cpq> =
+            workload_for(&g, &Template::ALL, &cfg).into_iter().flat_map(|(_, qs)| qs).collect();
+
+        // -- build comparison -------------------------------------------
+        let (seq_idx, seq_s) = time_once(|| CpqxIndex::build(&g, cfg.k));
+        let (par_idx, par_s) = time_once(|| {
+            build_sharded(&g, cfg.k, BuildOptions { shards: Some(shards), threads: None })
+        });
+        assert_eq!(seq_idx.pair_count(), par_idx.pair_count(), "builds must agree");
+        build_table.row(vec![
+            ds.name().to_string(),
+            g.vertex_count().to_string(),
+            g.edge_count().to_string(),
+            format!("{seq_s:.3}"),
+            format!("{par_s:.3}"),
+            format!("{:.2}x", seq_s / par_s.max(1e-9)),
+        ]);
+
+        // -- serving comparison -----------------------------------------
+        let (engine, _) = Engine::with_options(
+            g,
+            EngineOptions {
+                k: cfg.k,
+                build: BuildOptions { shards: Some(shards), threads: None },
+                ..EngineOptions::default()
+            },
+        );
+        let uncached = engine.evaluate_batch(
+            &workload,
+            BatchOptions { bypass_result_cache: true, ..BatchOptions::default() },
+        );
+        let mut cached_qps = 0.0;
+        for _ in 0..repeats.max(1) {
+            let out = engine.evaluate_batch(&workload, BatchOptions::default());
+            cached_qps = out.throughput_qps(); // last pass: warm cache
+        }
+        let stats = engine.stats();
+        serve_table.row(vec![
+            ds.name().to_string(),
+            workload.len().to_string(),
+            format!("{:.0}", uncached.throughput_qps()),
+            format!("{cached_qps:.0}"),
+            format!("{:.1}%", stats.result_hit_rate * 100.0),
+            format!("{:?}", stats.p50),
+            format!("{:?}", stats.p99),
+        ]);
+    }
+
+    build_table.finish();
+    serve_table.finish();
+    println!(
+        "\nInvariant check: sharded builds must equal sequential builds pair-for-pair \
+         (asserted above); cached qps should exceed uncached qps once the workload repeats."
+    );
+}

@@ -23,8 +23,7 @@ fn main() {
     let queries = yago_queries(&g, cfg.seed);
     let interests = interests_from_queries(queries.iter().map(|nq| &nq.query), cfg.k);
 
-    let methods =
-        [Method::IaCpqx, Method::IaPath, Method::TurboHom, Method::Tentris, Method::Bfs];
+    let methods = [Method::IaCpqx, Method::IaPath, Method::TurboHom, Method::Tentris, Method::Bfs];
     let mut headers = vec!["query"];
     headers.extend(methods.iter().map(|m| m.name()));
     let mut table = Table::new("fig09_yago_bench", &headers);

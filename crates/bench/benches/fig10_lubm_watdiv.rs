@@ -22,7 +22,10 @@ fn main() {
         let g = gmark(base * mult, cfg.seed);
         let mut cells = vec![g.vertex_count().to_string(), g.edge_count().to_string()];
         for (name, queries) in [
-            ("lubm", lubm_queries(&g, cfg.seed).into_iter().map(|nq| nq.query).collect::<Vec<Cpq>>()),
+            (
+                "lubm",
+                lubm_queries(&g, cfg.seed).into_iter().map(|nq| nq.query).collect::<Vec<Cpq>>(),
+            ),
             ("watdiv", watdiv_queries(&g, cfg.seed).into_iter().map(|nq| nq.query).collect()),
         ] {
             let interests = interests_from_queries(queries.iter(), cfg.k);

@@ -19,10 +19,8 @@ fn main() {
     let vertices = ((spec.vertices as f64 * scale) as u32).max(64);
     let base_edges = ((spec.base_edges() as f64 * scale) as usize).max(128);
 
-    let mut table = Table::new(
-        "fig12_label_size",
-        &["|L| (ext)", "Path", "CPQx", "iaPath", "iaCPQx"],
-    );
+    let mut table =
+        Table::new("fig12_label_size", &["|L| (ext)", "Path", "CPQx", "iaPath", "iaCPQx"]);
 
     for ext_labels in [16u16, 32, 64, 128, 256, 512, 1024] {
         let g = random_graph(&RandomGraphConfig::social(

@@ -24,10 +24,8 @@ fn main() {
         Dataset::Wikidata,
         Dataset::Freebase,
     ];
-    let mut table = Table::new(
-        "fig14_k_query_time",
-        &["dataset", "template", "k=1", "k=2", "k=3", "k=4"],
-    );
+    let mut table =
+        Table::new("fig14_k_query_time", &["dataset", "template", "k=1", "k=2", "k=3", "k=4"]);
 
     for ds in datasets {
         let g = ds.generate(cfg.edge_budget, cfg.seed);

@@ -2,12 +2,12 @@
 //! cost model: sorted-merge join, pair intersection, class-id intersection,
 //! and index lookup — the primitives every table cell is made of.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cpqx_core::exec::intersect_ids;
 use cpqx_core::CpqxIndex;
 use cpqx_graph::generate::{random_graph, RandomGraphConfig};
 use cpqx_graph::{LabelSeq, Pair};
 use cpqx_query::ops;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::{Rng, SeedableRng};
 
 fn random_pairs(n: usize, universe: u32, seed: u64) -> Vec<Pair> {

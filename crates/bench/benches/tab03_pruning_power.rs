@@ -19,8 +19,7 @@ fn lookup_volume_path(idx: &cpqx_pathindex::PathIndex, q: &Cpq) -> usize {
 
 fn main() {
     let cfg = BenchConfig::from_env();
-    let mut table =
-        Table::new("tab03_pruning_power", &["dataset", "CPQx", "iaCPQx", "iaPath"]);
+    let mut table = Table::new("tab03_pruning_power", &["dataset", "CPQx", "iaCPQx", "iaPath"]);
 
     for ds in Dataset::REAL {
         let g = ds.generate(cfg.edge_budget, cfg.seed);

@@ -35,8 +35,15 @@ fn main() {
     let mut table = Table::new(
         "tab04_index_build",
         &[
-            "dataset", "CPQx IS", "CPQx IT[s]", "iaCPQx IS", "iaCPQx IT[s]", "Path IS",
-            "Path IT[s]", "iaPath IS", "iaPath IT[s]",
+            "dataset",
+            "CPQx IS",
+            "CPQx IT[s]",
+            "iaCPQx IS",
+            "iaCPQx IT[s]",
+            "Path IS",
+            "Path IT[s]",
+            "iaPath IS",
+            "iaPath IT[s]",
         ],
     );
 

@@ -13,7 +13,13 @@ use cpqx_graph::datasets::Dataset;
 use cpqx_graph::generate::sample_edges;
 use cpqx_query::ast::Template;
 
-fn churn_ratio(method: Method, g0: &cpqx_graph::Graph, cfg: &BenchConfig, interests: &[cpqx_graph::LabelSeq], percent: usize) -> f64 {
+fn churn_ratio(
+    method: Method,
+    g0: &cpqx_graph::Graph,
+    cfg: &BenchConfig,
+    interests: &[cpqx_graph::LabelSeq],
+    percent: usize,
+) -> f64 {
     let mut g = g0.clone();
     let (engine, _) = Engine::build(method, &g, cfg.k, interests);
     let mut idx = match engine {

@@ -40,8 +40,7 @@ impl Method {
     ];
 
     /// The four index methods of Table IV.
-    pub const INDEXES: [Method; 4] =
-        [Method::Cpqx, Method::IaCpqx, Method::Path, Method::IaPath];
+    pub const INDEXES: [Method; 4] = [Method::Cpqx, Method::IaCpqx, Method::Path, Method::IaPath];
 
     /// Display name as used in the paper's figures.
     pub fn name(&self) -> &'static str {
@@ -86,7 +85,12 @@ impl Engine {
     /// Builds the engine for `method`, returning it with its construction
     /// time (zero for the index-free methods — the paper's Table IV only
     /// reports construction for the four indexes).
-    pub fn build(method: Method, g: &Graph, k: usize, interests: &[LabelSeq]) -> (Engine, Duration) {
+    pub fn build(
+        method: Method,
+        g: &Graph,
+        k: usize,
+        interests: &[LabelSeq],
+    ) -> (Engine, Duration) {
         let start = Instant::now();
         let engine = match method {
             Method::Cpqx => Engine::Index(CpqxIndex::build(g, k)),
@@ -172,7 +176,8 @@ mod tests {
             let first = engine.evaluate_first(&g, &q).expect("non-empty");
             assert!(expected.contains(&first), "{m} first answer");
             // Only the four index methods report sizes / non-trivial builds.
-            let is_index = matches!(m, Method::Cpqx | Method::IaCpqx | Method::Path | Method::IaPath);
+            let is_index =
+                matches!(m, Method::Cpqx | Method::IaCpqx | Method::Path | Method::IaPath);
             assert_eq!(engine.size_bytes().is_some(), is_index, "{m} size");
             let _ = build_time;
         }

@@ -48,10 +48,7 @@ pub fn workload_for(
 ) -> Vec<(Template, Vec<Cpq>)> {
     let probe = GraphProbe(g);
     let mut gen = WorkloadGen::new(g, cfg.seed);
-    templates
-        .iter()
-        .map(|&t| (t, gen.queries(t, cfg.queries_per_template, &probe)))
-        .collect()
+    templates.iter().map(|&t| (t, gen.queries(t, cfg.queries_per_template, &probe))).collect()
 }
 
 /// Derives the interest set from a workload — the paper specifies "all
@@ -73,12 +70,7 @@ pub fn interests_from_queries<'a>(
 /// Times the average query latency of `engine` over `queries`, respecting
 /// the cell budget. Returns [`Timing::Timeout`] if the budget is exceeded
 /// before all queries complete, [`Timing::Skipped`] on an empty workload.
-pub fn avg_query_time(
-    engine: &Engine,
-    g: &Graph,
-    queries: &[Cpq],
-    cfg: &BenchConfig,
-) -> Timing {
+pub fn avg_query_time(engine: &Engine, g: &Graph, queries: &[Cpq], cfg: &BenchConfig) -> Timing {
     if queries.is_empty() {
         return Timing::Skipped;
     }

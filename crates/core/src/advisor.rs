@@ -71,13 +71,7 @@ impl WorkloadAdvisor {
     pub fn recommend(&self, g: &Graph, cfg: &AdvisorConfig) -> (usize, Vec<LabelSeq>) {
         // k: the longest chunk that is actually worth a single lookup —
         // the longest observed window length, floored at 2.
-        let k = self
-            .counts
-            .keys()
-            .map(LabelSeq::len)
-            .max()
-            .unwrap_or(2)
-            .clamp(2, cfg.max_k);
+        let k = self.counts.keys().map(LabelSeq::len).max().unwrap_or(2).clamp(2, cfg.max_k);
 
         // Rank candidates: frequency first, longer sequences break ties
         // (one long lookup replaces several short ones).

@@ -69,25 +69,182 @@ pub fn cpq_path_partition(g: &Graph, k: usize) -> Partition {
     assert!(k >= 1, "k must be at least 1");
     assert!(k <= cpqx_graph::MAX_SEQ_LEN, "k exceeds MAX_SEQ_LEN");
 
-    let level1 = build_level1(g);
-    // Level-1 adjacency used by every refinement step: for each vertex m,
-    // the (target, b₁(m,u)) list of its outgoing extended edges.
-    let mut adj1: Vec<Vec<(u32, u32)>> = vec![Vec::new(); g.vertex_count() as usize];
-    for &(p, b) in &level1.pair_blocks {
-        adj1[p.src() as usize].push((p.dst(), b));
-    }
-
+    let base = RefinementBase::new(g);
     let mut levels: Vec<Level> = Vec::with_capacity(k);
-    levels.push(level1);
+    levels.push(base.level1);
     for _ in 2..=k {
         let next = {
             let prev = levels.last().unwrap();
-            refine_level(prev, &levels[0].block_seqs, &adj1)
+            refine_level(&prev.pair_blocks, &prev.block_seqs, &levels[0].block_seqs, &base.adj1)
         };
         levels.push(next);
     }
 
-    assemble_classes(&levels, k)
+    let views: Vec<LevelView<'_>> = levels
+        .iter()
+        .map(|l| LevelView { pair_blocks: &l.pair_blocks, block_seqs: &l.block_seqs })
+        .collect();
+    assemble_classes(&views, k)
+}
+
+/// A borrowed per-level view — either a whole [`Level`] or a shard's
+/// source-contiguous slice of one.
+#[derive(Clone, Copy)]
+struct LevelView<'a> {
+    pair_blocks: &'a [(Pair, u32)],
+    block_seqs: &'a [Vec<LabelSeq>],
+}
+
+/// Shared read-only state for (sharded) refinement: the *global* level-1
+/// partition and its adjacency form.
+///
+/// Level 1 assigns globally consistent block ids `b₁` to every
+/// edge-connected pair; every later refinement level only ever *reads* this
+/// state, which is what makes source-sharded refinement embarrassingly
+/// parallel: all pairs `(v, ·)` of a source vertex `v` are produced by
+/// level-sequences that start at `v`, so a shard owning a source range owns
+/// its pairs outright (see [`RefinementBase::partition_range`]).
+pub struct RefinementBase {
+    level1: Level,
+    /// For each vertex `m`, the `(target, b₁(m,u))` list of its outgoing
+    /// extended edges.
+    adj1: Vec<Vec<(u32, u32)>>,
+    vertex_count: u32,
+}
+
+impl RefinementBase {
+    /// Builds the global level-1 state of `g` (the sequential prefix of
+    /// every sharded build).
+    pub fn new(g: &Graph) -> Self {
+        let level1 = build_level1(g);
+        let mut adj1: Vec<Vec<(u32, u32)>> = vec![Vec::new(); g.vertex_count() as usize];
+        for &(p, b) in &level1.pair_blocks {
+            adj1[p.src() as usize].push((p.dst(), b));
+        }
+        RefinementBase { level1, adj1, vertex_count: g.vertex_count() }
+    }
+
+    /// Number of vertices of the underlying graph.
+    pub fn vertex_count(&self) -> u32 {
+        self.vertex_count
+    }
+
+    /// Number of level-1 (edge-connected) pairs — the work measure used to
+    /// balance shard ranges.
+    pub fn level1_pair_count(&self) -> usize {
+        self.level1.pair_blocks.len()
+    }
+
+    /// Splits the vertex ids into at most `shards` contiguous source
+    /// ranges with approximately equal numbers of level-1 pairs (a better
+    /// proxy for refinement cost than raw degree). Ranges tile
+    /// `0..vertex_count()` in ascending order.
+    pub fn balanced_ranges(&self, shards: usize) -> Vec<std::ops::Range<u32>> {
+        cpqx_graph::view::balanced_ranges_by_weight(self.vertex_count, shards, |v| {
+            self.adj1[v as usize].len()
+        })
+    }
+
+    /// Runs the per-shard part of Algorithm 1: refinement levels `2..=k`
+    /// and class assembly restricted to pairs whose source vertex lies in
+    /// `src_range`.
+    ///
+    /// The returned partition covers exactly the pairs of `P≤k` with source
+    /// in the range; class ids are shard-local. Merging the shard
+    /// partitions of a tiling set of ranges with [`merge_partitions`]
+    /// yields a partition that is query-equivalent to
+    /// [`cpq_path_partition`] (classes are grouped by the invariant
+    /// `(cyclicity, L≤k)` itself rather than by block signature, which can
+    /// only *coarsen* the sequential partition — soundly so, since query
+    /// processing relies on exactly that invariant; see Prop. 4.1).
+    pub fn partition_range(&self, k: usize, src_range: std::ops::Range<u32>) -> Partition {
+        assert!(k >= 1, "k must be at least 1");
+        assert!(k <= cpqx_graph::MAX_SEQ_LEN, "k exceeds MAX_SEQ_LEN");
+
+        // The level-1 slice for this shard: pair_blocks is sorted by pair
+        // (source-major), so the restriction is one contiguous subslice.
+        let pb = &self.level1.pair_blocks;
+        let start = pb.partition_point(|&(p, _)| p.src() < src_range.start);
+        let end = start + pb[start..].partition_point(|&(p, _)| p.src() < src_range.end);
+        let level1_slice = &pb[start..end];
+
+        let mut local: Vec<Level> = Vec::with_capacity(k.saturating_sub(1));
+        for i in 2..=k {
+            let (prev_blocks, prev_seqs): (&[(Pair, u32)], &[Vec<LabelSeq>]) = if i == 2 {
+                (level1_slice, &self.level1.block_seqs)
+            } else {
+                let prev = local.last().unwrap();
+                (&prev.pair_blocks, &prev.block_seqs)
+            };
+            let next = refine_level(prev_blocks, prev_seqs, &self.level1.block_seqs, &self.adj1);
+            local.push(next);
+        }
+
+        let mut views: Vec<LevelView<'_>> = Vec::with_capacity(k);
+        views.push(LevelView { pair_blocks: level1_slice, block_seqs: &self.level1.block_seqs });
+        for l in &local {
+            views.push(LevelView { pair_blocks: &l.pair_blocks, block_seqs: &l.block_seqs });
+        }
+        assemble_classes(&views, k)
+    }
+}
+
+/// Merges shard partitions over disjoint, ascending source ranges into one
+/// partition, unifying classes across shards by the class invariant
+/// `(cyclicity, L≤k)`.
+///
+/// Precondition (asserted in debug builds): the concatenation of the
+/// shards' pair lists is strictly sorted — i.e. the shards came from a
+/// tiling of ascending source ranges, as produced by
+/// [`RefinementBase::balanced_ranges`].
+pub fn merge_partitions(shards: Vec<Partition>) -> Partition {
+    use std::collections::HashMap;
+    use std::hash::{Hash, Hasher};
+
+    let mut pair_classes: Vec<(Pair, ClassId)> =
+        Vec::with_capacity(shards.iter().map(Partition::pair_count).sum());
+    let mut class_loop: Vec<bool> = Vec::new();
+    let mut class_seqs: Vec<Vec<LabelSeq>> = Vec::new();
+    // Candidate global class ids per key hash. Keying by hash (with an
+    // explicit equality check against the already-stored class data)
+    // avoids materializing owned `(loop, seqs)` map keys: each shard's
+    // sequence sets are *moved* into `class_seqs` on first occurrence and
+    // simply dropped on duplicates — no clones at all.
+    let mut by_hash: HashMap<u64, Vec<ClassId>> = HashMap::new();
+    let key_hash = |lp: bool, seqs: &[LabelSeq]| {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        lp.hash(&mut h);
+        seqs.hash(&mut h);
+        h.finish()
+    };
+
+    for shard in shards {
+        let Partition { pair_classes: spairs, class_loop: sloop, class_seqs: sseqs } = shard;
+        // Remap this shard's local class ids to global ids.
+        let mut remap: Vec<ClassId> = Vec::with_capacity(sloop.len());
+        for (&lp, seqs) in sloop.iter().zip(sseqs) {
+            let candidates = by_hash.entry(key_hash(lp, &seqs)).or_default();
+            let found = candidates
+                .iter()
+                .copied()
+                .find(|&c| class_loop[c as usize] == lp && class_seqs[c as usize] == seqs);
+            remap.push(found.unwrap_or_else(|| {
+                let c = class_loop.len() as ClassId;
+                class_loop.push(lp);
+                class_seqs.push(seqs);
+                candidates.push(c);
+                c
+            }));
+        }
+        for &(p, c) in &spairs {
+            debug_assert!(
+                pair_classes.last().is_none_or(|&(q, _)| q < p),
+                "shards must tile ascending source ranges"
+            );
+            pair_classes.push((p, remap[c as usize]));
+        }
+    }
+    Partition { pair_classes, class_loop, class_seqs }
 }
 
 /// Level 1: group edge-connected pairs by `(is-loop, sorted label set)`.
@@ -115,11 +272,7 @@ fn build_level1(g: &Graph) -> Level {
     let labels_of = |idx: usize| entries[pairs[idx].1.clone()].iter().map(|&(_, l)| l);
     let mut order: Vec<usize> = (0..pairs.len()).collect();
     order.sort_unstable_by(|&a, &b| {
-        pairs[a]
-            .0
-            .is_loop()
-            .cmp(&pairs[b].0.is_loop())
-            .then_with(|| labels_of(a).cmp(labels_of(b)))
+        pairs[a].0.is_loop().cmp(&pairs[b].0.is_loop()).then_with(|| labels_of(a).cmp(labels_of(b)))
     });
 
     let mut pair_blocks: Vec<(Pair, u32)> = vec![(Pair(0), 0); pairs.len()];
@@ -145,15 +298,22 @@ fn build_level1(g: &Graph) -> Level {
 }
 
 /// Level i from level i−1: join exact-(i−1) pairs with edges, group by
-/// `(is-loop, sorted (b_{i-1}, b₁) set)`.
-fn refine_level(prev: &Level, level1_block_seqs: &[Vec<LabelSeq>], adj1: &[Vec<(u32, u32)>]) -> Level {
+/// `(is-loop, sorted (b_{i-1}, b₁) set)`. `prev_blocks` may be a shard's
+/// source-contiguous slice of the previous level; block ids in the output
+/// index into the returned `block_seqs` only.
+fn refine_level(
+    prev_blocks: &[(Pair, u32)],
+    prev_seqs: &[Vec<LabelSeq>],
+    level1_block_seqs: &[Vec<LabelSeq>],
+    adj1: &[Vec<(u32, u32)>],
+) -> Level {
     // Emit (pair, combo) for every decomposition prefix·edge. Dense graphs
     // emit far more raw tuples than there are distinct ones, so the buffer
     // is deduplicated periodically to bound peak memory.
     const DEDUP_THRESHOLD: usize = 1 << 23;
     let mut emissions: Vec<(Pair, u64)> = Vec::new();
     let mut next_dedup = DEDUP_THRESHOLD;
-    for &(vm, b_prev) in &prev.pair_blocks {
+    for &(vm, b_prev) in prev_blocks {
         let (v, m) = (vm.src(), vm.dst());
         for &(u, b1) in &adj1[m as usize] {
             emissions.push((Pair::new(v, u), ((b_prev as u64) << 32) | b1 as u64));
@@ -180,16 +340,12 @@ fn refine_level(prev: &Level, level1_block_seqs: &[Vec<LabelSeq>], adj1: &[Vec<(
     // Assign block ids by (is-loop, combo slice).
     let mut order: Vec<usize> = (0..pairs.len()).collect();
     order.sort_unstable_by(|&a, &b| {
-        pairs[a]
-            .0
-            .is_loop()
-            .cmp(&pairs[b].0.is_loop())
-            .then_with(|| {
-                emissions[pairs[a].1.clone()]
-                    .iter()
-                    .map(|&(_, c)| c)
-                    .cmp(emissions[pairs[b].1.clone()].iter().map(|&(_, c)| c))
-            })
+        pairs[a].0.is_loop().cmp(&pairs[b].0.is_loop()).then_with(|| {
+            emissions[pairs[a].1.clone()]
+                .iter()
+                .map(|&(_, c)| c)
+                .cmp(emissions[pairs[b].1.clone()].iter().map(|&(_, c)| c))
+        })
     });
 
     let mut pair_blocks: Vec<(Pair, u32)> = vec![(Pair(0), 0); pairs.len()];
@@ -220,7 +376,7 @@ fn refine_level(prev: &Level, level1_block_seqs: &[Vec<LabelSeq>], adj1: &[Vec<(
             for &c in combos {
                 let b_prev = (c >> 32) as usize;
                 let b1 = (c as u32) as usize;
-                for w in &prev.block_seqs[b_prev] {
+                for w in &prev_seqs[b_prev] {
                     for s1 in &level1_block_seqs[b1] {
                         seqs.push(w.concat(s1));
                     }
@@ -237,11 +393,11 @@ fn refine_level(prev: &Level, level1_block_seqs: &[Vec<LabelSeq>], adj1: &[Vec<(
 
 /// Final class assignment: group pairs by `(is-loop, ⟨b₁,…,b_k⟩)` and derive
 /// each class's `L≤k` from the per-level block sequence sets.
-fn assemble_classes(levels: &[Level], k: usize) -> Partition {
+fn assemble_classes(levels: &[LevelView<'_>], k: usize) -> Partition {
     // Gather (pair, level, block) across levels.
     let mut tuples: Vec<(Pair, u8, u32)> = Vec::new();
     for (i, level) in levels.iter().enumerate() {
-        for &(p, b) in &level.pair_blocks {
+        for &(p, b) in level.pair_blocks {
             tuples.push((p, i as u8, b));
         }
     }
@@ -264,11 +420,7 @@ fn assemble_classes(levels: &[Level], k: usize) -> Partition {
     // Group by (is-loop, signature).
     let mut order: Vec<usize> = (0..sigs.len()).collect();
     order.sort_unstable_by(|&a, &b| {
-        sigs[a]
-            .0
-            .is_loop()
-            .cmp(&sigs[b].0.is_loop())
-            .then_with(|| sigs[a].1.cmp(&sigs[b].1))
+        sigs[a].0.is_loop().cmp(&sigs[b].0.is_loop()).then_with(|| sigs[a].1.cmp(&sigs[b].1))
     });
 
     let mut class_of: Vec<u32> = vec![0; sigs.len()];
@@ -415,6 +567,95 @@ mod tests {
         let p = check_invariants(&g, 2);
         // All non-loop pairs are alike; all loop pairs are alike.
         assert_eq!(p.class_count(), 2);
+    }
+
+    /// Sharded-range builds must reconstruct the exact pair → `L≤k`
+    /// mapping of the sequential build (class ids may differ; the class
+    /// *contents* — loop flag and sequence set per pair — may not).
+    fn check_range_build_equivalence(g: &Graph, k: usize, shard_counts: &[usize]) {
+        let seq = cpq_path_partition(g, k);
+        let seq_map: std::collections::HashMap<Pair, (&Vec<LabelSeq>, bool)> = seq
+            .pair_classes
+            .iter()
+            .map(|&(p, c)| (p, (&seq.class_seqs[c as usize], seq.class_loop[c as usize])))
+            .collect();
+        let base = RefinementBase::new(g);
+        for &shards in shard_counts {
+            let parts: Vec<Partition> = base
+                .balanced_ranges(shards)
+                .into_iter()
+                .map(|r| base.partition_range(k, r))
+                .collect();
+            let merged = merge_partitions(parts);
+            assert_eq!(merged.pair_count(), seq.pair_count(), "{shards} shards, k={k}");
+            for &(p, c) in &merged.pair_classes {
+                let (expect_seqs, expect_loop) =
+                    seq_map.get(&p).unwrap_or_else(|| panic!("pair {p:?} not in sequential build"));
+                assert_eq!(&&merged.class_seqs[c as usize], expect_seqs, "pair {p:?}");
+                assert_eq!(merged.class_loop[c as usize], *expect_loop, "pair {p:?}");
+            }
+            // Merged classes can only coarsen the sequential partition.
+            assert!(merged.class_count() <= seq.class_count(), "{shards} shards, k={k}");
+        }
+    }
+
+    #[test]
+    fn range_build_matches_sequential_on_gex() {
+        let g = generate::gex();
+        for k in 1..=3 {
+            check_range_build_equivalence(&g, k, &[1, 2, 3, 8]);
+        }
+    }
+
+    #[test]
+    fn range_build_matches_sequential_on_random_graphs() {
+        for seed in 0..3 {
+            let cfg = generate::RandomGraphConfig::social(60, 240, 3, seed);
+            let g = generate::random_graph(&cfg);
+            check_range_build_equivalence(&g, 2, &[1, 2, 4, 16]);
+        }
+    }
+
+    #[test]
+    fn single_range_covers_everything() {
+        let g = generate::gex();
+        let base = RefinementBase::new(&g);
+        let whole = base.partition_range(2, 0..g.vertex_count());
+        let seq = cpq_path_partition(&g, 2);
+        assert_eq!(whole.pair_count(), seq.pair_count());
+        assert_eq!(
+            whole.pair_classes.iter().map(|&(p, _)| p).collect::<Vec<_>>(),
+            seq.pair_classes.iter().map(|&(p, _)| p).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn empty_range_yields_empty_partition() {
+        let g = generate::gex();
+        let base = RefinementBase::new(&g);
+        let p = base.partition_range(2, 3..3);
+        assert_eq!(p.pair_count(), 0);
+        assert_eq!(p.class_count(), 0);
+        let merged = merge_partitions(vec![p]);
+        assert_eq!(merged.pair_count(), 0);
+    }
+
+    #[test]
+    fn balanced_ranges_tile_vertices() {
+        let g = generate::random_graph(&generate::RandomGraphConfig::social(33, 150, 3, 4));
+        let base = RefinementBase::new(&g);
+        for shards in [1, 2, 5, 33, 64] {
+            let ranges = base.balanced_ranges(shards);
+            assert!(!ranges.is_empty());
+            assert_eq!(ranges[0].start, 0);
+            assert_eq!(ranges.last().unwrap().end, g.vertex_count());
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].end, w[1].start);
+            }
+            for r in &ranges {
+                assert!(r.start < r.end, "empty range {r:?}");
+            }
+        }
     }
 
     #[test]

@@ -142,11 +142,7 @@ impl<'i, 'g> Executor<'i, 'g> {
                     let pairs = self.expand(looked);
                     return Intermediate::Pairs(ops::filter_loops(&pairs));
                 }
-                let cs = looked
-                    .iter()
-                    .copied()
-                    .filter(|&c| self.index.class_is_loop(c))
-                    .collect();
+                let cs = looked.iter().copied().filter(|&c| self.index.class_is_loop(c)).collect();
                 Intermediate::Classes(cs)
             }
             Plan::Join(a, b) => {

@@ -22,6 +22,11 @@ use std::collections::{BTreeSet, HashMap};
 /// per-class loop flags (O(1) IDENTITY), per-class sequence sets (to decide
 /// whether an affected pair's `L≤k` changed), and the pair → class inverted
 /// index of Sec. IV-E.
+///
+/// The type is `Clone` so a serving layer can snapshot it, apply
+/// maintenance to the copy, and atomically publish the result without
+/// blocking readers of the old version (see the `cpqx-engine` crate).
+#[derive(Clone)]
 pub struct CpqxIndex {
     pub(crate) k: usize,
     /// `None` for full CPQx; `Some(Lq)` for iaCPQx (length-1 sequences are
@@ -77,7 +82,17 @@ impl CpqxIndex {
         Self::from_partition(k, Some(lq), partition)
     }
 
-    fn from_partition(k: usize, interests: Option<BTreeSet<LabelSeq>>, p: Partition) -> Self {
+    /// Materializes the runtime index `(Il2c, Ic2p)` from an
+    /// already-computed partition — the seam the sharded parallel builder
+    /// plugs into (`cpqx-engine` merges per-shard partitions and hands the
+    /// result here).
+    ///
+    /// `p` must be a valid partition of the graph's `P≤k`: pairs sorted
+    /// ascending, every class homogeneous in `(cyclicity, L≤k)` — as
+    /// produced by [`cpq_path_partition`], by
+    /// [`crate::bisim::merge_partitions`] over a tiling of source ranges,
+    /// or by [`crate::interest::interest_partition`].
+    pub fn from_partition(k: usize, interests: Option<BTreeSet<LabelSeq>>, p: Partition) -> Self {
         let nc = p.class_count();
         let mut ic2p: Vec<Vec<Pair>> = vec![Vec::new(); nc];
         let mut p2c = HashMap::with_capacity(p.pair_count());
@@ -215,26 +230,25 @@ impl CpqxIndex {
         let postings: usize = self.il2c.values().map(Vec::len).sum();
         let pairs = self.pair_count();
         // γ = average |L≤k(v,u)| over pairs = Σ_c |seqs(c)|·|P(c)| / |P≤k|.
-        let weighted: usize = self
-            .class_seqs
-            .iter()
-            .zip(&self.ic2p)
-            .map(|(s, p)| s.len() * p.len())
-            .sum();
+        let weighted: usize =
+            self.class_seqs.iter().zip(&self.ic2p).map(|(s, p)| s.len() * p.len()).sum();
         let gamma = if pairs == 0 { 0.0 } else { weighted as f64 / pairs as f64 };
         // Packed (CSR-equivalent) accounting: keys + entries + offsets.
         // Container headers are an implementation detail, so sizes stay
         // comparable across index designs (Table IV's IS).
         let seq_bytes = std::mem::size_of::<LabelSeq>();
         let il2c_bytes: usize = self
-            .il2c.values().map(|v| seq_bytes + v.len() * std::mem::size_of::<ClassId>() + 4)
+            .il2c
+            .values()
+            .map(|v| seq_bytes + v.len() * std::mem::size_of::<ClassId>() + 4)
             .sum();
-        let ic2p_bytes: usize = self.ic2p.iter().map(|v| v.len() * std::mem::size_of::<Pair>()).sum::<usize>()
-            + (self.ic2p.len() + 1) * 4;
+        let ic2p_bytes: usize =
+            self.ic2p.iter().map(|v| v.len() * std::mem::size_of::<Pair>()).sum::<usize>()
+                + (self.ic2p.len() + 1) * 4;
         let core_bytes = il2c_bytes + ic2p_bytes;
-        let class_seq_bytes: usize =
-            self.class_seqs.iter().map(|v| v.len() * seq_bytes + 4).sum();
-        let p2c_bytes = self.p2c.len() * (std::mem::size_of::<Pair>() + std::mem::size_of::<ClassId>());
+        let class_seq_bytes: usize = self.class_seqs.iter().map(|v| v.len() * seq_bytes + 4).sum();
+        let p2c_bytes =
+            self.p2c.len() * (std::mem::size_of::<Pair>() + std::mem::size_of::<ClassId>());
         IndexStats {
             k: self.k,
             classes: self.live_class_count(),

@@ -17,7 +17,10 @@ use std::collections::BTreeSet;
 /// plus the remainder (the paper's rule for workload-derived interests),
 /// duplicates collapse, empty sequences are dropped. Length-1 sequences
 /// need not be listed — construction always indexes them.
-pub fn normalize_interests(seqs: impl IntoIterator<Item = LabelSeq>, k: usize) -> BTreeSet<LabelSeq> {
+pub fn normalize_interests(
+    seqs: impl IntoIterator<Item = LabelSeq>,
+    k: usize,
+) -> BTreeSet<LabelSeq> {
     let mut out = BTreeSet::new();
     for seq in seqs {
         let mut rest = seq;
@@ -90,11 +93,7 @@ pub fn interest_partition(g: &Graph, k: usize, interests: &BTreeSet<LabelSeq>) -
     let ids_of = |idx: usize| hits[pairs[idx].1.clone()].iter().map(|&(_, s)| s);
     let mut order: Vec<usize> = (0..pairs.len()).collect();
     order.sort_unstable_by(|&a, &b| {
-        pairs[a]
-            .0
-            .is_loop()
-            .cmp(&pairs[b].0.is_loop())
-            .then_with(|| ids_of(a).cmp(ids_of(b)))
+        pairs[a].0.is_loop().cmp(&pairs[b].0.is_loop()).then_with(|| ids_of(a).cmp(ids_of(b)))
     });
 
     let mut class_of: Vec<ClassId> = vec![0; pairs.len()];
@@ -172,8 +171,10 @@ mod tests {
     #[test]
     fn class_members_share_seq_sets() {
         let g = generate::random_graph(&generate::RandomGraphConfig::social(60, 240, 3, 5));
-        let interests =
-            normalize_interests([LabelSeq::from_slice(&[l(0), l(1)]), LabelSeq::from_slice(&[l(1), l(2)])], 2);
+        let interests = normalize_interests(
+            [LabelSeq::from_slice(&[l(0), l(1)]), LabelSeq::from_slice(&[l(1), l(2)])],
+            2,
+        );
         let p = interest_partition(&g, 2, &interests);
         // Recompute each pair's interest intersection from scratch and check
         // it matches its class label set.

@@ -40,7 +40,7 @@ pub mod optimize;
 pub mod paths;
 pub mod serialize;
 
-pub use bisim::{cpq_path_partition, ClassId, Partition};
+pub use bisim::{cpq_path_partition, merge_partitions, ClassId, Partition, RefinementBase};
 pub use exec::{ExecOptions, Executor, Intermediate};
 pub use index::{CpqxIndex, IndexStats};
 pub use interest::normalize_interests;

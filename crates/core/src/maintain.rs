@@ -161,10 +161,7 @@ impl CpqxIndex {
         let all = label_seqs_between(g, p.src(), p.dst(), self.k);
         match &self.interests {
             None => all,
-            Some(lq) => all
-                .into_iter()
-                .filter(|s| s.len() == 1 || lq.contains(s))
-                .collect(),
+            Some(lq) => all.into_iter().filter(|s| s.len() == 1 || lq.contains(s)).collect(),
         }
     }
 

@@ -357,11 +357,8 @@ mod tests {
     fn interest_aware_optimization() {
         let g = generate::gex();
         let f = g.label_named("f").unwrap();
-        let idx = CpqxIndex::build_interest_aware(
-            &g,
-            2,
-            [LabelSeq::from_slice(&[f.fwd(), f.fwd()])],
-        );
+        let idx =
+            CpqxIndex::build_interest_aware(&g, 2, [LabelSeq::from_slice(&[f.fwd(), f.fwd()])]);
         // A chain whose only indexed 2-chunk is ⟨f,f⟩.
         let q = parse_cpq("f . f . v", &g).unwrap();
         let plan = optimize_query(&idx, &g, &q);

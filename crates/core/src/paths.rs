@@ -86,7 +86,12 @@ fn walk_rec(
 
 /// Reference implementation of [`label_seqs_between`] — straightforward
 /// depth-first enumeration. Kept for differential testing.
-pub fn label_seqs_between_naive(g: &Graph, src: VertexId, dst: VertexId, k: usize) -> Vec<LabelSeq> {
+pub fn label_seqs_between_naive(
+    g: &Graph,
+    src: VertexId,
+    dst: VertexId,
+    k: usize,
+) -> Vec<LabelSeq> {
     let mut out = Vec::new();
     let mut cur = LabelSeq::empty();
     naive_rec(g, src, dst, k, &mut cur, &mut out);
@@ -95,7 +100,14 @@ pub fn label_seqs_between_naive(g: &Graph, src: VertexId, dst: VertexId, k: usiz
     out
 }
 
-fn naive_rec(g: &Graph, v: VertexId, dst: VertexId, remaining: usize, cur: &mut LabelSeq, out: &mut Vec<LabelSeq>) {
+fn naive_rec(
+    g: &Graph,
+    v: VertexId,
+    dst: VertexId,
+    remaining: usize,
+    cur: &mut LabelSeq,
+    out: &mut Vec<LabelSeq>,
+) {
     if remaining == 0 {
         return;
     }
@@ -335,10 +347,7 @@ mod tests {
                     let l = cpqx_graph::Label(rng.gen_range(0..g.base_label_count()));
                     // Snapshot, flip the edge, compare all pairs.
                     let before: Vec<Vec<LabelSeq>> = (0..g.vertex_count())
-                        .flat_map(|x| {
-                            (0..g.vertex_count())
-                                .map(move |y| (x, y))
-                        })
+                        .flat_map(|x| (0..g.vertex_count()).map(move |y| (x, y)))
                         .map(|(x, y)| label_seqs_between(&g, x, y, k))
                         .collect();
                     let inserted = g.insert_edge(v, u, l);

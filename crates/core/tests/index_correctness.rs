@@ -57,8 +57,9 @@ fn cpqx_matches_reference_on_gex_all_templates_all_k() {
         let idx = CpqxIndex::build(&g, k);
         for t in Template::ALL {
             for _ in 0..5 {
-                let labels: Vec<ExtLabel> =
-                    (0..t.arity()).map(|_| ExtLabel(rng.gen_range(0..g.ext_label_count()))).collect();
+                let labels: Vec<ExtLabel> = (0..t.arity())
+                    .map(|_| ExtLabel(rng.gen_range(0..g.ext_label_count())))
+                    .collect();
                 let q = t.instantiate(&labels);
                 assert_eq!(
                     idx.evaluate(&g, &q),
@@ -80,8 +81,9 @@ fn cpqx_matches_reference_on_random_graphs() {
         let idx = CpqxIndex::build(&g, 2);
         for t in Template::ALL {
             for _ in 0..3 {
-                let labels: Vec<ExtLabel> =
-                    (0..t.arity()).map(|_| ExtLabel(rng.gen_range(0..g.ext_label_count()))).collect();
+                let labels: Vec<ExtLabel> = (0..t.arity())
+                    .map(|_| ExtLabel(rng.gen_range(0..g.ext_label_count())))
+                    .collect();
                 let q = t.instantiate(&labels);
                 assert_eq!(
                     idx.evaluate(&g, &q),
@@ -138,7 +140,9 @@ fn ia_cpqx_with_full_interests_matches_reference() {
 fn identity_heavy_queries() {
     let g = generate::gex();
     let idx = CpqxIndex::build(&g, 2);
-    for src in ["id", "(f . f^-1) & id", "((f . f) . f) & id", "(v . v^-1) & id", "f . id", "id . f"] {
+    for src in
+        ["id", "(f . f^-1) & id", "((f . f) . f) & id", "(v . v^-1) & id", "f . id", "id . f"]
+    {
         let q = parse_cpq(src, &g).unwrap();
         assert_eq!(idx.evaluate(&g, &q), eval_reference(&g, &q), "query {src}");
     }

@@ -45,10 +45,8 @@ fn repeated_roundtrips_are_stable() {
         LabelSeq::from_slice(&[cpqx_graph::ExtLabel(2), cpqx_graph::ExtLabel(0)]),
     ];
     let mut idx = CpqxIndex::build_interest_aware(&g, 2, seqs);
-    let queries: Vec<Cpq> = seqs
-        .iter()
-        .map(|s| Cpq::ext(s.get(0)).join(Cpq::ext(s.get(1))))
-        .collect();
+    let queries: Vec<Cpq> =
+        seqs.iter().map(|s| Cpq::ext(s.get(0)).join(Cpq::ext(s.get(1)))).collect();
     let expected: Vec<_> = queries.iter().map(|q| eval_reference(&g, q)).collect();
     for round in 0..5 {
         for s in &seqs {

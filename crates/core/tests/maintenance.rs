@@ -114,11 +114,8 @@ fn random_update_storm_interest_aware() {
 fn interest_insertion_and_deletion() {
     let cfg = generate::RandomGraphConfig::social(60, 300, 3, 9);
     let g = generate::random_graph(&cfg);
-    let mut idx = CpqxIndex::build_interest_aware(
-        &g,
-        2,
-        [LabelSeq::from_slice(&[ExtLabel(0), ExtLabel(1)])],
-    );
+    let mut idx =
+        CpqxIndex::build_interest_aware(&g, 2, [LabelSeq::from_slice(&[ExtLabel(0), ExtLabel(1)])]);
     // Insert a new interest: queries using it should now take one lookup.
     let new_seq = LabelSeq::from_slice(&[ExtLabel(1), ExtLabel(2)]);
     assert!(idx.insert_interest(&g, new_seq));

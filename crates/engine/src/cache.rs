@@ -1,0 +1,188 @@
+//! A small dependency-free LRU cache for query results.
+//!
+//! Classic map + recency-queue design with *lazy* invalidation: every
+//! touch pushes a fresh `(tick, key)` entry onto the queue and records the
+//! tick in the map; eviction pops queue entries whose tick is stale until
+//! it finds the true least-recently-used key. Amortized O(1) per
+//! operation; the queue is compacted whenever it outgrows a small multiple
+//! of the capacity, bounding memory.
+
+use std::collections::{HashMap, VecDeque};
+use std::hash::Hash;
+
+/// A least-recently-used cache with a fixed entry capacity.
+pub struct LruCache<K, V> {
+    capacity: usize,
+    map: HashMap<K, (V, u64)>,
+    recency: VecDeque<(u64, K)>,
+    tick: u64,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// Creates a cache holding at most `capacity` entries. A capacity of 0
+    /// disables the cache (every insert is dropped).
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            capacity,
+            map: HashMap::with_capacity(capacity.min(1024)),
+            recency: VecDeque::new(),
+            tick: 0,
+        }
+    }
+
+    /// Current number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Looks up `key`, marking it most-recently-used on a hit. Accepts
+    /// any borrowed form of the key (e.g. `&str` for `String` keys).
+    pub fn get<Q>(&mut self, key: &Q) -> Option<&V>
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        self.tick += 1;
+        let tick = self.tick;
+        let owned = self.map.get_key_value(key)?.0.clone();
+        match self.map.get_mut(key) {
+            Some((_, last)) => {
+                *last = tick;
+                self.recency.push_back((tick, owned));
+                self.compact_if_needed();
+                self.map.get(key).map(|(v, _)| v)
+            }
+            None => None,
+        }
+    }
+
+    /// Inserts `key → value`, evicting the least-recently-used entry if
+    /// the cache is full. Returns whether the value was stored (a zero
+    /// capacity stores nothing).
+    pub fn insert(&mut self, key: K, value: V) -> bool {
+        if self.capacity == 0 {
+            return false;
+        }
+        self.tick += 1;
+        let tick = self.tick;
+        self.recency.push_back((tick, key.clone()));
+        let existed = self.map.insert(key, (value, tick)).is_some();
+        if !existed && self.map.len() > self.capacity {
+            self.evict_one();
+        }
+        self.compact_if_needed();
+        true
+    }
+
+    /// Drops every entry (used when a new snapshot invalidates results).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.recency.clear();
+    }
+
+    fn evict_one(&mut self) {
+        while let Some((tick, key)) = self.recency.pop_front() {
+            // Stale queue entry: the key was touched again later (or was
+            // already removed).
+            let is_current = self.map.get(&key).is_some_and(|&(_, last)| last == tick);
+            if is_current {
+                self.map.remove(&key);
+                return;
+            }
+        }
+    }
+
+    fn compact_if_needed(&mut self) {
+        if self.recency.len() > self.capacity.saturating_mul(4).max(64) {
+            let map = &self.map;
+            self.recency.retain(|(tick, key)| map.get(key).is_some_and(|&(_, last)| last == *tick));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(2);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        assert_eq!(c.get(&"a"), Some(&1)); // a is now MRU
+        c.insert("c", 3); // evicts b
+        assert_eq!(c.get(&"b"), None);
+        assert_eq!(c.get(&"a"), Some(&1));
+        assert_eq!(c.get(&"c"), Some(&3));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_updates_value_without_growth() {
+        let mut c = LruCache::new(2);
+        c.insert("a", 1);
+        c.insert("a", 10);
+        assert_eq!(c.get(&"a"), Some(&10));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let mut c = LruCache::new(0);
+        assert!(!c.insert("a", 1));
+        assert_eq!(c.get(&"a"), None);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut c = LruCache::new(4);
+        c.insert(1, 1);
+        c.insert(2, 2);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.get(&1), None);
+    }
+
+    #[test]
+    fn stress_against_reference_model() {
+        // Compare against a naive O(n) LRU model under a long random-ish
+        // deterministic workload.
+        let mut c = LruCache::new(8);
+        let mut model: Vec<(u32, u32)> = Vec::new(); // (key, value), front = LRU
+        let mut x: u64 = 0x1234_5678;
+        for step in 0..20_000u32 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let key = ((x >> 33) % 24) as u32;
+            if x & 1 == 0 {
+                // insert
+                let val = step;
+                c.insert(key, val);
+                model.retain(|&(k, _)| k != key);
+                model.push((key, val));
+                if model.len() > 8 {
+                    model.remove(0);
+                }
+            } else {
+                let got = c.get(&key).copied();
+                let want = model.iter().position(|&(k, _)| k == key).map(|i| {
+                    let (k, v) = model.remove(i);
+                    model.push((k, v));
+                    v
+                });
+                assert_eq!(got, want, "step {step} key {key}");
+            }
+        }
+        assert!(c.len() <= 8);
+    }
+}

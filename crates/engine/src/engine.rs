@@ -1,0 +1,506 @@
+//! The concurrent query-serving engine.
+//!
+//! An [`Engine`] owns an immutable [`Snapshot`] — graph + index + a plan
+//! cache — behind an atomically swappable `Arc`. Readers clone the `Arc`
+//! under a briefly-held read lock and then evaluate entirely lock-free on
+//! the snapshot; maintenance clones the state, applies updates to the
+//! clone, and *installs* a new snapshot, never blocking in-flight readers
+//! (they finish on the version they started with — snapshot isolation).
+//!
+//! Serving adds two caches:
+//!
+//! * a **plan cache** per snapshot: canonical query → lowered [`Plan`]
+//!   (plans depend on the index's interest set, so they live and die with
+//!   the snapshot);
+//! * an **LRU result cache** across queries, keyed by the canonical form
+//!   of the query ([`cpqx_query::canonical`]) and tagged with the epoch it
+//!   is valid for — a snapshot swap atomically invalidates it.
+//!
+//! All counters and latency percentiles are exported through
+//! [`Engine::stats`].
+
+use cpqx_core::{CpqxIndex, Executor};
+use cpqx_graph::{Graph, Label, LabelSeq, Pair, VertexId};
+use cpqx_query::canonical::{cache_key, canonicalize};
+use cpqx_query::{Cpq, Plan};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
+
+use crate::build::{build_sharded_with_report, BuildOptions, BuildReport};
+use crate::cache::LruCache;
+use crate::stats::{EngineCounters, StatsReport};
+
+/// Engine construction knobs.
+#[derive(Clone, Debug)]
+pub struct EngineOptions {
+    /// Index path-length parameter `k`.
+    pub k: usize,
+    /// Sharding knobs for the initial build and [`Engine::rebuild`].
+    pub build: BuildOptions,
+    /// Result-cache capacity in entries (0 disables result caching).
+    pub result_cache_capacity: usize,
+    /// Per-snapshot plan-cache capacity in entries (0 disables plan
+    /// caching). Bounded for the same reason as the result cache: a
+    /// long-lived snapshot serving millions of distinct queries must not
+    /// grow without bound.
+    pub plan_cache_capacity: usize,
+    /// `Some(interests)` builds the interest-aware index (iaCPQx) instead
+    /// of full CPQx. Interest-aware partitions are interest-driven rather
+    /// than source-partitioned, so they build sequentially.
+    pub interests: Option<Vec<LabelSeq>>,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            k: 2,
+            build: BuildOptions::default(),
+            result_cache_capacity: 1024,
+            plan_cache_capacity: 4096,
+            interests: None,
+        }
+    }
+}
+
+/// An immutable, shareable point-in-time view: the graph, its index, the
+/// epoch that produced it, and a plan cache scoped to it.
+pub struct Snapshot {
+    graph: Graph,
+    index: CpqxIndex,
+    epoch: u64,
+    plans: Mutex<LruCache<String, Arc<Plan>>>,
+}
+
+impl Snapshot {
+    fn new(graph: Graph, index: CpqxIndex, epoch: u64, plan_capacity: usize) -> Self {
+        Snapshot { graph, index, epoch, plans: Mutex::new(LruCache::new(plan_capacity)) }
+    }
+
+    /// The snapshot's graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The snapshot's index.
+    pub fn index(&self) -> &CpqxIndex {
+        &self.index
+    }
+
+    /// The engine epoch this snapshot was installed at (0 = initial
+    /// build; each maintenance installation increments it).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The lowered plan for a canonical query, cached per snapshot (LRU,
+    /// bounded by [`EngineOptions::plan_cache_capacity`]). Returns the
+    /// plan and whether it was a cache hit.
+    pub fn plan_for(&self, key: &str, canonical: &Cpq) -> (Arc<Plan>, bool) {
+        if let Some(p) = self.plans.lock().unwrap().get(key) {
+            return (Arc::clone(p), true);
+        }
+        // Lower outside the lock: planning is pure and collisions are
+        // idempotent (last insert wins with an identical plan).
+        let plan = Arc::new(self.index.plan(canonical));
+        self.plans.lock().unwrap().insert(key.to_string(), Arc::clone(&plan));
+        (plan, false)
+    }
+
+    /// Evaluates `q` against this snapshot, bypassing the result cache
+    /// (still uses the snapshot's plan cache).
+    pub fn evaluate(&self, q: &Cpq) -> Vec<Pair> {
+        let canonical = canonicalize(q);
+        let key = cache_key(&canonical);
+        let (plan, _) = self.plan_for(&key, &canonical);
+        Executor::new(&self.index, &self.graph).run(&plan)
+    }
+}
+
+/// Result cache tagged with the epoch its entries are valid for.
+struct TaggedResults {
+    epoch: u64,
+    cache: LruCache<String, Arc<Vec<Pair>>>,
+}
+
+/// The concurrent serving engine (see module docs).
+pub struct Engine {
+    current: RwLock<Arc<Snapshot>>,
+    results: Mutex<TaggedResults>,
+    counters: EngineCounters,
+    /// Serializes writers: clone → mutate → install must not interleave.
+    writer: Mutex<()>,
+    options: EngineOptions,
+}
+
+impl Engine {
+    /// Builds an engine over `graph` with default options and path
+    /// parameter `k` (sharded parallel build).
+    pub fn build(graph: Graph, k: usize) -> Engine {
+        Engine::with_options(graph, EngineOptions { k, ..EngineOptions::default() }).0
+    }
+
+    /// Builds an engine with explicit options, returning the initial
+    /// build's report (`None` for interest-aware engines, whose partition
+    /// builds sequentially).
+    pub fn with_options(graph: Graph, options: EngineOptions) -> (Engine, Option<BuildReport>) {
+        let (index, report) = match &options.interests {
+            None => {
+                let (index, report) = build_sharded_with_report(&graph, options.k, options.build);
+                (index, Some(report))
+            }
+            Some(lq) => {
+                (CpqxIndex::build_interest_aware(&graph, options.k, lq.iter().copied()), None)
+            }
+        };
+        let snapshot = Arc::new(Snapshot::new(graph, index, 0, options.plan_cache_capacity));
+        let engine = Engine {
+            current: RwLock::new(snapshot),
+            results: Mutex::new(TaggedResults {
+                epoch: 0,
+                cache: LruCache::new(options.result_cache_capacity),
+            }),
+            counters: EngineCounters::default(),
+            writer: Mutex::new(()),
+            options,
+        };
+        (engine, report)
+    }
+
+    /// The current snapshot. Readers hold it as long as they like; a
+    /// concurrent swap never invalidates it.
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        Arc::clone(&self.current.read().unwrap())
+    }
+
+    /// The current epoch (bumped by every maintenance installation).
+    /// Always agrees with `self.snapshot().epoch()` — the epoch *is* the
+    /// published snapshot's epoch, so there is no window where the two
+    /// disagree.
+    pub fn epoch(&self) -> u64 {
+        self.current.read().unwrap().epoch()
+    }
+
+    /// The engine's construction options.
+    pub fn options(&self) -> &EngineOptions {
+        &self.options
+    }
+
+    /// Serves `q` from the result cache or by evaluating it on the
+    /// current snapshot. The returned `Arc` is shared with the cache.
+    pub fn query(&self, q: &Cpq) -> Arc<Vec<Pair>> {
+        let snap = self.snapshot();
+        self.query_on(&snap, q)
+    }
+
+    /// Serves `q` against an explicitly held snapshot — the consistency
+    /// primitive batch evaluation builds on: all queries of a batch see
+    /// one version. The result cache is consulted only while it is still
+    /// tagged with `snap`'s epoch.
+    pub fn query_on(&self, snap: &Snapshot, q: &Cpq) -> Arc<Vec<Pair>> {
+        let t0 = Instant::now();
+        let canonical = canonicalize(q);
+        let key = cache_key(&canonical);
+        {
+            let mut res = self.results.lock().unwrap();
+            if res.epoch == snap.epoch() {
+                if let Some(hit) = res.cache.get(&key) {
+                    let hit = Arc::clone(hit);
+                    drop(res);
+                    self.counters.record_query(t0.elapsed(), true);
+                    return hit;
+                }
+            }
+        }
+        let (plan, plan_hit) = snap.plan_for(&key, &canonical);
+        self.counters.record_plan(plan_hit);
+        let out = Arc::new(Executor::new(snap.index(), snap.graph()).run(&plan));
+        {
+            let mut res = self.results.lock().unwrap();
+            // Tag check: a swap may have happened while we executed; a
+            // result from the old snapshot must not populate the new
+            // epoch's cache.
+            if res.epoch == snap.epoch() {
+                res.cache.insert(key, Arc::clone(&out));
+            }
+        }
+        self.counters.record_query(t0.elapsed(), false);
+        out
+    }
+
+    /// Evaluates `q` on the current snapshot without touching the result
+    /// cache (used by benches to measure uncached latency).
+    pub fn query_uncached(&self, q: &Cpq) -> Vec<Pair> {
+        let t0 = Instant::now();
+        let snap = self.snapshot();
+        let out = snap.evaluate(q);
+        self.counters.record_query(t0.elapsed(), false);
+        out
+    }
+
+    /// Applies a maintenance transaction: clones the current state, runs
+    /// `f` on the clone (graph + index stay consistent through the
+    /// [`CpqxIndex`] maintenance API), installs the result as a new
+    /// snapshot, and invalidates the result cache. Readers are never
+    /// blocked; concurrent writers serialize. Returns `f`'s output and
+    /// the new epoch.
+    pub fn update<R>(&self, f: impl FnOnce(&mut Graph, &mut CpqxIndex) -> R) -> (R, u64) {
+        let _writer = self.writer.lock().unwrap();
+        let snap = self.snapshot();
+        let mut graph = snap.graph.clone();
+        let mut index = snap.index.clone();
+        let out = f(&mut graph, &mut index);
+        let epoch = self.install(graph, index);
+        (out, epoch)
+    }
+
+    /// Inserts a base edge (lazy index maintenance; see
+    /// [`CpqxIndex::insert_edge`]). Returns `false` if it already existed
+    /// (no snapshot is installed in that case either).
+    pub fn insert_edge(&self, v: VertexId, u: VertexId, l: Label) -> bool {
+        self.update_if(|g, idx| idx.insert_edge(g, v, u, l))
+    }
+
+    /// Deletes a base edge (lazy index maintenance). Returns `false` if
+    /// it did not exist.
+    pub fn delete_edge(&self, v: VertexId, u: VertexId, l: Label) -> bool {
+        self.update_if(|g, idx| idx.delete_edge(g, v, u, l))
+    }
+
+    /// Registers an interest sequence on an interest-aware engine (see
+    /// [`CpqxIndex::insert_interest`]).
+    pub fn insert_interest(&self, seq: LabelSeq) -> bool {
+        self.update_if(|g, idx| idx.insert_interest(g, seq))
+    }
+
+    /// Drops an interest sequence on an interest-aware engine.
+    pub fn delete_interest(&self, seq: &LabelSeq) -> bool {
+        self.update_if(|_, idx| idx.delete_interest(seq))
+    }
+
+    /// Rebuilds the index from the current graph (defragmentation after
+    /// lazy maintenance), using the sharded parallel builder for full
+    /// indexes. Returns the build report (`None` when interest-aware).
+    pub fn rebuild(&self) -> Option<BuildReport> {
+        let _writer = self.writer.lock().unwrap();
+        let snap = self.snapshot();
+        let graph = snap.graph.clone();
+        let (index, report) = match snap.index.interests() {
+            None => {
+                let (index, report) =
+                    build_sharded_with_report(&graph, self.options.k, self.options.build);
+                (index, Some(report))
+            }
+            Some(lq) => {
+                (CpqxIndex::build_interest_aware(&graph, self.options.k, lq.iter().copied()), None)
+            }
+        };
+        self.install(graph, index);
+        report
+    }
+
+    /// Engine statistics: query counts, cache hit rates, swap counts and
+    /// latency percentiles.
+    pub fn stats(&self) -> StatsReport {
+        self.counters.report()
+    }
+
+    /// The live counters, for sibling modules that evaluate outside
+    /// [`Engine::query_on`] (e.g. cache-bypassing batches) but must still
+    /// account their traffic.
+    pub(crate) fn counters(&self) -> &EngineCounters {
+        &self.counters
+    }
+
+    /// Like [`Engine::update`] but only installs a snapshot when `f`
+    /// reports a change, so no-op maintenance stays read-only.
+    fn update_if(&self, f: impl FnOnce(&mut Graph, &mut CpqxIndex) -> bool) -> bool {
+        let _writer = self.writer.lock().unwrap();
+        let snap = self.snapshot();
+        let mut graph = snap.graph.clone();
+        let mut index = snap.index.clone();
+        if !f(&mut graph, &mut index) {
+            return false;
+        }
+        self.install(graph, index);
+        true
+    }
+
+    /// Installs a new current snapshot (caller holds the writer lock).
+    /// Invalidate-then-install ordering: between the two steps readers
+    /// run uncached against the old snapshot, but no stale entry can ever
+    /// be served for the new epoch.
+    fn install(&self, graph: Graph, index: CpqxIndex) -> u64 {
+        let epoch = self.epoch() + 1;
+        {
+            let mut res = self.results.lock().unwrap();
+            let dropped = res.cache.len() as u64;
+            res.epoch = epoch;
+            res.cache.clear();
+            self.counters.record_swap(dropped);
+        }
+        let snapshot = Snapshot::new(graph, index, epoch, self.options.plan_cache_capacity);
+        *self.current.write().unwrap() = Arc::new(snapshot);
+        epoch
+    }
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let snap = self.snapshot();
+        f.debug_struct("Engine")
+            .field("epoch", &snap.epoch())
+            .field("index", snap.index())
+            .field("stats", &self.stats().to_string())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpqx_graph::generate;
+    use cpqx_query::eval::eval_reference;
+    use cpqx_query::parse_cpq;
+
+    fn gex_engine() -> Engine {
+        Engine::build(generate::gex(), 2)
+    }
+
+    #[test]
+    fn serves_correct_answers() {
+        let engine = gex_engine();
+        let snap = engine.snapshot();
+        let q = parse_cpq("(f . f) & f^-1", snap.graph()).unwrap();
+        let expected = eval_reference(snap.graph(), &q);
+        assert_eq!(*engine.query(&q), expected);
+        // Second serve: result-cache hit, same answer.
+        assert_eq!(*engine.query(&q), expected);
+        let stats = engine.stats();
+        assert_eq!(stats.queries, 2);
+        assert_eq!(stats.result_hits, 1);
+        assert!(stats.result_hit_rate > 0.49);
+    }
+
+    #[test]
+    fn semantically_equal_queries_share_cache_entries() {
+        let engine = gex_engine();
+        let g = engine.snapshot();
+        let a = parse_cpq("(f . f) & f^-1", g.graph()).unwrap();
+        let b = parse_cpq("f^-1 & (f . (f . id))", g.graph()).unwrap();
+        engine.query(&a);
+        engine.query(&b);
+        let stats = engine.stats();
+        assert_eq!(stats.result_hits, 1, "canonicalization must unify {a:?} and {b:?}");
+    }
+
+    #[test]
+    fn maintenance_swaps_snapshots_and_invalidates() {
+        let engine = gex_engine();
+        let snap0 = engine.snapshot();
+        let g0 = snap0.graph();
+        let q = parse_cpq("f . f", g0).unwrap();
+        let before = engine.query(&q);
+        let (sue, joe) = (g0.vertex_named("sue").unwrap(), g0.vertex_named("joe").unwrap());
+        let f = g0.label_named("f").unwrap();
+        assert!(engine.delete_edge(sue, joe, f));
+        assert_eq!(engine.epoch(), 1);
+        // Old snapshot still fully queryable (readers are not blocked).
+        assert_eq!(snap0.evaluate(&q), *before);
+        // New snapshot reflects the deletion and matches the reference.
+        let snap1 = engine.snapshot();
+        let expected = eval_reference(snap1.graph(), &q);
+        assert_eq!(*engine.query(&q), expected);
+        assert_ne!(*before, expected, "deletion must change this answer");
+        assert_eq!(engine.stats().snapshot_swaps, 1);
+        // No-op maintenance installs nothing.
+        assert!(!engine.delete_edge(sue, joe, f));
+        assert_eq!(engine.epoch(), 1);
+    }
+
+    #[test]
+    fn update_transaction_batches_changes() {
+        let engine = gex_engine();
+        let snap = engine.snapshot();
+        let f = snap.graph().label_named("f").unwrap();
+        let (applied, epoch) = engine.update(|g, idx| {
+            let a = idx.add_vertex(g, "newbie");
+            let sue = g.vertex_named("sue").unwrap();
+            idx.insert_edge(g, a, sue, f) && idx.insert_edge(g, sue, a, f)
+        });
+        assert!(applied);
+        assert_eq!(epoch, 1);
+        let snap1 = engine.snapshot();
+        let q = parse_cpq("(f . f) & id", snap1.graph()).unwrap();
+        assert_eq!(*engine.query(&q), eval_reference(snap1.graph(), &q));
+    }
+
+    #[test]
+    fn rebuild_defragments() {
+        let engine = gex_engine();
+        let snap = engine.snapshot();
+        let g0 = snap.graph();
+        let f = g0.label_named("f").unwrap();
+        let (sue, joe) = (g0.vertex_named("sue").unwrap(), g0.vertex_named("joe").unwrap());
+        engine.delete_edge(sue, joe, f);
+        engine.insert_edge(sue, joe, f);
+        let fragmented = engine.snapshot().index().class_slots();
+        let report = engine.rebuild().expect("full engine reports builds");
+        assert!(report.shards >= 1);
+        let rebuilt = engine.snapshot();
+        assert!(rebuilt.index().class_slots() <= fragmented);
+        let q = parse_cpq("(f . f) & f^-1", rebuilt.graph()).unwrap();
+        assert_eq!(*engine.query(&q), eval_reference(rebuilt.graph(), &q));
+    }
+
+    #[test]
+    fn interest_aware_engine_serves_and_maintains() {
+        let g = generate::gex();
+        let f = g.label_named("f").unwrap();
+        let ff = LabelSeq::from_slice(&[f.fwd(), f.fwd()]);
+        let (engine, report) = Engine::with_options(
+            g,
+            EngineOptions { k: 2, interests: Some(vec![ff]), ..EngineOptions::default() },
+        );
+        assert!(report.is_none());
+        let snap = engine.snapshot();
+        assert!(snap.index().is_interest_aware());
+        let q = parse_cpq("(f . f) & f^-1", snap.graph()).unwrap();
+        assert_eq!(*engine.query(&q), eval_reference(snap.graph(), &q));
+        let v = g_label_seq(&engine);
+        assert!(engine.insert_interest(v));
+        assert_eq!(engine.epoch(), 1);
+        assert!(engine.rebuild().is_none());
+    }
+
+    fn g_label_seq(engine: &Engine) -> LabelSeq {
+        let snap = engine.snapshot();
+        let f = snap.graph().label_named("f").unwrap();
+        LabelSeq::from_slice(&[f.inv(), f.fwd()])
+    }
+
+    #[test]
+    fn plan_cache_hits_within_a_snapshot() {
+        let engine = gex_engine();
+        let snap = engine.snapshot();
+        let q = parse_cpq("f . f . f", snap.graph()).unwrap();
+        engine.query_uncached(&q);
+        engine.query_uncached(&q);
+        // query_uncached bypasses result caching but shares the snapshot
+        // plan cache via Snapshot::evaluate.
+        assert_eq!(engine.stats().result_hits, 0);
+    }
+
+    #[test]
+    fn zero_capacity_result_cache() {
+        let g = generate::gex();
+        let (engine, _) = Engine::with_options(
+            g,
+            EngineOptions { k: 2, result_cache_capacity: 0, ..EngineOptions::default() },
+        );
+        let snap = engine.snapshot();
+        let q = parse_cpq("f . f", snap.graph()).unwrap();
+        engine.query(&q);
+        engine.query(&q);
+        assert_eq!(engine.stats().result_hits, 0, "cache disabled");
+    }
+}

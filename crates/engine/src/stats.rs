@@ -1,0 +1,194 @@
+//! Engine observability: counters, hit rates and latency percentiles.
+//!
+//! Counters are lock-free atomics bumped on the hot path; latencies go
+//! into a fixed-size mutex-guarded reservoir (overwriting round-robin, so
+//! percentiles reflect the most recent window without unbounded memory).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Size of the rolling latency window backing percentile estimates.
+const LATENCY_WINDOW: usize = 8192;
+
+/// Live counters owned by the engine. Cheap to bump concurrently; read
+/// them through [`EngineCounters::report`].
+#[derive(Default)]
+pub struct EngineCounters {
+    queries: AtomicU64,
+    result_hits: AtomicU64,
+    result_misses: AtomicU64,
+    plan_hits: AtomicU64,
+    plan_misses: AtomicU64,
+    snapshot_swaps: AtomicU64,
+    invalidations: AtomicU64,
+    latencies_us: Mutex<LatencyWindow>,
+}
+
+#[derive(Default)]
+struct LatencyWindow {
+    samples: Vec<u64>,
+    next: usize,
+}
+
+impl EngineCounters {
+    pub(crate) fn record_query(&self, latency: Duration, result_hit: bool) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        if result_hit {
+            self.result_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.result_misses.fetch_add(1, Ordering::Relaxed);
+        }
+        let us = latency.as_micros().min(u64::MAX as u128) as u64;
+        let mut w = self.latencies_us.lock().unwrap();
+        if w.samples.len() < LATENCY_WINDOW {
+            w.samples.push(us);
+        } else {
+            let at = w.next;
+            w.samples[at] = us;
+        }
+        w.next = (w.next + 1) % LATENCY_WINDOW;
+    }
+
+    pub(crate) fn record_plan(&self, hit: bool) {
+        if hit {
+            self.plan_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.plan_misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn record_swap(&self, invalidated: u64) {
+        self.snapshot_swaps.fetch_add(1, Ordering::Relaxed);
+        self.invalidations.fetch_add(invalidated, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough point-in-time view of the counters.
+    pub fn report(&self) -> StatsReport {
+        let mut latencies = self.latencies_us.lock().unwrap().samples.clone();
+        latencies.sort_unstable();
+        let pct = |p: f64| -> Duration {
+            if latencies.is_empty() {
+                return Duration::ZERO;
+            }
+            let idx = ((latencies.len() as f64 - 1.0) * p).round() as usize;
+            Duration::from_micros(latencies[idx])
+        };
+        let queries = self.queries.load(Ordering::Relaxed);
+        let result_hits = self.result_hits.load(Ordering::Relaxed);
+        let result_misses = self.result_misses.load(Ordering::Relaxed);
+        let plan_hits = self.plan_hits.load(Ordering::Relaxed);
+        let plan_misses = self.plan_misses.load(Ordering::Relaxed);
+        StatsReport {
+            queries,
+            result_hits,
+            result_misses,
+            result_hit_rate: rate(result_hits, result_hits + result_misses),
+            plan_hits,
+            plan_misses,
+            plan_hit_rate: rate(plan_hits, plan_hits + plan_misses),
+            snapshot_swaps: self.snapshot_swaps.load(Ordering::Relaxed),
+            invalidated_results: self.invalidations.load(Ordering::Relaxed),
+            latency_window: latencies.len(),
+            p50: pct(0.50),
+            p99: pct(0.99),
+        }
+    }
+}
+
+fn rate(hits: u64, total: u64) -> f64 {
+    if total == 0 {
+        0.0
+    } else {
+        hits as f64 / total as f64
+    }
+}
+
+/// Point-in-time engine statistics (see [`EngineCounters::report`]).
+#[derive(Clone, Copy, Debug)]
+pub struct StatsReport {
+    /// Queries served (cached or not).
+    pub queries: u64,
+    /// Queries answered from the result cache.
+    pub result_hits: u64,
+    /// Queries that executed against the index.
+    pub result_misses: u64,
+    /// `result_hits / queries`.
+    pub result_hit_rate: f64,
+    /// Plans reused from the snapshot's plan cache.
+    pub plan_hits: u64,
+    /// Plans lowered fresh.
+    pub plan_misses: u64,
+    /// `plan_hits / (plan_hits + plan_misses)`.
+    pub plan_hit_rate: f64,
+    /// Snapshots installed over the engine's lifetime (excluding the
+    /// initial build).
+    pub snapshot_swaps: u64,
+    /// Result-cache entries dropped by snapshot swaps.
+    pub invalidated_results: u64,
+    /// Latency samples currently in the rolling window.
+    pub latency_window: usize,
+    /// Median query latency over the window.
+    pub p50: Duration,
+    /// 99th-percentile query latency over the window.
+    pub p99: Duration,
+}
+
+impl std::fmt::Display for StatsReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "queries={} hit_rate={:.1}% plan_hit_rate={:.1}% swaps={} p50={:?} p99={:?}",
+            self.queries,
+            self.result_hit_rate * 100.0,
+            self.plan_hit_rate * 100.0,
+            self.snapshot_swaps,
+            self.p50,
+            self.p99,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_and_percentiles() {
+        let c = EngineCounters::default();
+        for i in 0..100u64 {
+            c.record_query(Duration::from_micros(i + 1), i % 4 == 0);
+        }
+        c.record_plan(true);
+        c.record_plan(false);
+        c.record_swap(3);
+        let r = c.report();
+        assert_eq!(r.queries, 100);
+        assert_eq!(r.result_hits, 25);
+        assert!((r.result_hit_rate - 0.25).abs() < 1e-9);
+        assert!((r.plan_hit_rate - 0.5).abs() < 1e-9);
+        assert_eq!(r.snapshot_swaps, 1);
+        assert_eq!(r.invalidated_results, 3);
+        assert!(r.p50 >= Duration::from_micros(40) && r.p50 <= Duration::from_micros(60));
+        assert!(r.p99 >= r.p50);
+        assert!(!r.to_string().is_empty());
+    }
+
+    #[test]
+    fn empty_report_is_zeroed() {
+        let r = EngineCounters::default().report();
+        assert_eq!(r.queries, 0);
+        assert_eq!(r.result_hit_rate, 0.0);
+        assert_eq!(r.p50, Duration::ZERO);
+    }
+
+    #[test]
+    fn window_wraps() {
+        let c = EngineCounters::default();
+        for i in 0..(LATENCY_WINDOW + 100) {
+            c.record_query(Duration::from_micros(i as u64), false);
+        }
+        let r = c.report();
+        assert_eq!(r.latency_window, LATENCY_WINDOW);
+    }
+}

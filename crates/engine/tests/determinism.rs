@@ -1,0 +1,149 @@
+//! Sharded-parallel build determinism: for every workload the repository
+//! ships — the benchmark query sets (YAGO2/LUBM/WatDiv translations) and
+//! random template workloads — the sharded build must answer exactly like
+//! the sequential `CpqxIndex::build`, at every shard count, on the
+//! paper's example graph and on generated graphs of both topologies.
+
+use cpqx_core::CpqxIndex;
+use cpqx_engine::{build_sharded, BuildOptions};
+use cpqx_graph::generate::{gex, random_graph, RandomGraphConfig};
+use cpqx_graph::Graph;
+use cpqx_query::benchqueries::{lubm_queries, watdiv_queries, yago_queries, NamedQuery};
+use cpqx_query::workload::{GraphProbe, WorkloadGen};
+use cpqx_query::{Cpq, Template};
+use proptest::prelude::*;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 3, 8];
+
+fn bench_workload(g: &Graph, seed: u64) -> Vec<NamedQuery> {
+    let mut queries = yago_queries(g, seed);
+    queries.extend(lubm_queries(g, seed + 1));
+    queries.extend(watdiv_queries(g, seed + 2));
+    queries
+}
+
+fn assert_build_equivalence(g: &Graph, k: usize, queries: &[(String, Cpq)]) {
+    assert!(!queries.is_empty(), "workload must not be empty");
+    let sequential = CpqxIndex::build(g, k);
+    for shards in SHARD_COUNTS {
+        let sharded = build_sharded(g, k, BuildOptions { shards: Some(shards), threads: Some(4) });
+        assert_eq!(sharded.pair_count(), sequential.pair_count(), "{shards} shards");
+        assert_eq!(sharded.k(), sequential.k());
+        for (name, q) in queries {
+            assert_eq!(
+                sharded.evaluate(g, q),
+                sequential.evaluate(g, q),
+                "query {name} diverged at {shards} shards (k={k})"
+            );
+            assert_eq!(
+                sharded.evaluate_first(g, q).is_some(),
+                sequential.evaluate_first(g, q).is_some(),
+                "first-answer emptiness diverged for {name} at {shards} shards"
+            );
+        }
+    }
+}
+
+fn named(queries: Vec<NamedQuery>) -> Vec<(String, Cpq)> {
+    queries.into_iter().map(|nq| (nq.name, nq.query)).collect()
+}
+
+#[test]
+fn benchqueries_agree_on_gex() {
+    let g = gex();
+    for k in 1..=3 {
+        assert_build_equivalence(&g, k, &named(bench_workload(&g, 7)));
+    }
+}
+
+#[test]
+fn benchqueries_agree_on_social_graph() {
+    let g = random_graph(&RandomGraphConfig::social(150, 700, 4, 21));
+    assert_build_equivalence(&g, 2, &named(bench_workload(&g, 5)));
+}
+
+#[test]
+fn benchqueries_agree_on_uniform_graph() {
+    let g = random_graph(&RandomGraphConfig::uniform(120, 500, 3, 33));
+    assert_build_equivalence(&g, 2, &named(bench_workload(&g, 9)));
+}
+
+#[test]
+fn template_workloads_agree_across_shard_counts() {
+    let g = random_graph(&RandomGraphConfig::social(100, 450, 3, 5));
+    let probe = GraphProbe(&g);
+    let mut gen = WorkloadGen::new(&g, 13);
+    let queries: Vec<(String, Cpq)> = Template::ALL
+        .iter()
+        .flat_map(|&t| {
+            gen.queries(t, 3, &probe)
+                .into_iter()
+                .enumerate()
+                .map(move |(i, q)| (format!("{}#{i}", t.name()), q))
+        })
+        .collect();
+    assert_build_equivalence(&g, 2, &queries);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Property-tested over graph seeds and workload seeds: the bench
+    /// workload generated for a random graph answers identically on the
+    /// sequential and sharded builds.
+    #[test]
+    fn random_graphs_and_workloads_agree(
+        graph_seed in 0u64..200,
+        workload_seed in 0u64..200,
+        shards in 2usize..9,
+    ) {
+        let g = random_graph(&RandomGraphConfig::social(70, 300, 3, graph_seed));
+        let sequential = CpqxIndex::build(&g, 2);
+        let sharded = build_sharded(
+            &g,
+            2,
+            BuildOptions { shards: Some(shards), threads: Some(3) },
+        );
+        for nq in bench_workload(&g, workload_seed) {
+            prop_assert_eq!(
+                sharded.evaluate(&g, &nq.query),
+                sequential.evaluate(&g, &nq.query),
+                "query {} diverged (graph seed {}, {} shards)",
+                nq.name,
+                graph_seed,
+                shards
+            );
+        }
+    }
+}
+
+#[test]
+fn stats_reflect_equivalent_pair_universe() {
+    // Class counts may legitimately differ (merging by the class invariant
+    // can coarsen block-signature classes), but the pair universe, k, and
+    // per-pair sequences cannot.
+    let g = random_graph(&RandomGraphConfig::social(90, 400, 3, 2));
+    let sequential = CpqxIndex::build(&g, 2);
+    let sharded = build_sharded(&g, 2, BuildOptions { shards: Some(4), threads: Some(4) });
+    let (ss, ps) = (sequential.stats(), sharded.stats());
+    assert_eq!(ss.pairs, ps.pairs);
+    assert_eq!(ss.k, ps.k);
+    assert!(ps.classes <= ss.classes, "sharded merge can only coarsen");
+    for v in g.vertices() {
+        for u in g.vertices() {
+            let p = cpqx_graph::Pair::new(v, u);
+            match (sequential.class_of(p), sharded.class_of(p)) {
+                (None, None) => {}
+                (Some(cs), Some(cp)) => {
+                    assert_eq!(
+                        sequential.class_sequences(cs),
+                        sharded.class_sequences(cp),
+                        "pair {p:?} carries different L≤k"
+                    );
+                    assert_eq!(sequential.class_is_loop(cs), sharded.class_is_loop(cp));
+                }
+                (a, b) => panic!("pair {p:?} indexed on one side only: {a:?} vs {b:?}"),
+            }
+        }
+    }
+}

@@ -102,25 +102,158 @@ impl Dataset {
     /// Table II row for this dataset.
     pub fn spec(&self) -> DatasetSpec {
         match self {
-            Dataset::Robots => DatasetSpec { name: "Robots", vertices: 1_484, ext_edges: 5_920, ext_labels: 8, real_labels: true, topology: PL },
-            Dataset::EgoFacebook => DatasetSpec { name: "ego-Facebook", vertices: 4_039, ext_edges: 176_468, ext_labels: 16, real_labels: false, topology: PL },
-            Dataset::Advogato => DatasetSpec { name: "Advogato", vertices: 5_417, ext_edges: 102_654, ext_labels: 8, real_labels: true, topology: PL },
-            Dataset::Youtube => DatasetSpec { name: "Youtube", vertices: 15_088, ext_edges: 21_452_214, ext_labels: 10, real_labels: true, topology: PL },
-            Dataset::StringHS => DatasetSpec { name: "StringHS", vertices: 16_956, ext_edges: 2_483_530, ext_labels: 14, real_labels: true, topology: ER },
-            Dataset::StringFC => DatasetSpec { name: "StringFC", vertices: 15_515, ext_edges: 4_089_600, ext_labels: 14, real_labels: true, topology: ER },
-            Dataset::BioGrid => DatasetSpec { name: "BioGrid", vertices: 64_332, ext_edges: 1_724_554, ext_labels: 14, real_labels: true, topology: ER },
-            Dataset::Epinions => DatasetSpec { name: "Epinions", vertices: 131_828, ext_edges: 1_681_598, ext_labels: 16, real_labels: false, topology: PL },
-            Dataset::WebGoogle => DatasetSpec { name: "WebGoogle", vertices: 875_713, ext_edges: 10_210_074, ext_labels: 16, real_labels: false, topology: PL },
-            Dataset::WikiTalk => DatasetSpec { name: "WikiTalk", vertices: 2_394_385, ext_edges: 10_042_820, ext_labels: 16, real_labels: false, topology: PL },
-            Dataset::Yago => DatasetSpec { name: "YAGO", vertices: 4_295_825, ext_edges: 24_861_400, ext_labels: 74, real_labels: true, topology: PL },
-            Dataset::CitPatents => DatasetSpec { name: "CitPatents", vertices: 3_774_768, ext_edges: 33_037_896, ext_labels: 16, real_labels: false, topology: PL },
-            Dataset::Wikidata => DatasetSpec { name: "Wikidata", vertices: 9_292_714, ext_edges: 110_851_582, ext_labels: 1054, real_labels: true, topology: PL },
-            Dataset::Freebase => DatasetSpec { name: "Freebase", vertices: 14_420_276, ext_edges: 213_225_620, ext_labels: 1556, real_labels: true, topology: PL },
-            Dataset::GMark1m => DatasetSpec { name: "g-Mark-1m", vertices: 1_006_802, ext_edges: 15_925_506, ext_labels: 12, real_labels: true, topology: PL },
-            Dataset::GMark5m => DatasetSpec { name: "g-Mark-5m", vertices: 5_005_992, ext_edges: 84_994_500, ext_labels: 12, real_labels: true, topology: PL },
-            Dataset::GMark10m => DatasetSpec { name: "g-Mark-10m", vertices: 10_005_721, ext_edges: 183_748_319, ext_labels: 12, real_labels: true, topology: PL },
-            Dataset::GMark15m => DatasetSpec { name: "g-Mark-15m", vertices: 15_003_647, ext_edges: 255_538_724, ext_labels: 12, real_labels: true, topology: PL },
-            Dataset::GMark20m => DatasetSpec { name: "g-Mark-20m", vertices: 20_004_856, ext_edges: 393_797_046, ext_labels: 12, real_labels: true, topology: PL },
+            Dataset::Robots => DatasetSpec {
+                name: "Robots",
+                vertices: 1_484,
+                ext_edges: 5_920,
+                ext_labels: 8,
+                real_labels: true,
+                topology: PL,
+            },
+            Dataset::EgoFacebook => DatasetSpec {
+                name: "ego-Facebook",
+                vertices: 4_039,
+                ext_edges: 176_468,
+                ext_labels: 16,
+                real_labels: false,
+                topology: PL,
+            },
+            Dataset::Advogato => DatasetSpec {
+                name: "Advogato",
+                vertices: 5_417,
+                ext_edges: 102_654,
+                ext_labels: 8,
+                real_labels: true,
+                topology: PL,
+            },
+            Dataset::Youtube => DatasetSpec {
+                name: "Youtube",
+                vertices: 15_088,
+                ext_edges: 21_452_214,
+                ext_labels: 10,
+                real_labels: true,
+                topology: PL,
+            },
+            Dataset::StringHS => DatasetSpec {
+                name: "StringHS",
+                vertices: 16_956,
+                ext_edges: 2_483_530,
+                ext_labels: 14,
+                real_labels: true,
+                topology: ER,
+            },
+            Dataset::StringFC => DatasetSpec {
+                name: "StringFC",
+                vertices: 15_515,
+                ext_edges: 4_089_600,
+                ext_labels: 14,
+                real_labels: true,
+                topology: ER,
+            },
+            Dataset::BioGrid => DatasetSpec {
+                name: "BioGrid",
+                vertices: 64_332,
+                ext_edges: 1_724_554,
+                ext_labels: 14,
+                real_labels: true,
+                topology: ER,
+            },
+            Dataset::Epinions => DatasetSpec {
+                name: "Epinions",
+                vertices: 131_828,
+                ext_edges: 1_681_598,
+                ext_labels: 16,
+                real_labels: false,
+                topology: PL,
+            },
+            Dataset::WebGoogle => DatasetSpec {
+                name: "WebGoogle",
+                vertices: 875_713,
+                ext_edges: 10_210_074,
+                ext_labels: 16,
+                real_labels: false,
+                topology: PL,
+            },
+            Dataset::WikiTalk => DatasetSpec {
+                name: "WikiTalk",
+                vertices: 2_394_385,
+                ext_edges: 10_042_820,
+                ext_labels: 16,
+                real_labels: false,
+                topology: PL,
+            },
+            Dataset::Yago => DatasetSpec {
+                name: "YAGO",
+                vertices: 4_295_825,
+                ext_edges: 24_861_400,
+                ext_labels: 74,
+                real_labels: true,
+                topology: PL,
+            },
+            Dataset::CitPatents => DatasetSpec {
+                name: "CitPatents",
+                vertices: 3_774_768,
+                ext_edges: 33_037_896,
+                ext_labels: 16,
+                real_labels: false,
+                topology: PL,
+            },
+            Dataset::Wikidata => DatasetSpec {
+                name: "Wikidata",
+                vertices: 9_292_714,
+                ext_edges: 110_851_582,
+                ext_labels: 1054,
+                real_labels: true,
+                topology: PL,
+            },
+            Dataset::Freebase => DatasetSpec {
+                name: "Freebase",
+                vertices: 14_420_276,
+                ext_edges: 213_225_620,
+                ext_labels: 1556,
+                real_labels: true,
+                topology: PL,
+            },
+            Dataset::GMark1m => DatasetSpec {
+                name: "g-Mark-1m",
+                vertices: 1_006_802,
+                ext_edges: 15_925_506,
+                ext_labels: 12,
+                real_labels: true,
+                topology: PL,
+            },
+            Dataset::GMark5m => DatasetSpec {
+                name: "g-Mark-5m",
+                vertices: 5_005_992,
+                ext_edges: 84_994_500,
+                ext_labels: 12,
+                real_labels: true,
+                topology: PL,
+            },
+            Dataset::GMark10m => DatasetSpec {
+                name: "g-Mark-10m",
+                vertices: 10_005_721,
+                ext_edges: 183_748_319,
+                ext_labels: 12,
+                real_labels: true,
+                topology: PL,
+            },
+            Dataset::GMark15m => DatasetSpec {
+                name: "g-Mark-15m",
+                vertices: 15_003_647,
+                ext_edges: 255_538_724,
+                ext_labels: 12,
+                real_labels: true,
+                topology: PL,
+            },
+            Dataset::GMark20m => DatasetSpec {
+                name: "g-Mark-20m",
+                vertices: 20_004_856,
+                ext_edges: 393_797_046,
+                ext_labels: 12,
+                real_labels: true,
+                topology: PL,
+            },
         }
     }
 
@@ -144,7 +277,8 @@ impl Dataset {
             | Dataset::GMark15m
             | Dataset::GMark20m => gmark(vertices.max(200), seed),
             _ => {
-                let mut cfg = RandomGraphConfig::social(vertices, base_edges, spec.base_labels(), seed);
+                let mut cfg =
+                    RandomGraphConfig::social(vertices, base_edges, spec.base_labels(), seed);
                 cfg.topology = spec.topology;
                 random_graph(&cfg)
             }

@@ -327,7 +327,11 @@ pub fn clique(n: u32, label: &str) -> Graph {
 
 /// Picks `count` distinct existing base edges of `g`, deterministically from
 /// `seed` — used by the maintenance experiments to choose update victims.
-pub fn sample_edges(g: &Graph, count: usize, seed: u64) -> Vec<(VertexId, VertexId, crate::label::Label)> {
+pub fn sample_edges(
+    g: &Graph,
+    count: usize,
+    seed: u64,
+) -> Vec<(VertexId, VertexId, crate::label::Label)> {
     let all: Vec<_> = g.base_edges().collect();
     let mut rng = StdRng::seed_from_u64(seed);
     let mut idx: Vec<usize> = (0..all.len()).collect();

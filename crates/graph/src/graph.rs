@@ -188,9 +188,8 @@ impl Graph {
 
     /// Iterates over all base edges as `(v, u, label)`.
     pub fn base_edges(&self) -> impl Iterator<Item = (VertexId, VertexId, Label)> + '_ {
-        self.labels().flat_map(move |l| {
-            self.edge_pairs(l.fwd()).iter().map(move |p| (p.src(), p.dst(), l))
-        })
+        self.labels()
+            .flat_map(move |l| self.edge_pairs(l.fwd()).iter().map(move |p| (p.src(), p.dst(), l)))
     }
 
     /// The display name of a vertex.
@@ -248,11 +247,7 @@ impl Graph {
         degrees.sort_unstable();
         let max_degree = degrees.last().copied().unwrap_or(0);
         let median_degree = if n == 0 { 0 } else { degrees[n / 2] };
-        let avg_degree = if n == 0 {
-            0.0
-        } else {
-            degrees.iter().sum::<usize>() as f64 / n as f64
-        };
+        let avg_degree = if n == 0 { 0.0 } else { degrees.iter().sum::<usize>() as f64 / n as f64 };
         let mut label_counts: Vec<usize> =
             self.labels().map(|l| self.edge_pairs(l.fwd()).len()).collect();
         label_counts.sort_unstable_by(|a, b| b.cmp(a));

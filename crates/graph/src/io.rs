@@ -63,7 +63,13 @@ pub fn read_edge_list(r: impl BufRead) -> Result<Graph, ParseError> {
 
 /// Writes a graph as an edge list (forward base edges only).
 pub fn write_edge_list(g: &Graph, mut w: impl Write) -> std::io::Result<()> {
-    writeln!(w, "# {} vertices, {} base edges, {} base labels", g.vertex_count(), g.edge_count(), g.base_label_count())?;
+    writeln!(
+        w,
+        "# {} vertices, {} base edges, {} base labels",
+        g.vertex_count(),
+        g.edge_count(),
+        g.base_label_count()
+    )?;
     for (v, u, l) in g.base_edges() {
         writeln!(w, "{}\t{}\t{}", g.vertex_name(v), g.vertex_name(u), g.label_name(l))?;
     }

@@ -235,7 +235,8 @@ mod tests {
 
     #[test]
     fn seq_prefix_suffix_concat() {
-        let s = LabelSeq::from_slice(&[Label(0).fwd(), Label(1).fwd(), Label(2).fwd(), Label(3).fwd()]);
+        let s =
+            LabelSeq::from_slice(&[Label(0).fwd(), Label(1).fwd(), Label(2).fwd(), Label(3).fwd()]);
         let p = s.prefix(2);
         let q = s.suffix(2);
         assert_eq!(p.len(), 2);

@@ -19,7 +19,9 @@
 //!   gMark-style citation schema, the paper's Fig. 1 example graph `Gex`),
 //! * [`datasets`] — scaled synthetic stand-ins for the 14 real graphs and 5
 //!   gMark instances of Table II,
-//! * [`io`] — a plain-text edge-list format.
+//! * [`io`] — a plain-text edge-list format,
+//! * [`view`] — zero-copy source-range shard views over the edge lists
+//!   (the unit of parallelism for sharded index construction).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -30,7 +32,9 @@ pub mod graph;
 pub mod io;
 pub mod label;
 pub mod pair;
+pub mod view;
 
 pub use graph::{Graph, GraphBuilder, GraphStats, VertexId};
 pub use label::{ExtLabel, Label, LabelSeq, MAX_SEQ_LEN};
 pub use pair::Pair;
+pub use view::SrcRangeView;

@@ -127,9 +127,8 @@ impl std::error::Error for CqParseError {}
 /// before the colon, `;`-separated triple patterns after it; `label^-1`
 /// flips subject and object.
 pub fn parse_cq(input: &str, g: &Graph) -> Result<Cq, CqParseError> {
-    let (head, body) = input
-        .split_once(':')
-        .ok_or_else(|| CqParseError("expected `?x ?y : patterns`".into()))?;
+    let (head, body) =
+        input.split_once(':').ok_or_else(|| CqParseError("expected `?x ?y : patterns`".into()))?;
     let mut cq = Cq::new();
     let outs: Vec<&str> = head.split_whitespace().collect();
     if outs.len() != 2 {
@@ -161,9 +160,8 @@ pub fn parse_cq(input: &str, g: &Graph) -> Result<Cq, CqParseError> {
             Some(base) => (base, true),
             None => (toks[1], false),
         };
-        let label = g
-            .label_named(name)
-            .ok_or_else(|| CqParseError(format!("unknown label {name:?}")))?;
+        let label =
+            g.label_named(name).ok_or_else(|| CqParseError(format!("unknown label {name:?}")))?;
         if inverse {
             cq.triple(o, label, s);
         } else {
@@ -233,8 +231,7 @@ mod tests {
         for case in 0..15 {
             let mut cq = Cq::new();
             let nvars = rng.gen_range(2..5u32);
-            let vars: Vec<VarId> =
-                (0..nvars).map(|i| cq.var(&format!("v{i}"))).collect();
+            let vars: Vec<VarId> = (0..nvars).map(|i| cq.var(&format!("v{i}"))).collect();
             for _ in 0..rng.gen_range(1..5) {
                 let s = vars[rng.gen_range(0..vars.len())];
                 let o = vars[rng.gen_range(0..vars.len())];

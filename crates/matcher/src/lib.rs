@@ -54,8 +54,18 @@ mod tests {
                         .collect();
                     let q = t.instantiate(&labels);
                     let expected = eval_reference(&g, &q);
-                    assert_eq!(TurboEngine.evaluate(&g, &q), expected, "turbo {} {labels:?}", t.name());
-                    assert_eq!(TensorEngine.evaluate(&g, &q), expected, "tensor {} {labels:?}", t.name());
+                    assert_eq!(
+                        TurboEngine.evaluate(&g, &q),
+                        expected,
+                        "turbo {} {labels:?}",
+                        t.name()
+                    );
+                    assert_eq!(
+                        TensorEngine.evaluate(&g, &q),
+                        expected,
+                        "tensor {} {labels:?}",
+                        t.name()
+                    );
                 }
             }
         }

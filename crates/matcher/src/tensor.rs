@@ -61,7 +61,15 @@ struct Wcoj<'a> {
 impl<'a> Wcoj<'a> {
     fn new(g: &'a Graph, p: &'a PatternGraph, first_only: bool) -> Self {
         let order = elimination_order(g, p);
-        Wcoj { g, p, order, assign: vec![None; p.var_count as usize], results: HashSet::new(), first_only, done: false }
+        Wcoj {
+            g,
+            p,
+            order,
+            assign: vec![None; p.var_count as usize],
+            results: HashSet::new(),
+            first_only,
+            done: false,
+        }
     }
 
     fn run(&mut self) {
@@ -82,7 +90,9 @@ impl<'a> Wcoj<'a> {
         if self.done {
             return;
         }
-        if let (Some(s), Some(t)) = (self.assign[self.p.src as usize], self.assign[self.p.dst as usize]) {
+        if let (Some(s), Some(t)) =
+            (self.assign[self.p.src as usize], self.assign[self.p.dst as usize])
+        {
             if self.results.contains(&Pair::new(s, t)) {
                 return;
             }
@@ -119,9 +129,8 @@ impl<'a> Wcoj<'a> {
             }
             if e.from == var {
                 match self.assign[e.to as usize] {
-                    Some(y) => {
-                        lists.push(self.g.neighbors(y, e.label.inv()).iter().map(|&(_, t)| t).collect())
-                    }
+                    Some(y) => lists
+                        .push(self.g.neighbors(y, e.label.inv()).iter().map(|&(_, t)| t).collect()),
                     None => {
                         // Unbound neighbor: var still must be a source of
                         // the label relation (hypertrie level projection).
@@ -133,9 +142,8 @@ impl<'a> Wcoj<'a> {
                 }
             } else {
                 match self.assign[e.from as usize] {
-                    Some(x) => {
-                        lists.push(self.g.neighbors(x, e.label.fwd()).iter().map(|&(_, t)| t).collect())
-                    }
+                    Some(x) => lists
+                        .push(self.g.neighbors(x, e.label.fwd()).iter().map(|&(_, t)| t).collect()),
                     None => {
                         let mut proj: Vec<VertexId> =
                             self.g.edge_pairs(e.label.inv()).iter().map(|p| p.src()).collect();
@@ -209,9 +217,7 @@ fn elimination_order(g: &Graph, p: &PatternGraph) -> Vec<u32> {
             if chosen[v as usize] {
                 continue;
             }
-            let adjacent = p
-                .incident(v)
-                .any(|e| chosen[e.from as usize] || chosen[e.to as usize]);
+            let adjacent = p.incident(v).any(|e| chosen[e.from as usize] || chosen[e.to as usize]);
             // Prefer adjacency to the prefix (false < true ⇒ negate).
             let key = (!(adjacent || order.is_empty()), estimate(v), v);
             if best.is_none_or(|b| key < b) {

@@ -91,7 +91,9 @@ impl<'a> Search<'a> {
         }
         // Binary-projection pruning: a bound (s, t) already in the answers
         // cannot contribute anything new.
-        if let (Some(s), Some(t)) = (self.assign[self.p.src as usize], self.assign[self.p.dst as usize]) {
+        if let (Some(s), Some(t)) =
+            (self.assign[self.p.src as usize], self.assign[self.p.dst as usize])
+        {
             if self.results.contains(&Pair::new(s, t)) {
                 return;
             }

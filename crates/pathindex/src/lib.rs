@@ -247,7 +247,9 @@ impl PathIndex {
         let stored_pairs: usize = self.il2p.values().map(Vec::len).sum();
         // Packed accounting, matching the CPQ-aware index (Table IV's IS).
         let bytes: usize = self
-            .il2p.values().map(|v| std::mem::size_of::<LabelSeq>() + v.len() * std::mem::size_of::<Pair>() + 4)
+            .il2p
+            .values()
+            .map(|v| std::mem::size_of::<LabelSeq>() + v.len() * std::mem::size_of::<Pair>() + 4)
             .sum();
         PathIndexStats { k: self.k, sequences: self.il2p.len(), stored_pairs, bytes }
     }
@@ -357,11 +359,8 @@ mod tests {
     fn ia_path_matches_reference_off_interest() {
         let g = generate::gex();
         let f = g.label_named("f").unwrap();
-        let idx = PathIndex::build_interest_aware(
-            &g,
-            2,
-            [LabelSeq::from_slice(&[f.fwd(), f.fwd()])],
-        );
+        let idx =
+            PathIndex::build_interest_aware(&g, 2, [LabelSeq::from_slice(&[f.fwd(), f.fwd()])]);
         for src in ["(f . f) & f^-1", "(v . v^-1) & id", "f . v", "f^-1 . f . v"] {
             let q = parse_cpq(src, &g).unwrap();
             assert_eq!(idx.evaluate(&g, &q), eval_reference(&g, &q), "query {src}");
@@ -410,7 +409,8 @@ mod tests {
         // Non-empty postings must equal a fresh build exactly (Path
         // maintenance is precise — there is no class structure to fragment).
         let fresh = PathIndex::build(&g, 2);
-        let mut keys: Vec<_> = idx.il2p.iter().filter(|(_, v)| !v.is_empty()).map(|(k, _)| *k).collect();
+        let mut keys: Vec<_> =
+            idx.il2p.iter().filter(|(_, v)| !v.is_empty()).map(|(k, _)| *k).collect();
         keys.sort_unstable();
         let mut fresh_keys: Vec<_> =
             fresh.il2p.iter().filter(|(_, v)| !v.is_empty()).map(|(k, _)| *k).collect();

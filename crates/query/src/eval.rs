@@ -146,8 +146,15 @@ mod tests {
     #[test]
     fn bfs_agrees_with_reference_on_templates() {
         let g = generate::gex();
-        let labels: Vec<ExtLabel> =
-            vec![Label(0).fwd(), Label(1).fwd(), Label(0).inv(), Label(1).inv(), Label(0).fwd(), Label(1).fwd(), Label(0).inv()];
+        let labels: Vec<ExtLabel> = vec![
+            Label(0).fwd(),
+            Label(1).fwd(),
+            Label(0).inv(),
+            Label(1).inv(),
+            Label(0).fwd(),
+            Label(1).fwd(),
+            Label(0).inv(),
+        ];
         let bfs = BfsEngine;
         for t in Template::ALL {
             let q = t.instantiate(&labels[..t.arity()]);
@@ -168,7 +175,12 @@ mod tests {
                     .map(|_| ExtLabel(rng.gen_range(0..g.ext_label_count())))
                     .collect();
                 let q = t.instantiate(&labels);
-                assert_eq!(bfs.evaluate(&g, &q), eval_reference(&g, &q), "seed {seed} template {}", t.name());
+                assert_eq!(
+                    bfs.evaluate(&g, &q),
+                    eval_reference(&g, &q),
+                    "seed {seed} template {}",
+                    t.name()
+                );
             }
         }
     }

@@ -14,6 +14,8 @@
 //! * [`ast`] — the query algebra, diameter, and the 12 query templates of
 //!   the paper's Fig. 5 ([`ast::Template`]),
 //! * [`parser`] — a text syntax (`(f . f) & f^-1`),
+//! * [`canonical`] — canonical forms and stable cache keys for
+//!   semantically equal queries (conjunct sorting, identity rewrites),
 //! * [`plan`] — the physical parse tree of Sec. IV-D / Fig. 4: label chains
 //!   chunked into `LOOKUP`s of length ≤ k, `q ∘ id → q` rewriting, and
 //!   identity fused into the three operators,
@@ -30,6 +32,7 @@
 
 pub mod ast;
 pub mod benchqueries;
+pub mod canonical;
 pub mod eval;
 pub mod ops;
 pub mod parser;
@@ -37,5 +40,6 @@ pub mod plan;
 pub mod workload;
 
 pub use ast::{Cpq, Template};
+pub use canonical::{cache_key, canonicalize};
 pub use parser::parse_cpq;
 pub use plan::{plan_query, Plan};

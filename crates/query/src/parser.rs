@@ -80,14 +80,20 @@ fn tokenize(input: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
             // vertex labels — see `GraphBuilder::tag_vertex`).
             c if c.is_alphanumeric() || c == '_' || c == '@' => {
                 let mut name = String::new();
-                while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_' || bytes[i] == '@') {
+                while i < bytes.len()
+                    && (bytes[i].is_alphanumeric() || bytes[i] == '_' || bytes[i] == '@')
+                {
                     name.push(bytes[i]);
                     pos_bytes += bytes[i].len_utf8();
                     i += 1;
                 }
                 // Optional inverse suffix: `^-1` or `⁻¹`.
                 let mut inverse = false;
-                if i + 2 < bytes.len() && bytes[i] == '^' && bytes[i + 1] == '-' && bytes[i + 2] == '1' {
+                if i + 2 < bytes.len()
+                    && bytes[i] == '^'
+                    && bytes[i + 1] == '-'
+                    && bytes[i + 2] == '1'
+                {
                     inverse = true;
                     pos_bytes += 3;
                     i += 3;

@@ -97,8 +97,11 @@ impl std::fmt::Display for Plan {
                     rec(b, f, depth + 1)
                 }
                 Plan::Conj(a, b) | Plan::ConjId(a, b) => {
-                    let tag =
-                        if matches!(p, Plan::ConjId(..)) { "CONJUNCTION∩id" } else { "CONJUNCTION" };
+                    let tag = if matches!(p, Plan::ConjId(..)) {
+                        "CONJUNCTION∩id"
+                    } else {
+                        "CONJUNCTION"
+                    };
                     writeln!(f, "{pad}{tag}")?;
                     rec(a, f, depth + 1)?;
                     rec(b, f, depth + 1)
@@ -201,7 +204,12 @@ fn build(q: &Cpq, k: usize, is_indexed: &dyn Fn(&LabelSeq) -> bool) -> Plan {
 
 /// Splits a maximal label run into LOOKUPs, greedily taking the longest
 /// indexed prefix (≤ k); single labels are always indexed.
-fn chunk_run(run: &[ExtLabel], k: usize, is_indexed: &dyn Fn(&LabelSeq) -> bool, out: &mut Vec<Plan>) {
+fn chunk_run(
+    run: &[ExtLabel],
+    k: usize,
+    is_indexed: &dyn Fn(&LabelSeq) -> bool,
+    out: &mut Vec<Plan>,
+) {
     let mut i = 0;
     while i < run.len() {
         let max_len = k.min(run.len() - i).min(cpqx_graph::MAX_SEQ_LEN);
@@ -303,9 +311,7 @@ mod tests {
     #[test]
     fn fig4_example_shape() {
         // [(ℓ1∘ℓ2∘ℓ3) ∩ (ℓ4∘ℓ5)] ∩ id with k = 2.
-        let q = Cpq::chain(&[l(1), l(2), l(3)])
-            .conj(Cpq::chain(&[l(4), l(5)]))
-            .with_id();
+        let q = Cpq::chain(&[l(1), l(2), l(3)]).conj(Cpq::chain(&[l(4), l(5)])).with_id();
         let p = plan_for_k(&q, 2);
         match p {
             Plan::ConjId(left, right) => {
@@ -338,9 +344,7 @@ mod tests {
 
     #[test]
     fn counts_match_structure() {
-        let q = Cpq::chain(&[l(0), l(1)])
-            .conj(Cpq::chain(&[l(2), l(3)]))
-            .join(Cpq::ext(l(4)));
+        let q = Cpq::chain(&[l(0), l(1)]).conj(Cpq::chain(&[l(2), l(3)])).join(Cpq::ext(l(4)));
         let p = plan_for_k(&q, 2);
         assert_eq!(p.lookup_count(), 3);
         assert_eq!(p.join_count(), 1);

@@ -105,12 +105,7 @@ impl<'g> WorkloadGen<'g> {
 
     /// Generates up to `count` filtered queries for `template` (the paper
     /// uses ten per template/dataset).
-    pub fn queries(
-        &mut self,
-        template: Template,
-        count: usize,
-        probe: &dyn SeqProbe,
-    ) -> Vec<Cpq> {
+    pub fn queries(&mut self, template: Template, count: usize, probe: &dyn SeqProbe) -> Vec<Cpq> {
         let mut out = Vec::with_capacity(count);
         for _ in 0..count {
             if let Some(q) = self.instantiate(template, probe, 300) {

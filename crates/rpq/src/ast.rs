@@ -230,10 +230,7 @@ impl Parser<'_> {
             }
             Some(c) if c.is_alphanumeric() || c == '_' || c == '@' => {
                 let mut name = String::new();
-                while self
-                    .peek()
-                    .is_some_and(|c| c.is_alphanumeric() || c == '_' || c == '@')
-                {
+                while self.peek().is_some_and(|c| c.is_alphanumeric() || c == '_' || c == '@') {
                     name.push(self.bump().unwrap());
                 }
                 if name == "eps" {

@@ -291,11 +291,8 @@ mod tests {
     fn interest_aware_index_also_works() {
         let g = generate::gex();
         let f = g.label_named("f").unwrap();
-        let idx = CpqxIndex::build_interest_aware(
-            &g,
-            2,
-            [LabelSeq::from_slice(&[f.fwd(), f.fwd()])],
-        );
+        let idx =
+            CpqxIndex::build_interest_aware(&g, 2, [LabelSeq::from_slice(&[f.fwd(), f.fwd()])]);
         for expr in ["f . f . v", "f* . v", "(f . f)+"] {
             check(&g, &idx, expr);
         }

@@ -1,0 +1,199 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment cannot reach crates.io, so this workspace-local
+//! package provides the API subset the bench targets use: [`Criterion`],
+//! [`BenchmarkId`], benchmark groups, `Bencher::iter`, and the
+//! [`criterion_group!`]/[`criterion_main!`] macros. Measurements are plain
+//! wall-clock timings (median of per-iteration averages over a few batches)
+//! printed to stdout — no statistics, plots or baselines. Bench binaries
+//! must set `harness = false`, exactly as with upstream criterion.
+//!
+//! Environment knobs: `CRITERION_SHIM_BATCHES` (default 5) and
+//! `CRITERION_SHIM_MIN_ITERS` (default 1) trade precision for runtime.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Identifier for one parameterized benchmark case.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `group/function/parameter`-style id.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { label: format!("{}/{parameter}", function.into()) }
+    }
+
+    /// Id carrying only a parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+/// Runs the closure under timing; handed to bench closures.
+pub struct Bencher {
+    batches: u32,
+    min_iters: u64,
+    /// Median per-iteration time of the last `iter` call.
+    last: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`, recording the median per-iteration duration across
+    /// batches.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // Calibrate the per-batch iteration count so a batch takes ≥ ~20ms.
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let iters = ((Duration::from_millis(20).as_nanos() / once.as_nanos()).max(1) as u64)
+            .min(1_000_000)
+            .max(self.min_iters);
+        let mut per_iter: Vec<Duration> = Vec::with_capacity(self.batches as usize);
+        for _ in 0..self.batches {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            per_iter.push(t0.elapsed() / iters as u32);
+        }
+        per_iter.sort_unstable();
+        self.last = Some(per_iter[per_iter.len() / 2]);
+    }
+}
+
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn run_one(name: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        batches: env_u64("CRITERION_SHIM_BATCHES", 5) as u32,
+        min_iters: env_u64("CRITERION_SHIM_MIN_ITERS", 1),
+        last: None,
+    };
+    f(&mut b);
+    match b.last {
+        Some(d) => println!("{name:<48} {:>14.3} ns/iter", d.as_nanos() as f64),
+        None => println!("{name:<48} {:>14} (no measurement)", "-"),
+    }
+}
+
+/// A named group of related benchmark cases.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    _parent: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmarks `f` with `input`, labeled by `id`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(&label, &mut |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks `f` labeled by `id` (no input).
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id: BenchmarkId = id.into();
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(&label, &mut f);
+        self
+    }
+
+    /// Ends the group (printing is immediate, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of cases.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("-- group: {name}");
+        BenchmarkGroup { name, _parent: self }
+    }
+
+    /// Benchmarks a single function.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(name, &mut f);
+        self
+    }
+
+    /// Prints the closing summary (upstream API compatibility).
+    pub fn final_summary(&mut self) {
+        println!("-- criterion(shim) done");
+    }
+}
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Groups bench functions under one entry point, like upstream criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generates `main` for a `harness = false` bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        std::env::set_var("CRITERION_SHIM_BATCHES", "2");
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("g");
+        g.bench_with_input(BenchmarkId::from_parameter(4), &4u32, |b, &n| {
+            b.iter(|| (0..n).sum::<u32>())
+        });
+        g.finish();
+        std::env::remove_var("CRITERION_SHIM_BATCHES");
+    }
+}

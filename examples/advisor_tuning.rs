@@ -38,7 +38,10 @@ fn main() {
         advisor.observe(q, 4);
     }
 
-    println!("{:<24} {:>10} {:>12} {:>12} {:>14}", "candidate", "interests", "build", "size", "workload time");
+    println!(
+        "{:<24} {:>10} {:>12} {:>12} {:>14}",
+        "candidate", "interests", "build", "size", "workload time"
+    );
     let mut candidates: Vec<(usize, std::time::Duration, CpqxIndex)> = Vec::new();
     for max_k in 2..=4usize {
         let cfg = AdvisorConfig { max_k, max_interests: 32, pair_budget: Some(2_000_000) };

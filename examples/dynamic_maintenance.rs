@@ -92,5 +92,9 @@ fn main() {
 
     let t0 = Instant::now();
     index.rebuild(&g);
-    println!("rebuild() defragmented in {:.2?} → {:.3}× ratio", t0.elapsed(), index.size_bytes() as f64 / rebuilt.size_bytes() as f64);
+    println!(
+        "rebuild() defragmented in {:.2?} → {:.3}× ratio",
+        t0.elapsed(),
+        index.size_bytes() as f64 / rebuilt.size_bytes() as f64
+    );
 }

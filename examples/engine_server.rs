@@ -1,0 +1,129 @@
+//! Engine serving demo: concurrent clients, live maintenance, stats.
+//!
+//! Builds a mid-size social graph, constructs the CPQ-aware index with the
+//! engine's *sharded parallel* builder, then drives it like a server:
+//! several client threads issue a repeating CPQ workload (hitting the
+//! canonical-query result cache) while a maintenance thread keeps
+//! deleting and re-inserting edges — every change installs a fresh
+//! snapshot without ever blocking the clients. Finishes with a batch
+//! evaluation on one pinned snapshot and the engine's stats report.
+//!
+//! Run with: `cargo run --release --example engine_server`
+
+use cpqx::engine::{BatchOptions, BuildOptions, Engine, EngineOptions};
+use cpqx::graph::generate::{random_graph, sample_edges, RandomGraphConfig};
+use cpqx::query::workload::{GraphProbe, WorkloadGen};
+use cpqx::query::{Cpq, Template};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const CLIENTS: usize = 4;
+const RUN_FOR: Duration = Duration::from_millis(600);
+
+fn main() {
+    let g = random_graph(&RandomGraphConfig::social(2_000, 9_000, 4, 42));
+    println!("graph: {} vertices, {} base edges", g.vertex_count(), g.edge_count());
+
+    // A repeating workload of filtered template queries.
+    let probe = GraphProbe(&g);
+    let mut gen = WorkloadGen::new(&g, 7);
+    let workload: Vec<Cpq> =
+        Template::ALL.iter().flat_map(|&t| gen.queries(t, 3, &probe)).collect();
+    println!("workload: {} CPQs across {} templates", workload.len(), Template::ALL.len());
+
+    // Sharded parallel build (at least two shards so the demo exercises
+    // the merge path even on a single-core host).
+    let shards = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).max(2);
+    let t0 = Instant::now();
+    let (engine, report) = Engine::with_options(
+        g,
+        EngineOptions {
+            k: 2,
+            build: BuildOptions { shards: Some(shards), threads: None },
+            ..EngineOptions::default()
+        },
+    );
+    let report = report.expect("full engine reports its build");
+    println!(
+        "build: {:?} total ({} shards: level1 {:?}, refine {:?}, merge {:?})",
+        t0.elapsed(),
+        report.shards,
+        report.level1,
+        report.refine,
+        report.merge
+    );
+    let engine = Arc::new(engine);
+
+    // Serve: CLIENTS reader threads + one maintenance thread.
+    let stop = Arc::new(AtomicBool::new(false));
+    let served = Arc::new(AtomicU64::new(0));
+    std::thread::scope(|scope| {
+        for c in 0..CLIENTS {
+            let engine = Arc::clone(&engine);
+            let stop = Arc::clone(&stop);
+            let served = Arc::clone(&served);
+            let workload = &workload;
+            scope.spawn(move || {
+                let mut i = c; // stagger clients across the workload
+                while !stop.load(Ordering::Relaxed) {
+                    let answers = engine.query(&workload[i % workload.len()]);
+                    std::hint::black_box(answers.len());
+                    served.fetch_add(1, Ordering::Relaxed);
+                    i += 1;
+                }
+            });
+        }
+
+        let maintenance = {
+            let engine = Arc::clone(&engine);
+            let stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                let mut round = 0u64;
+                let mut updates = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let snap = engine.snapshot();
+                    for (v, u, l) in sample_edges(snap.graph(), 2, round) {
+                        if engine.delete_edge(v, u, l) {
+                            updates += 1;
+                        }
+                        if engine.insert_edge(v, u, l) {
+                            updates += 1;
+                        }
+                    }
+                    round += 1;
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                updates
+            })
+        };
+
+        std::thread::sleep(RUN_FOR);
+        stop.store(true, Ordering::Relaxed);
+        let updates = maintenance.join().expect("maintenance thread panicked");
+        println!(
+            "served {} queries from {CLIENTS} clients while applying {updates} updates \
+             ({} snapshot swaps, final epoch {})",
+            served.load(Ordering::Relaxed),
+            engine.stats().snapshot_swaps,
+            engine.epoch()
+        );
+    });
+
+    // One consistent batch over the final snapshot.
+    let batch = engine.evaluate_batch(
+        &workload,
+        BatchOptions { threads: Some(CLIENTS), ..BatchOptions::default() },
+    );
+    println!(
+        "batch: {} queries in {:?} on epoch {} → {:.0} qps (p50 {:?}, p99 {:?})",
+        batch.results.len(),
+        batch.total,
+        batch.epoch,
+        batch.throughput_qps(),
+        batch.latency_quantile(0.5),
+        batch.latency_quantile(0.99),
+    );
+
+    println!("stats: {}", engine.stats());
+}

@@ -27,11 +27,13 @@ fn main() {
 
     // The paper's five interests on the synthetic datasets (Sec. VI).
     let l = |name: &str| g.label_named(name).unwrap();
-    let interests = [LabelSeq::from_slice(&[l("cites").fwd(), l("cites").fwd()]),
+    let interests = [
+        LabelSeq::from_slice(&[l("cites").fwd(), l("cites").fwd()]),
         LabelSeq::from_slice(&[l("cites").fwd(), l("supervises").fwd()]),
         LabelSeq::from_slice(&[l("publishesIn").fwd(), l("heldIn").fwd()]),
         LabelSeq::from_slice(&[l("worksIn").fwd(), l("heldIn").inv()]),
-        LabelSeq::from_slice(&[l("livesIn").fwd(), l("worksIn").inv()])];
+        LabelSeq::from_slice(&[l("livesIn").fwd(), l("worksIn").inv()]),
+    ];
 
     let t0 = Instant::now();
     let index = CpqxIndex::build_interest_aware(&g, 2, interests.iter().copied());

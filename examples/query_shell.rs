@@ -43,7 +43,10 @@ fn main() {
     );
     let index = CpqxIndex::build(&g, 2);
     let s = index.stats();
-    eprintln!("CPQx(k=2) ready: {} classes / {} pairs. Enter CPQs (`:quit` to exit).", s.classes, s.pairs);
+    eprintln!(
+        "CPQx(k=2) ready: {} classes / {} pairs. Enter CPQs (`:quit` to exit).",
+        s.classes, s.pairs
+    );
 
     let stdin = std::io::stdin();
     for line in stdin.lock().lines() {

@@ -14,11 +14,7 @@ use cpqx_graph::LabelSeq;
 
 fn main() {
     let g = gex();
-    println!(
-        "Gex: {} vertices, {} base edges, labels {{f, v}}",
-        g.vertex_count(),
-        g.edge_count()
-    );
+    println!("Gex: {} vertices, {} base edges, labels {{f, v}}", g.vertex_count(), g.edge_count());
 
     // Construct CPQx with the paper's default k = 2.
     let index = CpqxIndex::build(&g, 2);
@@ -44,9 +40,7 @@ fn main() {
         let seqs: Vec<String> = index
             .class_sequences(*c)
             .iter()
-            .map(|s| {
-                s.iter().map(|l| g.ext_label_name(l)).collect::<Vec<_>>().join("·")
-            })
+            .map(|s| s.iter().map(|l| g.ext_label_name(l)).collect::<Vec<_>>().join("·"))
             .collect();
         let loop_mark = if index.class_is_loop(*c) { " (cyclic)" } else { "" };
         println!("  c={c:<3}{loop_mark} {{{}}} — {}", seqs.join(", "), members.join(" "));

@@ -4,8 +4,11 @@
 //! This facade crate re-exports the workspace members under stable paths:
 //!
 //! * [`graph`] — directed edge-labeled graphs, generators, dataset stand-ins,
-//! * [`query`] — the CPQ language: AST, parser, planner, evaluators, workloads,
+//! * [`query`] — the CPQ language: AST, parser, planner, canonicalizer,
+//!   evaluators, workloads,
 //! * [`index`] — CPQx and iaCPQx, the paper's CPQ-aware path indexes,
+//! * [`engine`] — sharded parallel index construction and the concurrent
+//!   serving layer (snapshots, caches, batch evaluation),
 //! * [`pathindex`] — the language-unaware Path/iaPath baseline (EDBT 2016),
 //! * [`matcher`] — homomorphic subgraph-matching baselines (TurboHom++- and
 //!   Tentris-style engines).
@@ -20,16 +23,34 @@
 //! // The paper's running example: people and their followers in a triad.
 //! let g = gex();
 //! let index = CpqxIndex::build(&g, 2);
-//! let f = g.label_named("f").unwrap();
 //! let q = parse_cpq("(f . f) & f^-1", &g).unwrap();
 //! let result = index.evaluate(&g, &q);
 //! assert_eq!(result.len(), 3); // (sue,zoe), (joe,sue), (zoe,joe)
-//! let _ = f;
+//! ```
+//!
+//! # Serving
+//!
+//! For anything beyond one-shot evaluation, wrap the graph in an
+//! [`engine::Engine`]: it builds the index in parallel, serves queries
+//! through plan/result caches, and applies maintenance by atomically
+//! swapping snapshots so readers are never blocked.
+//!
+//! ```
+//! use cpqx::engine::Engine;
+//! use cpqx::graph::generate::gex;
+//! use cpqx::query::parse_cpq;
+//!
+//! let engine = Engine::build(gex(), 2);
+//! let snap = engine.snapshot();
+//! let q = parse_cpq("(f . f) & f^-1", snap.graph()).unwrap();
+//! assert_eq!(engine.query(&q).len(), 3); // executes
+//! assert_eq!(engine.query(&q).len(), 3); // served from the result cache
 //! ```
 
 #![warn(missing_docs)]
 
 pub use cpqx_core as index;
+pub use cpqx_engine as engine;
 pub use cpqx_graph as graph;
 pub use cpqx_matcher as matcher;
 pub use cpqx_pathindex as pathindex;

@@ -98,9 +98,7 @@ fn chains_far_beyond_k() {
     let idx = CpqxIndex::build(&g, 2);
     // Diameter 12 on a k=2 index: 6 lookups, 5 joins.
     let f = g.label_named("f").unwrap();
-    let labels: Vec<_> = (0..12)
-        .map(|i| if i % 2 == 0 { f.fwd() } else { f.inv() })
-        .collect();
+    let labels: Vec<_> = (0..12).map(|i| if i % 2 == 0 { f.fwd() } else { f.inv() }).collect();
     let q = Cpq::chain(&labels);
     let plan = idx.plan(&q);
     assert_eq!(plan.lookup_count(), 6);
@@ -180,11 +178,7 @@ fn parallel_edges_with_different_labels() {
     // One pair, one class, three length-1 sequences (plus 2-step returns).
     let p = Pair::new(g.vertex_named("x").unwrap(), g.vertex_named("y").unwrap());
     let c = idx.class_of(p).unwrap();
-    let singles = idx
-        .class_sequences(c)
-        .iter()
-        .filter(|s| s.len() == 1)
-        .count();
+    let singles = idx.class_sequences(c).iter().filter(|s| s.len() == 1).count();
     assert_eq!(singles, 3);
     for text in ["a & b", "a & (b & c)", "(a . a^-1) & id"] {
         let q = parse_cpq(text, &g).unwrap();

@@ -35,8 +35,12 @@ fn random_op(rng: &mut StdRng, g: &cpqx::graph::Graph, ia: bool) -> Op {
         ])
     };
     match rng.gen_range(0..100) {
-        0..=24 => Op::InsertEdge(rng.gen_range(0..n), rng.gen_range(0..n), Label(rng.gen_range(0..nl))),
-        25..=49 => Op::DeleteEdge(rng.gen_range(0..n), rng.gen_range(0..n), Label(rng.gen_range(0..nl))),
+        0..=24 => {
+            Op::InsertEdge(rng.gen_range(0..n), rng.gen_range(0..n), Label(rng.gen_range(0..nl)))
+        }
+        25..=49 => {
+            Op::DeleteEdge(rng.gen_range(0..n), rng.gen_range(0..n), Label(rng.gen_range(0..nl)))
+        }
         50..=57 if ia => Op::InsertInterest(seq2(rng)),
         58..=63 if ia => Op::DeleteInterest(seq2(rng)),
         64..=68 => Op::SerializeRoundtrip,
@@ -55,11 +59,7 @@ fn chaos(seed: u64, ia: bool, steps: usize) {
     let cfg = RandomGraphConfig::social(40, 150, 3, seed ^ 0x51DE);
     let mut g = random_graph(&cfg);
     let mut idx = if ia {
-        CpqxIndex::build_interest_aware(
-            &g,
-            2,
-            [LabelSeq::from_slice(&[ExtLabel(0), ExtLabel(1)])],
-        )
+        CpqxIndex::build_interest_aware(&g, 2, [LabelSeq::from_slice(&[ExtLabel(0), ExtLabel(1)])])
     } else {
         CpqxIndex::build(&g, 2)
     };

@@ -42,18 +42,14 @@ fn example_3_1_label_sequence_sets() {
 fn introduction_triad_answer() {
     let g = gex();
     let q = parse_cpq("(f . f) & f^-1", &g).unwrap();
-    for engine_result in [
-        CpqxIndex::build(&g, 2).evaluate(&g, &q),
-        PathIndex::build(&g, 2).evaluate(&g, &q),
-    ] {
+    for engine_result in
+        [CpqxIndex::build(&g, 2).evaluate(&g, &q), PathIndex::build(&g, 2).evaluate(&g, &q)]
+    {
         let names: std::collections::BTreeSet<(&str, &str)> = engine_result
             .iter()
             .map(|p| (g.vertex_name(p.src()), g.vertex_name(p.dst())))
             .collect();
-        assert_eq!(
-            names,
-            [("sue", "zoe"), ("joe", "sue"), ("zoe", "joe")].into_iter().collect()
-        );
+        assert_eq!(names, [("sue", "zoe"), ("joe", "sue"), ("zoe", "joe")].into_iter().collect());
     }
 }
 

@@ -40,9 +40,7 @@ fn tag_atoms_filter_endpoints() {
     let q = parse_cpq("@verified . follows", &g).unwrap();
     let result = idx.evaluate(&g, &q);
     assert_eq!(result, eval_reference(&g, &q));
-    assert!(result
-        .iter()
-        .all(|p| g.vertex_name(p.src()) == "ann"), "only ann is verified");
+    assert!(result.iter().all(|p| g.vertex_name(p.src()) == "ann"), "only ann is verified");
     assert_eq!(result.len(), 1); // ann → bob
 }
 
