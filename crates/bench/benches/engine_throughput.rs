@@ -12,24 +12,20 @@
 //! repeats inside the cached serving measurement).
 
 use cpqx_bench::harness::{time_once, workload_for};
-use cpqx_bench::{BenchConfig, Table};
+use cpqx_bench::{env_parse, BenchConfig, Table};
 use cpqx_core::CpqxIndex;
 use cpqx_engine::{build_sharded, BatchOptions, BuildOptions, Engine, EngineOptions};
 use cpqx_graph::datasets::Dataset;
 use cpqx_query::ast::Template;
 use cpqx_query::Cpq;
 
-fn env_usize(key: &str, default: usize) -> usize {
-    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
-}
-
 fn main() {
     let cfg = BenchConfig::from_env();
-    let shards = env_usize(
+    let shards: usize = env_parse(
         "CPQX_ENGINE_SHARDS",
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
     );
-    let repeats = env_usize("CPQX_ENGINE_BATCH_REPEATS", 4);
+    let repeats: usize = env_parse("CPQX_ENGINE_BATCH_REPEATS", 4);
     let sharded_col = format!("sharded x{shards}[s]");
 
     let mut build_table =

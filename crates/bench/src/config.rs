@@ -19,7 +19,10 @@ pub struct BenchConfig {
     pub seed: u64,
 }
 
-fn env_parse<T: std::str::FromStr>(key: &str, default: T) -> T {
+/// Parses an environment variable, falling back to `default` when the
+/// variable is unset or malformed (shared by the bench binaries' extra
+/// knobs).
+pub fn env_parse<T: std::str::FromStr>(key: &str, default: T) -> T {
     std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
 }
 

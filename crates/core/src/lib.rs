@@ -44,4 +44,4 @@ pub use bisim::{cpq_path_partition, merge_partitions, ClassId, Partition, Refine
 pub use exec::{ExecOptions, Executor, Intermediate};
 pub use index::{CpqxIndex, IndexStats};
 pub use interest::normalize_interests;
-pub use optimize::optimize_query;
+pub use optimize::{estimate_plan_cost, optimize_query, optimize_query_costed};

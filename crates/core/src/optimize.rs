@@ -41,6 +41,24 @@ pub fn optimize_query(index: &CpqxIndex, g: &Graph, q: &Cpq) -> Plan {
     build(index, g, q).plan
 }
 
+/// Like [`optimize_query`] but also returns the plan's estimated
+/// cumulative execution cost (intermediate rows touched), from the same
+/// single optimization pass. The serving engine caches exactly this pair:
+/// the cost describes the plan that actually executes, and its
+/// result-cache admission policy thresholds on it — cheap queries are not
+/// worth a cache slot because re-executing them costs less than the
+/// eviction they cause.
+pub fn optimize_query_costed(index: &CpqxIndex, g: &Graph, q: &Cpq) -> (Plan, f64) {
+    let costed = build(index, g, q);
+    (costed.plan, costed.cost)
+}
+
+/// The estimated execution cost of `q`'s optimized plan (see
+/// [`optimize_query_costed`]).
+pub fn estimate_plan_cost(index: &CpqxIndex, g: &Graph, q: &Cpq) -> f64 {
+    build(index, g, q).cost
+}
+
 /// Estimated pair volume of one lookup. Exact for short posting lists;
 /// extrapolated from a 32-class sample for long ones, so estimation cost
 /// stays negligible next to even the cheapest query.
@@ -351,6 +369,21 @@ mod tests {
         let plan = optimize_query(&idx, &g, &q);
         assert!(matches!(plan, Plan::LookupId(_)));
         assert_eq!(idx.evaluate_optimized(&g, &q), eval_reference(&g, &q));
+    }
+
+    #[test]
+    fn cost_estimates_order_queries_sensibly() {
+        let g = generate::gex();
+        let idx = CpqxIndex::build(&g, 2);
+        let cheap = parse_cpq("f", &g).unwrap();
+        let pricey = parse_cpq("(f . f) & f^-1", &g).unwrap();
+        let c0 = estimate_plan_cost(&idx, &g, &cheap);
+        let c1 = estimate_plan_cost(&idx, &g, &pricey);
+        assert!(c0.is_finite() && c0 >= 0.0);
+        assert!(c1 > c0, "compound query must cost more: {c1} !> {c0}");
+        // The estimate is deterministic — the admission policy relies on
+        // equal queries getting equal costs.
+        assert_eq!(c1, estimate_plan_cost(&idx, &g, &pricey));
     }
 
     #[test]

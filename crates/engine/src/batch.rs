@@ -66,6 +66,20 @@ impl Engine {
     /// snapshot (see module docs).
     pub fn evaluate_batch(&self, queries: &[Cpq], opts: BatchOptions) -> BatchOutcome {
         let snap = self.snapshot();
+        self.evaluate_batch_on(&snap, queries, opts)
+    }
+
+    /// Like [`Engine::evaluate_batch`] but against a caller-pinned
+    /// snapshot, so the caller can atomically tie other per-version work —
+    /// e.g. parsing query text against the snapshot's label table, as the
+    /// network front-end does — to the exact version the whole batch is
+    /// evaluated on.
+    pub fn evaluate_batch_on(
+        &self,
+        snap: &crate::engine::Snapshot,
+        queries: &[Cpq],
+        opts: BatchOptions,
+    ) -> BatchOutcome {
         let n = queries.len();
         let threads = opts.threads.unwrap_or_else(pool::default_threads).clamp(1, n.max(1));
         let t0 = Instant::now();
@@ -86,7 +100,7 @@ impl Engine {
                 self.counters().record_query(q0.elapsed(), false);
                 out
             } else {
-                self.query_on(&snap, &queries[i])
+                self.query_on(snap, &queries[i])
             };
             *slots[i].lock().unwrap() = Some((out, q0.elapsed()));
         });
@@ -157,6 +171,24 @@ mod tests {
         engine.evaluate_batch(&queries, opts);
         engine.evaluate_batch(&queries, opts);
         assert_eq!(engine.stats().result_hits, 0);
+    }
+
+    #[test]
+    fn batch_on_pinned_snapshot_survives_swap() {
+        let g = generate::gex();
+        let engine = Engine::build(g, 2);
+        let snap = engine.snapshot();
+        let queries = workload(snap.graph(), 2);
+        let f = snap.graph().label_named("f").unwrap();
+        let (sue, joe) =
+            (snap.graph().vertex_named("sue").unwrap(), snap.graph().vertex_named("joe").unwrap());
+        assert!(engine.delete_edge(sue, joe, f));
+        // The batch still evaluates on the pinned pre-deletion version.
+        let out = engine.evaluate_batch_on(&snap, &queries, BatchOptions::default());
+        assert_eq!(out.epoch, 0);
+        for (q, r) in queries.iter().zip(&out.results) {
+            assert_eq!(**r, eval_reference(snap.graph(), q), "query {q:?}");
+        }
     }
 
     #[test]

@@ -9,9 +9,10 @@
 //!
 //! Serving adds two caches:
 //!
-//! * a **plan cache** per snapshot: canonical query → lowered [`Plan`]
-//!   (plans depend on the index's interest set, so they live and die with
-//!   the snapshot);
+//! * a **plan cache** per snapshot: canonical query → cost-optimized
+//!   [`Plan`] plus its cost estimate, from one optimizer pass (plans and
+//!   costs depend on the index's statistics and interest set, so they
+//!   live and die with the snapshot);
 //! * an **LRU result cache** across queries, keyed by the canonical form
 //!   of the query ([`cpqx_query::canonical`]) and tagged with the epoch it
 //!   is valid for — a snapshot swap atomically invalidates it.
@@ -44,6 +45,14 @@ pub struct EngineOptions {
     /// long-lived snapshot serving millions of distinct queries must not
     /// grow without bound.
     pub plan_cache_capacity: usize,
+    /// Result-cache admission threshold: an executed query is admitted to
+    /// the result cache only when its estimated plan cost
+    /// ([`cpqx_core::estimate_plan_cost`]) is at least this value. `0.0`
+    /// (the default) admits everything; raising it keeps cheap queries —
+    /// which are faster to re-execute than the cache churn they cause —
+    /// from evicting expensive ones. Rejections are counted in
+    /// [`StatsReport::rejected_admissions`].
+    pub result_admission_min_cost: f64,
     /// `Some(interests)` builds the interest-aware index (iaCPQx) instead
     /// of full CPQx. Interest-aware partitions are interest-driven rather
     /// than source-partitioned, so they build sequentially.
@@ -57,9 +66,23 @@ impl Default for EngineOptions {
             build: BuildOptions::default(),
             result_cache_capacity: 1024,
             plan_cache_capacity: 4096,
+            result_admission_min_cost: 0.0,
             interests: None,
         }
     }
+}
+
+/// A lowered plan together with its estimated execution cost, produced by
+/// one pass of the cost-based optimizer
+/// ([`cpqx_core::optimize_query_costed`]) — the unit the per-snapshot
+/// plan cache stores, so the cost always describes the plan that actually
+/// executes and the admission policy never re-estimates on a plan-cache
+/// hit.
+pub struct PlannedQuery {
+    /// The physical plan the executor runs.
+    pub plan: Plan,
+    /// The plan's estimated cumulative execution cost.
+    pub cost: f64,
 }
 
 /// An immutable, shareable point-in-time view: the graph, its index, the
@@ -68,7 +91,7 @@ pub struct Snapshot {
     graph: Graph,
     index: CpqxIndex,
     epoch: u64,
-    plans: Mutex<LruCache<String, Arc<Plan>>>,
+    plans: Mutex<LruCache<String, Arc<PlannedQuery>>>,
 }
 
 impl Snapshot {
@@ -92,18 +115,20 @@ impl Snapshot {
         self.epoch
     }
 
-    /// The lowered plan for a canonical query, cached per snapshot (LRU,
-    /// bounded by [`EngineOptions::plan_cache_capacity`]). Returns the
-    /// plan and whether it was a cache hit.
-    pub fn plan_for(&self, key: &str, canonical: &Cpq) -> (Arc<Plan>, bool) {
+    /// The cost-optimized plan (with its cost estimate) for a canonical
+    /// query, cached per snapshot (LRU, bounded by
+    /// [`EngineOptions::plan_cache_capacity`]). Returns the planned query
+    /// and whether it was a cache hit.
+    pub fn plan_for(&self, key: &str, canonical: &Cpq) -> (Arc<PlannedQuery>, bool) {
         if let Some(p) = self.plans.lock().unwrap().get(key) {
             return (Arc::clone(p), true);
         }
         // Lower outside the lock: planning is pure and collisions are
         // idempotent (last insert wins with an identical plan).
-        let plan = Arc::new(self.index.plan(canonical));
-        self.plans.lock().unwrap().insert(key.to_string(), Arc::clone(&plan));
-        (plan, false)
+        let (plan, cost) = cpqx_core::optimize_query_costed(&self.index, &self.graph, canonical);
+        let planned = Arc::new(PlannedQuery { plan, cost });
+        self.plans.lock().unwrap().insert(key.to_string(), Arc::clone(&planned));
+        (planned, false)
     }
 
     /// Evaluates `q` against this snapshot, bypassing the result cache
@@ -111,8 +136,8 @@ impl Snapshot {
     pub fn evaluate(&self, q: &Cpq) -> Vec<Pair> {
         let canonical = canonicalize(q);
         let key = cache_key(&canonical);
-        let (plan, _) = self.plan_for(&key, &canonical);
-        Executor::new(&self.index, &self.graph).run(&plan)
+        let (planned, _) = self.plan_for(&key, &canonical);
+        Executor::new(&self.index, &self.graph).run(&planned.plan)
     }
 }
 
@@ -211,10 +236,10 @@ impl Engine {
                 }
             }
         }
-        let (plan, plan_hit) = snap.plan_for(&key, &canonical);
+        let (planned, plan_hit) = snap.plan_for(&key, &canonical);
         self.counters.record_plan(plan_hit);
-        let out = Arc::new(Executor::new(snap.index(), snap.graph()).run(&plan));
-        {
+        let out = Arc::new(Executor::new(snap.index(), snap.graph()).run(&planned.plan));
+        if planned.cost >= self.options.result_admission_min_cost {
             let mut res = self.results.lock().unwrap();
             // Tag check: a swap may have happened while we executed; a
             // result from the old snapshot must not populate the new
@@ -222,6 +247,8 @@ impl Engine {
             if res.epoch == snap.epoch() {
                 res.cache.insert(key, Arc::clone(&out));
             }
+        } else {
+            self.counters.record_admission_rejected();
         }
         self.counters.record_query(t0.elapsed(), false);
         out
@@ -257,24 +284,39 @@ impl Engine {
     /// [`CpqxIndex::insert_edge`]). Returns `false` if it already existed
     /// (no snapshot is installed in that case either).
     pub fn insert_edge(&self, v: VertexId, u: VertexId, l: Label) -> bool {
+        self.insert_edge_with_epoch(v, u, l).0
+    }
+
+    /// Like [`Engine::insert_edge`], additionally returning the epoch the
+    /// caller may pin: the epoch this update installed, or (for no-ops)
+    /// the epoch the no-op was decided against. Read under the writer
+    /// lock, so a concurrent writer can never make the pair stale — the
+    /// seam the network front-end's `UPDATE_ACK` relies on.
+    pub fn insert_edge_with_epoch(&self, v: VertexId, u: VertexId, l: Label) -> (bool, u64) {
         self.update_if(|g, idx| idx.insert_edge(g, v, u, l))
     }
 
     /// Deletes a base edge (lazy index maintenance). Returns `false` if
     /// it did not exist.
     pub fn delete_edge(&self, v: VertexId, u: VertexId, l: Label) -> bool {
+        self.delete_edge_with_epoch(v, u, l).0
+    }
+
+    /// Like [`Engine::delete_edge`] with the pinnable epoch (see
+    /// [`Engine::insert_edge_with_epoch`]).
+    pub fn delete_edge_with_epoch(&self, v: VertexId, u: VertexId, l: Label) -> (bool, u64) {
         self.update_if(|g, idx| idx.delete_edge(g, v, u, l))
     }
 
     /// Registers an interest sequence on an interest-aware engine (see
     /// [`CpqxIndex::insert_interest`]).
     pub fn insert_interest(&self, seq: LabelSeq) -> bool {
-        self.update_if(|g, idx| idx.insert_interest(g, seq))
+        self.update_if(|g, idx| idx.insert_interest(g, seq)).0
     }
 
     /// Drops an interest sequence on an interest-aware engine.
     pub fn delete_interest(&self, seq: &LabelSeq) -> bool {
-        self.update_if(|_, idx| idx.delete_interest(seq))
+        self.update_if(|_, idx| idx.delete_interest(seq)).0
     }
 
     /// Rebuilds the index from the current graph (defragmentation after
@@ -312,17 +354,19 @@ impl Engine {
     }
 
     /// Like [`Engine::update`] but only installs a snapshot when `f`
-    /// reports a change, so no-op maintenance stays read-only.
-    fn update_if(&self, f: impl FnOnce(&mut Graph, &mut CpqxIndex) -> bool) -> bool {
+    /// reports a change, so no-op maintenance stays read-only. Returns
+    /// whether a change was applied and the resulting epoch (the one the
+    /// update installed, or the unchanged epoch for no-ops) — both
+    /// determined under the writer lock.
+    fn update_if(&self, f: impl FnOnce(&mut Graph, &mut CpqxIndex) -> bool) -> (bool, u64) {
         let _writer = self.writer.lock().unwrap();
         let snap = self.snapshot();
         let mut graph = snap.graph.clone();
         let mut index = snap.index.clone();
         if !f(&mut graph, &mut index) {
-            return false;
+            return (false, snap.epoch());
         }
-        self.install(graph, index);
-        true
+        (true, self.install(graph, index))
     }
 
     /// Installs a new current snapshot (caller holds the writer lock).
@@ -418,6 +462,21 @@ mod tests {
     }
 
     #[test]
+    fn update_with_epoch_reports_the_installed_version() {
+        let engine = gex_engine();
+        let snap = engine.snapshot();
+        let g0 = snap.graph();
+        let (sue, joe) = (g0.vertex_named("sue").unwrap(), g0.vertex_named("joe").unwrap());
+        let f = g0.label_named("f").unwrap();
+        assert_eq!(engine.delete_edge_with_epoch(sue, joe, f), (true, 1));
+        // No-op: not applied, epoch pinned to the version the decision
+        // was made against.
+        assert_eq!(engine.delete_edge_with_epoch(sue, joe, f), (false, 1));
+        assert_eq!(engine.insert_edge_with_epoch(sue, joe, f), (true, 2));
+        assert_eq!(engine.epoch(), 2);
+    }
+
+    #[test]
     fn update_transaction_batches_changes() {
         let engine = gex_engine();
         let snap = engine.snapshot();
@@ -488,6 +547,56 @@ mod tests {
         // query_uncached bypasses result caching but shares the snapshot
         // plan cache via Snapshot::evaluate.
         assert_eq!(engine.stats().result_hits, 0);
+    }
+
+    #[test]
+    fn admission_policy_rejects_cheap_queries() {
+        let g = generate::gex();
+        let (engine, _) = Engine::with_options(
+            g,
+            EngineOptions {
+                k: 2,
+                result_admission_min_cost: f64::INFINITY,
+                ..EngineOptions::default()
+            },
+        );
+        let snap = engine.snapshot();
+        let q = parse_cpq("(f . f) & f^-1", snap.graph()).unwrap();
+        let expected = eval_reference(snap.graph(), &q);
+        assert_eq!(*engine.query(&q), expected);
+        assert_eq!(*engine.query(&q), expected, "rejection must not change answers");
+        let stats = engine.stats();
+        assert_eq!(stats.result_hits, 0, "nothing may be admitted");
+        assert_eq!(stats.rejected_admissions, 2);
+    }
+
+    #[test]
+    fn admission_policy_separates_by_cost() {
+        // A threshold between the costs of a trivial and a compound query
+        // must cache the latter but not the former.
+        let g = generate::gex();
+        let snap_graph = g.clone();
+        let idx = cpqx_core::CpqxIndex::build(&snap_graph, 2);
+        let cheap = parse_cpq("f", &snap_graph).unwrap();
+        let pricey = parse_cpq("(f . f) & f^-1", &snap_graph).unwrap();
+        let cheap_cost = cpqx_core::estimate_plan_cost(&idx, &snap_graph, &cheap);
+        let pricey_cost = cpqx_core::estimate_plan_cost(&idx, &snap_graph, &pricey);
+        assert!(cheap_cost < pricey_cost, "{cheap_cost} !< {pricey_cost}");
+        let (engine, _) = Engine::with_options(
+            g,
+            EngineOptions {
+                k: 2,
+                result_admission_min_cost: (cheap_cost + pricey_cost) / 2.0,
+                ..EngineOptions::default()
+            },
+        );
+        engine.query(&cheap);
+        engine.query(&cheap);
+        engine.query(&pricey);
+        engine.query(&pricey);
+        let stats = engine.stats();
+        assert_eq!(stats.result_hits, 1, "only the compound query is cached");
+        assert_eq!(stats.rejected_admissions, 2);
     }
 
     #[test]

@@ -52,5 +52,5 @@ pub mod stats;
 pub use batch::{BatchOptions, BatchOutcome};
 pub use build::{build_sharded, build_sharded_with_report, BuildOptions, BuildReport};
 pub use cache::LruCache;
-pub use engine::{Engine, EngineOptions, Snapshot};
+pub use engine::{Engine, EngineOptions, PlannedQuery, Snapshot};
 pub use stats::StatsReport;

@@ -22,6 +22,7 @@ pub struct EngineCounters {
     plan_misses: AtomicU64,
     snapshot_swaps: AtomicU64,
     invalidations: AtomicU64,
+    admission_rejections: AtomicU64,
     latencies_us: Mutex<LatencyWindow>,
 }
 
@@ -63,6 +64,10 @@ impl EngineCounters {
         self.invalidations.fetch_add(invalidated, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_admission_rejected(&self) {
+        self.admission_rejections.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A consistent-enough point-in-time view of the counters.
     pub fn report(&self) -> StatsReport {
         let mut latencies = self.latencies_us.lock().unwrap().samples.clone();
@@ -89,6 +94,7 @@ impl EngineCounters {
             plan_hit_rate: rate(plan_hits, plan_hits + plan_misses),
             snapshot_swaps: self.snapshot_swaps.load(Ordering::Relaxed),
             invalidated_results: self.invalidations.load(Ordering::Relaxed),
+            rejected_admissions: self.admission_rejections.load(Ordering::Relaxed),
             latency_window: latencies.len(),
             p50: pct(0.50),
             p99: pct(0.99),
@@ -126,6 +132,10 @@ pub struct StatsReport {
     pub snapshot_swaps: u64,
     /// Result-cache entries dropped by snapshot swaps.
     pub invalidated_results: u64,
+    /// Executed queries whose result the admission policy refused to
+    /// cache because the estimated plan cost fell below
+    /// `EngineOptions::result_admission_min_cost`.
+    pub rejected_admissions: u64,
     /// Latency samples currently in the rolling window.
     pub latency_window: usize,
     /// Median query latency over the window.
@@ -162,7 +172,10 @@ mod tests {
         c.record_plan(true);
         c.record_plan(false);
         c.record_swap(3);
+        c.record_admission_rejected();
+        c.record_admission_rejected();
         let r = c.report();
+        assert_eq!(r.rejected_admissions, 2);
         assert_eq!(r.queries, 100);
         assert_eq!(r.result_hits, 25);
         assert!((r.result_hit_rate - 0.25).abs() < 1e-9);

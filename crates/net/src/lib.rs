@@ -1,0 +1,51 @@
+//! `cpqx-net` — the network front-end over the cpqx serving engine.
+//!
+//! [PR 1's engine](cpqx_engine) made the index concurrent but in-process
+//! only; this crate puts it on the wire:
+//!
+//! 1. **Wire protocol** ([`proto`]): versioned, length-prefixed binary
+//!    frames with a magic + version handshake; `QUERY` / `BATCH` /
+//!    `UPDATE` / `STATS` / `PING` requests, typed error frames (parse
+//!    errors keep their byte position and their syntax-vs-unknown-label
+//!    classification), and pure, panic-free codecs.
+//! 2. **Server** ([`server`]): a `std::net::TcpListener` front-end — one
+//!    acceptor feeding a bounded queue, a fixed worker pool serving
+//!    pipelined connections, read/write timeouts, per-opcode counters,
+//!    and graceful shutdown via a stop flag + self-connect wakeup. No
+//!    async runtime: the build environment is offline, so the design
+//!    sticks to the standard library (see ROADMAP for the epoll option).
+//! 3. **Client** ([`client`]): a blocking library used by the examples,
+//!    the integration tests and the loopback CI smoke job.
+//!
+//! Consistency contract: every response that carries answers also
+//! carries the **epoch** of the engine snapshot that produced them, and
+//! a `BATCH` parses *and* evaluates all its queries on one pinned
+//! snapshot — so clients observe snapshot isolation end-to-end even
+//! while `UPDATE` frames (or in-process writers) swap snapshots under
+//! them.
+//!
+//! ```
+//! use cpqx_engine::Engine;
+//! use cpqx_graph::generate::gex;
+//! use cpqx_net::{Client, Server, ServerOptions};
+//! use std::sync::Arc;
+//!
+//! let engine = Arc::new(Engine::build(gex(), 2));
+//! let server = Server::bind(engine, "127.0.0.1:0", ServerOptions::default()).unwrap();
+//! let mut client = Client::connect(server.local_addr()).unwrap();
+//! let reply = client.query("(f . f) & f^-1").unwrap();
+//! assert_eq!(reply.pairs.len(), 3);
+//! assert_eq!(reply.epoch, 0);
+//! server.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod client;
+pub mod proto;
+pub mod server;
+
+pub use client::{BatchReply, Client, ClientError, ClientOptions, QueryReply, UpdateReply};
+pub use proto::{ErrorCode, Request, Response, WireError, WireStats, PROTOCOL_VERSION};
+pub use server::{NetStats, Server, ServerOptions};

@@ -1,0 +1,887 @@
+//! The cpqx wire protocol: versioned, length-prefixed binary frames.
+//!
+//! Every message on the wire is one **frame**: a 4-byte big-endian payload
+//! length followed by the payload. The first payload byte is the opcode;
+//! the rest is the opcode's body, encoded with the primitives below
+//! (big-endian integers, `u32`-length-prefixed UTF-8 strings,
+//! `u32`-count-prefixed lists). A connection starts with a handshake —
+//! the client sends [`Request::Hello`] carrying the [`MAGIC`] bytes and
+//! its protocol version, the server answers [`Response::HelloAck`] or an
+//! [`ErrorCode::UnsupportedVersion`] error frame — after which requests
+//! may be pipelined: the server answers frames strictly in arrival order,
+//! so a client may write several requests before reading any response.
+//!
+//! Queries travel as CPQ *text* (the [`cpqx_query::parse_cpq`] syntax)
+//! and are resolved against the label table of the snapshot that serves
+//! them; answers travel as packed [`Pair`] words plus the epoch of the
+//! snapshot they were evaluated on, so a client can correlate every
+//! answer with one graph version even while the server applies
+//! maintenance. Malformed queries come back as typed error frames
+//! ([`ErrorCode::Parse`] / [`ErrorCode::UnknownLabel`]) carrying the byte
+//! position reported by the parser.
+//!
+//! Codec functions ([`encode_request`]/[`decode_request`],
+//! [`encode_response`]/[`decode_response`]) are pure byte-slice
+//! transformations; [`read_frame`]/[`write_frame`] do the I/O. Decoding
+//! never panics on adversarial input — every failure is a typed
+//! [`DecodeError`] — and frames above the caller's size bound are
+//! rejected before any allocation ([`FrameError::TooLarge`]).
+//!
+//! See `PROTOCOL.md` at the repository root for the normative frame
+//! layout tables.
+
+use cpqx_graph::Pair;
+use cpqx_query::{ParseError, ParseErrorKind};
+use std::io::{self, Read, Write};
+
+/// Handshake magic carried by the HELLO frame (`b"CPQX"`).
+pub const MAGIC: [u8; 4] = *b"CPQX";
+
+/// The protocol version this build speaks. The handshake requires an
+/// exact match: there is only one version so far, so no negotiation.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Default bound on accepted payload sizes (16 MiB). Servers apply it to
+/// requests, clients to responses; both sides make it configurable.
+pub const DEFAULT_MAX_FRAME: usize = 16 * 1024 * 1024;
+
+// Request opcodes (client → server).
+const OP_HELLO: u8 = 0x01;
+const OP_PING: u8 = 0x02;
+const OP_QUERY: u8 = 0x03;
+const OP_BATCH: u8 = 0x04;
+const OP_UPDATE: u8 = 0x05;
+const OP_STATS: u8 = 0x06;
+
+// Response opcodes (server → client): request opcode | 0x80.
+const OP_HELLO_ACK: u8 = 0x81;
+const OP_PONG: u8 = 0x82;
+const OP_RESULT: u8 = 0x83;
+const OP_BATCH_RESULT: u8 = 0x84;
+const OP_UPDATE_ACK: u8 = 0x85;
+const OP_STATS_RESULT: u8 = 0x86;
+const OP_ERROR: u8 = 0xFF;
+
+/// A client → server message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Handshake opener: magic + the client's protocol version.
+    Hello {
+        /// The client's [`PROTOCOL_VERSION`].
+        version: u16,
+    },
+    /// Liveness probe; answered with [`Response::Pong`].
+    Ping,
+    /// Evaluate one CPQ, given in the text syntax of
+    /// [`cpqx_query::parse_cpq`].
+    Query(String),
+    /// Evaluate several CPQs against one consistent snapshot.
+    Batch(Vec<String>),
+    /// Insert or delete one base edge.
+    Update {
+        /// `true` inserts the edge, `false` deletes it.
+        insert: bool,
+        /// Source vertex id.
+        src: u32,
+        /// Target vertex id.
+        dst: u32,
+        /// Base label name, resolved against the current snapshot.
+        label: String,
+    },
+    /// Fetch the server's statistics report.
+    Stats,
+}
+
+/// A server → client message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Handshake accepted at the given version.
+    HelloAck {
+        /// The version the connection will speak.
+        version: u16,
+    },
+    /// Answer to [`Request::Ping`].
+    Pong,
+    /// Answer to [`Request::Query`].
+    Result {
+        /// Epoch of the snapshot the query was evaluated on.
+        epoch: u64,
+        /// The sorted, deduplicated answer set.
+        pairs: Vec<Pair>,
+    },
+    /// Answer to [`Request::Batch`]: per-query answers in request order,
+    /// all evaluated on one snapshot.
+    BatchResult {
+        /// Epoch of the snapshot every answer reflects.
+        epoch: u64,
+        /// Per-query answer sets, in request order.
+        results: Vec<Vec<Pair>>,
+    },
+    /// Answer to [`Request::Update`].
+    UpdateAck {
+        /// Whether the update changed the graph (`false` for inserting
+        /// an existing edge or deleting a missing one).
+        applied: bool,
+        /// The engine epoch after the update.
+        epoch: u64,
+    },
+    /// Answer to [`Request::Stats`].
+    Stats(WireStats),
+    /// Any request can fail with a typed error frame.
+    Error(WireError),
+}
+
+/// Typed failure classes carried by error frames.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// Handshake version (or magic) not accepted.
+    UnsupportedVersion,
+    /// The frame payload did not decode as a known message.
+    BadFrame,
+    /// The opcode byte is not assigned.
+    UnknownOpcode,
+    /// The query text is not a well-formed CPQ.
+    Parse,
+    /// The query is well-formed but names a label the graph lacks.
+    UnknownLabel,
+    /// The update names an unknown label or an out-of-range vertex.
+    BadUpdate,
+    /// The server failed internally.
+    Internal,
+}
+
+impl ErrorCode {
+    fn to_u8(self) -> u8 {
+        match self {
+            ErrorCode::UnsupportedVersion => 1,
+            ErrorCode::BadFrame => 2,
+            ErrorCode::UnknownOpcode => 3,
+            ErrorCode::Parse => 4,
+            ErrorCode::UnknownLabel => 5,
+            ErrorCode::BadUpdate => 6,
+            ErrorCode::Internal => 7,
+        }
+    }
+
+    fn from_u8(b: u8) -> Result<Self, DecodeError> {
+        Ok(match b {
+            1 => ErrorCode::UnsupportedVersion,
+            2 => ErrorCode::BadFrame,
+            3 => ErrorCode::UnknownOpcode,
+            4 => ErrorCode::Parse,
+            5 => ErrorCode::UnknownLabel,
+            6 => ErrorCode::BadUpdate,
+            7 => ErrorCode::Internal,
+            _ => return Err(DecodeError::BadValue("error code")),
+        })
+    }
+}
+
+/// An error frame: code, optional byte position (for parse errors) and a
+/// human-readable message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireError {
+    /// What class of failure this is.
+    pub code: ErrorCode,
+    /// Byte offset into the offending query text, when meaningful.
+    pub position: Option<u32>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl WireError {
+    /// Convenience constructor for position-less errors.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        WireError { code, position: None, message: message.into() }
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.position {
+            Some(p) => write!(f, "{:?} at byte {}: {}", self.code, p, self.message),
+            None => write!(f, "{:?}: {}", self.code, self.message),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<ParseError> for WireError {
+    fn from(e: ParseError) -> Self {
+        WireError {
+            code: match e.kind {
+                ParseErrorKind::Syntax => ErrorCode::Parse,
+                ParseErrorKind::UnknownLabel => ErrorCode::UnknownLabel,
+            },
+            position: Some(e.position.min(u32::MAX as usize) as u32),
+            message: e.message,
+        }
+    }
+}
+
+/// The statistics report the STATS frame carries: the engine's
+/// [`cpqx_engine::StatsReport`] plus the front-end's per-opcode request
+/// counters, flattened into fixed-width fields.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WireStats {
+    /// Current engine epoch.
+    pub epoch: u64,
+    /// Queries served by the engine (cached or not).
+    pub queries: u64,
+    /// Result-cache hits.
+    pub result_hits: u64,
+    /// Result-cache misses (executed queries).
+    pub result_misses: u64,
+    /// Plan-cache hits.
+    pub plan_hits: u64,
+    /// Plans lowered fresh.
+    pub plan_misses: u64,
+    /// Snapshots installed by maintenance.
+    pub snapshot_swaps: u64,
+    /// Result-cache entries dropped by snapshot swaps.
+    pub invalidated_results: u64,
+    /// Results refused by the cache-admission policy.
+    pub rejected_admissions: u64,
+    /// Median engine query latency, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile engine query latency, microseconds.
+    pub p99_us: u64,
+    /// PING requests served.
+    pub ping_requests: u64,
+    /// QUERY requests served.
+    pub query_requests: u64,
+    /// BATCH requests served.
+    pub batch_requests: u64,
+    /// UPDATE requests served.
+    pub update_requests: u64,
+    /// STATS requests served (includes the one reporting).
+    pub stats_requests: u64,
+    /// Error frames the server has sent.
+    pub error_responses: u64,
+    /// Connections the server has accepted and served.
+    pub connections: u64,
+}
+
+impl WireStats {
+    /// Result-cache hit rate, `hits / (hits + misses)`.
+    pub fn result_hit_rate(&self) -> f64 {
+        let total = self.result_hits + self.result_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.result_hits as f64 / total as f64
+        }
+    }
+
+    /// Total requests served across all opcodes.
+    pub fn total_requests(&self) -> u64 {
+        self.ping_requests
+            + self.query_requests
+            + self.batch_requests
+            + self.update_requests
+            + self.stats_requests
+    }
+}
+
+/// Why a payload failed to decode. Strictly recoverable: the frame
+/// boundary is intact, so a server can answer with an error frame and
+/// keep the connection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The payload ended before the message did.
+    Truncated,
+    /// Bytes remained after the message ended.
+    Trailing,
+    /// The opcode byte is not assigned.
+    UnknownOpcode(u8),
+    /// A HELLO frame without the [`MAGIC`] bytes.
+    BadMagic,
+    /// A string field was not valid UTF-8.
+    BadUtf8,
+    /// A field held an out-of-domain value (context in the payload).
+    BadValue(&'static str),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "payload truncated"),
+            DecodeError::Trailing => write!(f, "trailing bytes after message"),
+            DecodeError::UnknownOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            DecodeError::BadMagic => write!(f, "bad handshake magic"),
+            DecodeError::BadUtf8 => write!(f, "string field is not UTF-8"),
+            DecodeError::BadValue(what) => write!(f, "out-of-domain value for {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl From<DecodeError> for WireError {
+    fn from(e: DecodeError) -> Self {
+        let code = match e {
+            DecodeError::UnknownOpcode(_) => ErrorCode::UnknownOpcode,
+            DecodeError::BadMagic => ErrorCode::UnsupportedVersion,
+            _ => ErrorCode::BadFrame,
+        };
+        WireError::new(code, e.to_string())
+    }
+}
+
+// ---------------------------------------------------------------- codec --
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_pairs(out: &mut Vec<u8>, pairs: &[Pair]) {
+    put_u32(out, pairs.len() as u32);
+    for p in pairs {
+        put_u64(out, p.0);
+    }
+}
+
+/// Bounds-checked big-endian reader over a payload slice.
+struct Cur<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cur { buf, at: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.buf.len() - self.at < n {
+            return Err(DecodeError::Truncated);
+        }
+        let s = &self.buf[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, DecodeError> {
+        Ok(u16::from_be_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn bool(&mut self) -> Result<bool, DecodeError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(DecodeError::BadValue("bool")),
+        }
+    }
+
+    fn str(&mut self) -> Result<String, DecodeError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::BadUtf8)
+    }
+
+    fn pairs(&mut self) -> Result<Vec<Pair>, DecodeError> {
+        let n = self.u32()? as usize;
+        // The count must be consistent with the remaining payload before
+        // any allocation, so a hostile length cannot balloon memory.
+        if self.buf.len() - self.at < n * 8 {
+            return Err(DecodeError::Truncated);
+        }
+        (0..n).map(|_| self.u64().map(Pair)).collect()
+    }
+
+    fn finish(self) -> Result<(), DecodeError> {
+        if self.at != self.buf.len() {
+            return Err(DecodeError::Trailing);
+        }
+        Ok(())
+    }
+}
+
+/// Encodes a request into a frame payload (no length prefix).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut out = Vec::new();
+    match req {
+        Request::Hello { version } => {
+            out.push(OP_HELLO);
+            out.extend_from_slice(&MAGIC);
+            put_u16(&mut out, *version);
+        }
+        Request::Ping => out.push(OP_PING),
+        Request::Query(text) => {
+            out.push(OP_QUERY);
+            put_str(&mut out, text);
+        }
+        Request::Batch(texts) => {
+            out.push(OP_BATCH);
+            put_u32(&mut out, texts.len() as u32);
+            for t in texts {
+                put_str(&mut out, t);
+            }
+        }
+        Request::Update { insert, src, dst, label } => {
+            out.push(OP_UPDATE);
+            out.push(u8::from(*insert));
+            put_u32(&mut out, *src);
+            put_u32(&mut out, *dst);
+            put_str(&mut out, label);
+        }
+        Request::Stats => out.push(OP_STATS),
+    }
+    out
+}
+
+/// Decodes a frame payload into a request.
+pub fn decode_request(payload: &[u8]) -> Result<Request, DecodeError> {
+    let mut c = Cur::new(payload);
+    let op = c.u8()?;
+    let req = match op {
+        OP_HELLO => {
+            if c.take(4)? != MAGIC {
+                return Err(DecodeError::BadMagic);
+            }
+            Request::Hello { version: c.u16()? }
+        }
+        OP_PING => Request::Ping,
+        OP_QUERY => Request::Query(c.str()?),
+        OP_BATCH => {
+            let n = c.u32()? as usize;
+            if self_inconsistent_count(n, 4, c.buf.len() - c.at) {
+                return Err(DecodeError::Truncated);
+            }
+            let mut texts = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                texts.push(c.str()?);
+            }
+            Request::Batch(texts)
+        }
+        OP_UPDATE => {
+            let insert = c.bool()?;
+            let src = c.u32()?;
+            let dst = c.u32()?;
+            let label = c.str()?;
+            Request::Update { insert, src, dst, label }
+        }
+        OP_STATS => Request::Stats,
+        other => return Err(DecodeError::UnknownOpcode(other)),
+    };
+    c.finish()?;
+    Ok(req)
+}
+
+/// `n` items of at least `min_item_len` bytes cannot fit in `remaining`.
+fn self_inconsistent_count(n: usize, min_item_len: usize, remaining: usize) -> bool {
+    n.checked_mul(min_item_len).is_none_or(|need| need > remaining)
+}
+
+/// Encodes a response into a frame payload (no length prefix).
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut out = Vec::new();
+    match resp {
+        Response::HelloAck { version } => {
+            out.push(OP_HELLO_ACK);
+            put_u16(&mut out, *version);
+        }
+        Response::Pong => out.push(OP_PONG),
+        Response::Result { epoch, pairs } => {
+            out.push(OP_RESULT);
+            put_u64(&mut out, *epoch);
+            put_pairs(&mut out, pairs);
+        }
+        Response::BatchResult { epoch, results } => {
+            out.push(OP_BATCH_RESULT);
+            put_u64(&mut out, *epoch);
+            put_u32(&mut out, results.len() as u32);
+            for r in results {
+                put_pairs(&mut out, r);
+            }
+        }
+        Response::UpdateAck { applied, epoch } => {
+            out.push(OP_UPDATE_ACK);
+            out.push(u8::from(*applied));
+            put_u64(&mut out, *epoch);
+        }
+        Response::Stats(s) => {
+            out.push(OP_STATS_RESULT);
+            for field in stats_fields(s) {
+                put_u64(&mut out, field);
+            }
+        }
+        Response::Error(e) => {
+            out.push(OP_ERROR);
+            out.push(e.code.to_u8());
+            put_u32(&mut out, e.position.unwrap_or(u32::MAX));
+            put_str(&mut out, &e.message);
+        }
+    }
+    out
+}
+
+/// Decodes a frame payload into a response.
+pub fn decode_response(payload: &[u8]) -> Result<Response, DecodeError> {
+    let mut c = Cur::new(payload);
+    let op = c.u8()?;
+    let resp = match op {
+        OP_HELLO_ACK => Response::HelloAck { version: c.u16()? },
+        OP_PONG => Response::Pong,
+        OP_RESULT => Response::Result { epoch: c.u64()?, pairs: c.pairs()? },
+        OP_BATCH_RESULT => {
+            let epoch = c.u64()?;
+            let n = c.u32()? as usize;
+            if self_inconsistent_count(n, 4, c.buf.len() - c.at) {
+                return Err(DecodeError::Truncated);
+            }
+            let mut results = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                results.push(c.pairs()?);
+            }
+            Response::BatchResult { epoch, results }
+        }
+        OP_UPDATE_ACK => Response::UpdateAck { applied: c.bool()?, epoch: c.u64()? },
+        OP_STATS_RESULT => {
+            let mut fields = [0u64; STATS_FIELDS];
+            for f in fields.iter_mut() {
+                *f = c.u64()?;
+            }
+            Response::Stats(stats_from_fields(fields))
+        }
+        OP_ERROR => {
+            let code = ErrorCode::from_u8(c.u8()?)?;
+            let position = match c.u32()? {
+                u32::MAX => None,
+                p => Some(p),
+            };
+            Response::Error(WireError { code, position, message: c.str()? })
+        }
+        other => return Err(DecodeError::UnknownOpcode(other)),
+    };
+    c.finish()?;
+    Ok(resp)
+}
+
+const STATS_FIELDS: usize = 18;
+
+fn stats_fields(s: &WireStats) -> [u64; STATS_FIELDS] {
+    [
+        s.epoch,
+        s.queries,
+        s.result_hits,
+        s.result_misses,
+        s.plan_hits,
+        s.plan_misses,
+        s.snapshot_swaps,
+        s.invalidated_results,
+        s.rejected_admissions,
+        s.p50_us,
+        s.p99_us,
+        s.ping_requests,
+        s.query_requests,
+        s.batch_requests,
+        s.update_requests,
+        s.stats_requests,
+        s.error_responses,
+        s.connections,
+    ]
+}
+
+fn stats_from_fields(f: [u64; STATS_FIELDS]) -> WireStats {
+    WireStats {
+        epoch: f[0],
+        queries: f[1],
+        result_hits: f[2],
+        result_misses: f[3],
+        plan_hits: f[4],
+        plan_misses: f[5],
+        snapshot_swaps: f[6],
+        invalidated_results: f[7],
+        rejected_admissions: f[8],
+        p50_us: f[9],
+        p99_us: f[10],
+        ping_requests: f[11],
+        query_requests: f[12],
+        batch_requests: f[13],
+        update_requests: f[14],
+        stats_requests: f[15],
+        error_responses: f[16],
+        connections: f[17],
+    }
+}
+
+// ------------------------------------------------------------- frame I/O --
+
+/// Why reading a frame failed.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The peer closed the connection cleanly at a frame boundary.
+    Closed,
+    /// The announced payload length exceeds the caller's bound. The
+    /// stream is no longer synchronized; the connection must be dropped.
+    TooLarge {
+        /// The announced length.
+        len: usize,
+        /// The caller's bound.
+        max: usize,
+    },
+    /// The connection failed mid-frame (including read timeouts).
+    Io(io::Error),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Closed => write!(f, "connection closed"),
+            FrameError::TooLarge { len, max } => {
+                write!(f, "frame of {len} bytes exceeds the {max}-byte bound")
+            }
+            FrameError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// Writes one frame (length prefix + payload) and flushes.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    debug_assert!(payload.len() <= u32::MAX as usize);
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame payload, enforcing `max_len`. A clean peer close
+/// *before the first header byte* is [`FrameError::Closed`]; EOF anywhere
+/// later is an [`FrameError::Io`] of kind `UnexpectedEof`.
+pub fn read_frame(r: &mut impl Read, max_len: usize) -> Result<Vec<u8>, FrameError> {
+    let mut header = [0u8; 4];
+    let mut got = 0usize;
+    while got == 0 {
+        match r.read(&mut header)? {
+            0 => return Err(FrameError::Closed),
+            n => got = n,
+        }
+    }
+    r.read_exact(&mut header[got..])?;
+    let len = u32::from_be_bytes(header) as usize;
+    if len > max_len {
+        return Err(FrameError::TooLarge { len, max: max_len });
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_requests() -> Vec<Request> {
+        vec![
+            Request::Hello { version: PROTOCOL_VERSION },
+            Request::Ping,
+            Request::Query("(f . f) & f^-1".into()),
+            Request::Query(String::new()),
+            Request::Batch(vec![]),
+            Request::Batch(vec!["f".into(), "f . f".into(), "id".into()]),
+            Request::Update { insert: true, src: 0, dst: u32::MAX, label: "follows".into() },
+            Request::Update { insert: false, src: 7, dst: 7, label: "f".into() },
+            Request::Stats,
+        ]
+    }
+
+    fn all_responses() -> Vec<Response> {
+        vec![
+            Response::HelloAck { version: PROTOCOL_VERSION },
+            Response::Pong,
+            Response::Result { epoch: 0, pairs: vec![] },
+            Response::Result { epoch: 42, pairs: vec![Pair::new(1, 2), Pair::new(3, 3)] },
+            Response::BatchResult { epoch: 9, results: vec![] },
+            Response::BatchResult {
+                epoch: 9,
+                results: vec![vec![Pair::new(0, 0)], vec![], vec![Pair::new(5, 6)]],
+            },
+            Response::UpdateAck { applied: true, epoch: 3 },
+            Response::Stats(WireStats {
+                epoch: 2,
+                queries: 100,
+                result_hits: 40,
+                result_misses: 60,
+                p99_us: 1234,
+                query_requests: 100,
+                connections: 8,
+                ..WireStats::default()
+            }),
+            Response::Error(WireError {
+                code: ErrorCode::Parse,
+                position: Some(4),
+                message: "unknown label \"nosuch\"".into(),
+            }),
+            Response::Error(WireError::new(ErrorCode::Internal, "boom")),
+        ]
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        for req in all_requests() {
+            let bytes = encode_request(&req);
+            assert_eq!(decode_request(&bytes).unwrap(), req, "roundtrip of {req:?}");
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        for resp in all_responses() {
+            let bytes = encode_response(&resp);
+            assert_eq!(decode_response(&bytes).unwrap(), resp, "roundtrip of {resp:?}");
+        }
+    }
+
+    #[test]
+    fn truncation_never_panics() {
+        for req in all_requests() {
+            let bytes = encode_request(&req);
+            for cut in 0..bytes.len() {
+                let _ = decode_request(&bytes[..cut]); // must not panic
+            }
+        }
+        for resp in all_responses() {
+            let bytes = encode_response(&resp);
+            for cut in 0..bytes.len() {
+                let _ = decode_response(&bytes[..cut]);
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = encode_request(&Request::Ping);
+        bytes.push(0);
+        assert_eq!(decode_request(&bytes), Err(DecodeError::Trailing));
+    }
+
+    #[test]
+    fn unknown_opcodes_are_rejected() {
+        assert_eq!(decode_request(&[0x7E]), Err(DecodeError::UnknownOpcode(0x7E)));
+        assert_eq!(decode_response(&[0x10]), Err(DecodeError::UnknownOpcode(0x10)));
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut bytes = encode_request(&Request::Hello { version: 1 });
+        bytes[1] = b'X';
+        assert_eq!(decode_request(&bytes), Err(DecodeError::BadMagic));
+    }
+
+    #[test]
+    fn hostile_counts_do_not_allocate() {
+        // A BATCH claiming 2^31 strings in a 9-byte payload must fail
+        // fast on the count-consistency check.
+        let mut bytes = vec![OP_BATCH];
+        bytes.extend_from_slice(&0x8000_0000u32.to_be_bytes());
+        bytes.extend_from_slice(&[0, 0, 0, 0]);
+        assert_eq!(decode_request(&bytes), Err(DecodeError::Truncated));
+        // Same for a RESULT claiming 2^30 pairs.
+        let mut bytes = vec![OP_RESULT];
+        bytes.extend_from_slice(&7u64.to_be_bytes());
+        bytes.extend_from_slice(&0x4000_0000u32.to_be_bytes());
+        assert_eq!(decode_response(&bytes), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn bad_bools_and_codes_are_rejected() {
+        let mut upd =
+            encode_request(&Request::Update { insert: true, src: 1, dst: 2, label: "f".into() });
+        upd[1] = 9;
+        assert_eq!(decode_request(&upd), Err(DecodeError::BadValue("bool")));
+        let mut err = encode_response(&Response::Error(WireError::new(ErrorCode::Internal, "x")));
+        err[1] = 0xEE;
+        assert_eq!(decode_response(&err), Err(DecodeError::BadValue("error code")));
+    }
+
+    #[test]
+    fn parse_errors_map_to_typed_codes() {
+        use cpqx_graph::generate::gex;
+        let g = gex();
+        let e = cpqx_query::parse_cpq("f . nosuch", &g).unwrap_err();
+        let w = WireError::from(e);
+        assert_eq!(w.code, ErrorCode::UnknownLabel);
+        assert_eq!(w.position, Some(4));
+        let e = cpqx_query::parse_cpq("(f", &g).unwrap_err();
+        assert_eq!(WireError::from(e).code, ErrorCode::Parse);
+    }
+
+    #[test]
+    fn frames_roundtrip_over_a_buffer() {
+        let mut wire = Vec::new();
+        let payloads: Vec<Vec<u8>> = all_requests().iter().map(encode_request).collect();
+        for p in &payloads {
+            write_frame(&mut wire, p).unwrap();
+        }
+        let mut r = io::Cursor::new(wire);
+        for p in &payloads {
+            assert_eq!(&read_frame(&mut r, DEFAULT_MAX_FRAME).unwrap(), p);
+        }
+        assert!(matches!(read_frame(&mut r, DEFAULT_MAX_FRAME), Err(FrameError::Closed)));
+    }
+
+    #[test]
+    fn oversized_frames_are_refused_before_allocation() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&u32::MAX.to_be_bytes());
+        let err = read_frame(&mut io::Cursor::new(wire), 1024).unwrap_err();
+        assert!(matches!(err, FrameError::TooLarge { max: 1024, .. }));
+    }
+
+    #[test]
+    fn eof_mid_frame_is_io_not_closed() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &encode_request(&Request::Ping)).unwrap();
+        wire.truncate(3); // cut inside the header
+        let err = read_frame(&mut io::Cursor::new(wire), 1024).unwrap_err();
+        assert!(matches!(err, FrameError::Io(_)));
+    }
+
+    #[test]
+    fn stats_helpers() {
+        let s = WireStats {
+            result_hits: 3,
+            result_misses: 1,
+            ping_requests: 1,
+            query_requests: 4,
+            ..WireStats::default()
+        };
+        assert!((s.result_hit_rate() - 0.75).abs() < 1e-9);
+        assert_eq!(s.total_requests(), 5);
+        assert_eq!(WireStats::default().result_hit_rate(), 0.0);
+    }
+}

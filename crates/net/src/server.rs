@@ -1,0 +1,486 @@
+//! The threaded TCP front-end over [`cpqx_engine::Engine`].
+//!
+//! Architecture: one **acceptor** thread blocks in `accept()` and feeds a
+//! *bounded* connection queue; a fixed **worker pool** (reusing the
+//! sizing default of [`cpqx_engine::pool`]) pops connections and serves
+//! them to completion — handshake first, then a pipelined
+//! request/response loop in strict arrival order. When the queue is full
+//! the acceptor closes new connections immediately instead of queueing
+//! unbounded work (counted in [`NetStats::rejected_connections`]).
+//!
+//! Consistency: every QUERY pins one engine snapshot for parse *and*
+//! evaluation, and every BATCH parses and evaluates all its queries on
+//! one pinned snapshot, so answers always carry the epoch they reflect —
+//! maintenance running concurrently (via UPDATE frames or in-process
+//! writers) never produces a torn read.
+//!
+//! Shutdown: [`Server::shutdown`] flips a stop flag, *self-connects* to
+//! wake the acceptor out of `accept()` (no platform-specific socket
+//! deregistration needed), closes the sockets of in-flight connections,
+//! and joins every thread. Dropping the server does the same.
+
+use crate::proto::{
+    decode_request, encode_response, read_frame, write_frame, ErrorCode, FrameError, Request,
+    Response, WireError, WireStats, DEFAULT_MAX_FRAME, PROTOCOL_VERSION,
+};
+use cpqx_engine::{BatchOptions, Engine};
+use cpqx_query::parse_cpq;
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, BufReader, BufWriter};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Server construction knobs.
+#[derive(Clone, Debug)]
+pub struct ServerOptions {
+    /// Worker threads serving connections. Default: the machine's
+    /// available parallelism, capped at 8.
+    pub workers: usize,
+    /// Bound on connections waiting for a free worker; beyond it the
+    /// acceptor closes new connections immediately. Default 64.
+    pub accept_backlog: usize,
+    /// Maximum accepted request payload size. Default
+    /// [`DEFAULT_MAX_FRAME`].
+    pub max_frame_len: usize,
+    /// Per-connection read timeout (an idle connection past it is
+    /// closed). Default 30 s; `None` waits forever.
+    pub read_timeout: Option<Duration>,
+    /// Per-connection write timeout. Default 30 s.
+    pub write_timeout: Option<Duration>,
+    /// Worker threads each BATCH frame fans out over (see
+    /// [`Engine::evaluate_batch_on`]); `None` uses the engine default.
+    /// Default `Some(2)` so concurrent connections don't oversubscribe
+    /// the host.
+    pub batch_threads: Option<usize>,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions {
+            workers: cpqx_engine::pool::default_threads().min(8),
+            accept_backlog: 64,
+            max_frame_len: DEFAULT_MAX_FRAME,
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(30)),
+            batch_threads: Some(2),
+        }
+    }
+}
+
+/// Point-in-time front-end counters (see [`Server::net_stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Connections accepted and handed to a worker.
+    pub connections: u64,
+    /// Connections closed because the queue was full.
+    pub rejected_connections: u64,
+    /// PING requests served.
+    pub ping_requests: u64,
+    /// QUERY requests served.
+    pub query_requests: u64,
+    /// BATCH requests served.
+    pub batch_requests: u64,
+    /// UPDATE requests served.
+    pub update_requests: u64,
+    /// STATS requests served.
+    pub stats_requests: u64,
+    /// Error frames sent.
+    pub error_responses: u64,
+}
+
+#[derive(Default)]
+struct NetCounters {
+    connections: AtomicU64,
+    rejected_connections: AtomicU64,
+    ping: AtomicU64,
+    query: AtomicU64,
+    batch: AtomicU64,
+    update: AtomicU64,
+    stats: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl NetCounters {
+    fn report(&self) -> NetStats {
+        NetStats {
+            connections: self.connections.load(Ordering::Relaxed),
+            rejected_connections: self.rejected_connections.load(Ordering::Relaxed),
+            ping_requests: self.ping.load(Ordering::Relaxed),
+            query_requests: self.query.load(Ordering::Relaxed),
+            batch_requests: self.batch.load(Ordering::Relaxed),
+            update_requests: self.update.load(Ordering::Relaxed),
+            stats_requests: self.stats.load(Ordering::Relaxed),
+            error_responses: self.errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// State shared by the acceptor, the workers and the handle.
+struct Shared {
+    engine: Arc<Engine>,
+    opts: ServerOptions,
+    stop: AtomicBool,
+    queue: Mutex<VecDeque<TcpStream>>,
+    queue_cv: Condvar,
+    counters: NetCounters,
+    /// Socket clones of in-flight connections, so shutdown can unblock
+    /// workers parked in `read`.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    next_conn: AtomicU64,
+}
+
+/// A running TCP front-end. Threads start in [`Server::bind`] and stop in
+/// [`Server::shutdown`] (or on drop).
+pub struct Server {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts the acceptor and worker threads.
+    pub fn bind(
+        engine: Arc<Engine>,
+        addr: impl ToSocketAddrs,
+        opts: ServerOptions,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            engine,
+            opts: opts.clone(),
+            stop: AtomicBool::new(false),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            counters: NetCounters::default(),
+            conns: Mutex::new(HashMap::new()),
+            next_conn: AtomicU64::new(0),
+        });
+        let workers = (0..opts.workers.max(1))
+            .map(|i| {
+                let s = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("cpqx-net-worker-{i}"))
+                    .spawn(move || worker_loop(&s))
+                    .expect("spawn worker")
+            })
+            .collect();
+        let acceptor = {
+            let s = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("cpqx-net-acceptor".into())
+                .spawn(move || acceptor_loop(&listener, &s))
+                .expect("spawn acceptor")
+        };
+        Ok(Server { shared, local_addr, acceptor: Some(acceptor), workers })
+    }
+
+    /// The bound address (resolves the actual port for `:0` binds).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The engine this server fronts.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.shared.engine
+    }
+
+    /// Current front-end counters.
+    pub fn net_stats(&self) -> NetStats {
+        self.shared.counters.report()
+    }
+
+    /// Stops accepting, closes in-flight connections, and joins every
+    /// thread. Idempotent with drop.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        if !self.shared.stop.swap(true, Ordering::SeqCst) {
+            // Wake the acceptor out of accept() by connecting to it; any
+            // failure means it is already unblocked (e.g. listener gone).
+            let _ = TcpStream::connect_timeout(&self.local_addr, Duration::from_secs(1));
+        }
+        self.shared.queue_cv.notify_all();
+        for conn in self.shared.conns.lock().unwrap().values() {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        // Connections still queued but never served: close them.
+        self.shared.queue.lock().unwrap().clear();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn acceptor_loop(listener: &TcpListener, s: &Shared) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if s.stop.load(Ordering::SeqCst) {
+                    break; // the wake-up connection (or a race with it)
+                }
+                let mut q = s.queue.lock().unwrap();
+                if q.len() >= s.opts.accept_backlog {
+                    drop(q);
+                    s.counters.rejected_connections.fetch_add(1, Ordering::Relaxed);
+                    let _ = stream.shutdown(Shutdown::Both);
+                } else {
+                    q.push_back(stream);
+                    drop(q);
+                    s.queue_cv.notify_one();
+                }
+            }
+            Err(_) => {
+                if s.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                // Transient accept failure (EMFILE, ECONNABORTED, …):
+                // back off briefly instead of spinning.
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+    s.queue_cv.notify_all();
+}
+
+fn worker_loop(s: &Shared) {
+    loop {
+        let stream = {
+            let mut q = s.queue.lock().unwrap();
+            loop {
+                if let Some(stream) = q.pop_front() {
+                    break Some(stream);
+                }
+                if s.stop.load(Ordering::SeqCst) {
+                    break None;
+                }
+                let (guard, _) = s.queue_cv.wait_timeout(q, Duration::from_millis(200)).unwrap();
+                q = guard;
+            }
+        };
+        let Some(stream) = stream else {
+            return;
+        };
+        if s.stop.load(Ordering::SeqCst) {
+            return; // drop the queued connection on shutdown
+        }
+        serve_connection(s, stream);
+    }
+}
+
+fn serve_connection(s: &Shared, stream: TcpStream) {
+    let id = s.next_conn.fetch_add(1, Ordering::Relaxed);
+    // Register a socket clone *under the conns lock with a stop
+    // re-check*: shutdown closes registered sockets while holding this
+    // lock, so a connection either registers before the close sweep (and
+    // gets closed by it) or observes `stop` here and never serves — it
+    // cannot slip between the two and stall shutdown on a blocking read.
+    // A connection whose socket cannot be cloned is dropped outright for
+    // the same reason.
+    {
+        let mut conns = s.conns.lock().unwrap();
+        let Ok(clone) = stream.try_clone() else {
+            return;
+        };
+        if s.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        conns.insert(id, clone);
+    }
+    s.counters.connections.fetch_add(1, Ordering::Relaxed);
+    let _ = run_connection(s, &stream); // any error just closes the conn
+    s.conns.lock().unwrap().remove(&id);
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+fn run_connection(s: &Shared, stream: &TcpStream) -> io::Result<()> {
+    stream.set_read_timeout(s.opts.read_timeout)?;
+    stream.set_write_timeout(s.opts.write_timeout)?;
+    let _ = stream.set_nodelay(true);
+    let mut reader = BufReader::new(stream);
+    let mut writer = BufWriter::new(stream);
+    let mut send = |resp: &Response| -> io::Result<()> {
+        if matches!(resp, Response::Error(_)) {
+            s.counters.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        write_frame(&mut writer, &encode_response(resp))
+    };
+
+    // Handshake: the first frame must be a version-matching HELLO.
+    let payload = match read_frame(&mut reader, s.opts.max_frame_len) {
+        Ok(p) => p,
+        Err(too_large @ FrameError::TooLarge { .. }) => {
+            // PROTOCOL.md promises one final ERROR frame before the
+            // desynchronized connection is dropped, handshake included.
+            return send(&Response::Error(WireError::new(
+                ErrorCode::BadFrame,
+                too_large.to_string(),
+            )));
+        }
+        Err(_) => return Ok(()),
+    };
+    match decode_request(&payload) {
+        Ok(Request::Hello { version }) if version == PROTOCOL_VERSION => {
+            send(&Response::HelloAck { version })?;
+        }
+        Ok(Request::Hello { version }) => {
+            return send(&Response::Error(WireError::new(
+                ErrorCode::UnsupportedVersion,
+                format!("server speaks protocol {PROTOCOL_VERSION}, client sent {version}"),
+            )));
+        }
+        Ok(other) => {
+            return send(&Response::Error(WireError::new(
+                ErrorCode::BadFrame,
+                format!("expected HELLO, got {other:?}"),
+            )));
+        }
+        Err(e) => return send(&Response::Error(WireError::from(e))),
+    }
+
+    // Pipelined request loop: one response per request, arrival order.
+    loop {
+        if s.stop.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        let payload = match read_frame(&mut reader, s.opts.max_frame_len) {
+            Ok(p) => p,
+            Err(FrameError::Closed) => return Ok(()),
+            Err(too_large @ FrameError::TooLarge { .. }) => {
+                // The stream is desynchronized; report and drop.
+                return send(&Response::Error(WireError::new(
+                    ErrorCode::BadFrame,
+                    too_large.to_string(),
+                )));
+            }
+            Err(FrameError::Io(_)) => return Ok(()), // timeout or broken pipe
+        };
+        let resp = match decode_request(&payload) {
+            // Decode failures leave the frame boundary intact, so the
+            // connection survives them.
+            Err(e) => Response::Error(WireError::from(e)),
+            Ok(req) => handle(s, req),
+        };
+        send(&resp)?;
+    }
+}
+
+/// Serves one decoded request. Pure with respect to the connection: all
+/// I/O stays in [`run_connection`].
+fn handle(s: &Shared, req: Request) -> Response {
+    match req {
+        Request::Hello { .. } => Response::Error(WireError::new(
+            ErrorCode::BadFrame,
+            "HELLO after handshake".to_string(),
+        )),
+        Request::Ping => {
+            s.counters.ping.fetch_add(1, Ordering::Relaxed);
+            Response::Pong
+        }
+        Request::Query(text) => {
+            s.counters.query.fetch_add(1, Ordering::Relaxed);
+            // One snapshot for parse + evaluation: the answer's epoch is
+            // exactly the version the label names were resolved against.
+            let snap = s.engine.snapshot();
+            match parse_cpq(&text, snap.graph()) {
+                Ok(q) => {
+                    let pairs = s.engine.query_on(&snap, &q);
+                    Response::Result { epoch: snap.epoch(), pairs: (*pairs).clone() }
+                }
+                Err(e) => Response::Error(WireError::from(e)),
+            }
+        }
+        Request::Batch(texts) => {
+            s.counters.batch.fetch_add(1, Ordering::Relaxed);
+            let snap = s.engine.snapshot();
+            let mut queries = Vec::with_capacity(texts.len());
+            for (i, text) in texts.iter().enumerate() {
+                match parse_cpq(text, snap.graph()) {
+                    Ok(q) => queries.push(q),
+                    Err(e) => {
+                        let mut w = WireError::from(e);
+                        w.message = format!("batch query {i}: {}", w.message);
+                        return Response::Error(w);
+                    }
+                }
+            }
+            let opts = BatchOptions { threads: s.opts.batch_threads, ..BatchOptions::default() };
+            let out = s.engine.evaluate_batch_on(&snap, &queries, opts);
+            Response::BatchResult {
+                epoch: out.epoch,
+                results: out.results.iter().map(|r| (**r).clone()).collect(),
+            }
+        }
+        Request::Update { insert, src, dst, label } => {
+            s.counters.update.fetch_add(1, Ordering::Relaxed);
+            let snap = s.engine.snapshot();
+            let Some(l) = snap.graph().label_named(&label) else {
+                return Response::Error(WireError::new(
+                    ErrorCode::BadUpdate,
+                    format!("unknown label {label:?}"),
+                ));
+            };
+            let vertices = snap.graph().vertex_count();
+            if src >= vertices || dst >= vertices {
+                return Response::Error(WireError::new(
+                    ErrorCode::BadUpdate,
+                    format!("vertex out of range (graph has {vertices} vertices)"),
+                ));
+            }
+            // The *_with_epoch seams report the epoch determined under
+            // the engine's writer lock — re-reading `engine.epoch()`
+            // here could see a later concurrent writer's install.
+            let (applied, epoch) = if insert {
+                s.engine.insert_edge_with_epoch(src, dst, l)
+            } else {
+                s.engine.delete_edge_with_epoch(src, dst, l)
+            };
+            Response::UpdateAck { applied, epoch }
+        }
+        Request::Stats => {
+            s.counters.stats.fetch_add(1, Ordering::Relaxed);
+            Response::Stats(wire_stats(s))
+        }
+    }
+}
+
+fn wire_stats(s: &Shared) -> WireStats {
+    let engine = s.engine.stats();
+    let net = s.counters.report();
+    WireStats {
+        epoch: s.engine.epoch(),
+        queries: engine.queries,
+        result_hits: engine.result_hits,
+        result_misses: engine.result_misses,
+        plan_hits: engine.plan_hits,
+        plan_misses: engine.plan_misses,
+        snapshot_swaps: engine.snapshot_swaps,
+        invalidated_results: engine.invalidated_results,
+        rejected_admissions: engine.rejected_admissions,
+        p50_us: engine.p50.as_micros().min(u64::MAX as u128) as u64,
+        p99_us: engine.p99.as_micros().min(u64::MAX as u128) as u64,
+        ping_requests: net.ping_requests,
+        query_requests: net.query_requests,
+        batch_requests: net.batch_requests,
+        update_requests: net.update_requests,
+        stats_requests: net.stats_requests,
+        error_responses: net.error_responses,
+        connections: net.connections,
+    }
+}

@@ -1,0 +1,397 @@
+//! Loopback integration tests: a live TCP server under concurrent
+//! clients and wire-driven maintenance, verified against sequential
+//! engine evaluation on pinned snapshots.
+
+use cpqx_engine::{Engine, EngineOptions, Snapshot};
+use cpqx_graph::generate::{self, sample_edges, RandomGraphConfig};
+use cpqx_graph::Pair;
+use cpqx_net::proto::{
+    decode_response, encode_request, read_frame, write_frame, Request, Response, DEFAULT_MAX_FRAME,
+    PROTOCOL_VERSION,
+};
+use cpqx_net::{Client, ClientError, ErrorCode, Server, ServerOptions};
+use cpqx_query::workload::{GraphProbe, WorkloadGen};
+use cpqx_query::{benchqueries, parse_cpq, Cpq, Template};
+use std::collections::HashMap;
+use std::net::TcpStream;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// A CPQ workload rendered both as text (for the wire) and AST (for the
+/// verification oracle).
+fn text_workload(g: &cpqx_graph::Graph, per_template: usize) -> Vec<(String, Cpq)> {
+    let probe = GraphProbe(g);
+    let mut gen = WorkloadGen::new(g, 23);
+    Template::ALL
+        .iter()
+        .flat_map(|&t| gen.queries(t, per_template, &probe))
+        .map(|q| (q.to_text(g), q))
+        .collect()
+}
+
+fn start_server(graph: cpqx_graph::Graph, workers: usize) -> (Arc<Engine>, Server) {
+    let (engine, _) = Engine::with_options(graph, EngineOptions { k: 2, ..Default::default() });
+    let engine = Arc::new(engine);
+    let server = Server::bind(
+        Arc::clone(&engine),
+        "127.0.0.1:0",
+        ServerOptions { workers, ..ServerOptions::default() },
+    )
+    .expect("bind ephemeral port");
+    (engine, server)
+}
+
+/// The acceptance scenario: ≥8 concurrent TCP clients query a live
+/// server while a writer client applies UPDATE frames over the same
+/// wire; every response must match sequential engine evaluation on the
+/// snapshot of the epoch it reported — no torn reads — and the server
+/// must shut down cleanly afterwards.
+#[test]
+fn concurrent_clients_with_live_wire_maintenance() {
+    const CLIENTS: usize = 8;
+    const QUERIES_PER_CLIENT: usize = 36;
+    const WRITER_ROUNDS: u64 = 8;
+
+    let g = generate::random_graph(&RandomGraphConfig::social(200, 1_000, 4, 11));
+    let workload = text_workload(&g, 2);
+    assert!(workload.len() >= 12, "workload too small to exercise the server");
+    let (engine, server) = start_server(g, CLIENTS + 4);
+    let addr = server.local_addr();
+
+    // Oracle: every installed epoch's snapshot, pinned. The writer is
+    // the only source of installs, so it can record each one right
+    // after its UPDATE is acknowledged.
+    let snapshots: Mutex<HashMap<u64, Arc<Snapshot>>> = Mutex::new(HashMap::new());
+    snapshots.lock().unwrap().insert(0, engine.snapshot());
+
+    // (workload index, reported epoch, answer) per served query.
+    type Served = (usize, u64, Vec<Pair>);
+
+    let observations: Vec<Vec<Served>> = std::thread::scope(|scope| {
+        let workload = &workload;
+        let snapshots = &snapshots;
+        let engine = &engine;
+
+        let writer = scope.spawn(move || {
+            let mut client = Client::connect(addr).expect("writer connects");
+            let mut applied = 0u64;
+            for round in 0..WRITER_ROUNDS {
+                let snap = engine.snapshot();
+                for (v, u, l) in sample_edges(snap.graph(), 2, round) {
+                    let name = snap.graph().label_name(l).to_string();
+                    for insert in [false, true] {
+                        let ack = if insert {
+                            client.insert_edge(v, u, &name).expect("wire insert")
+                        } else {
+                            client.delete_edge(v, u, &name).expect("wire delete")
+                        };
+                        if ack.applied {
+                            applied += 1;
+                            let now = engine.snapshot();
+                            assert_eq!(
+                                now.epoch(),
+                                ack.epoch,
+                                "sole writer: ack epoch must be current"
+                            );
+                            snapshots.lock().unwrap().insert(ack.epoch, now);
+                        }
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(3));
+            }
+            applied
+        });
+
+        let readers: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("reader connects");
+                    let mut served: Vec<Served> = Vec::new();
+                    for j in 0..QUERIES_PER_CLIENT {
+                        let at = (c * 7 + j * 3) % workload.len();
+                        if j % 6 == 5 {
+                            // Exercise BATCH: three queries, one snapshot.
+                            let idxs = [at, (at + 1) % workload.len(), (at + 2) % workload.len()];
+                            let texts: Vec<&str> =
+                                idxs.iter().map(|&i| workload[i].0.as_str()).collect();
+                            let reply = client.batch(&texts).expect("wire batch");
+                            assert_eq!(reply.results.len(), idxs.len());
+                            for (&i, pairs) in idxs.iter().zip(reply.results) {
+                                served.push((i, reply.epoch, pairs));
+                            }
+                        } else {
+                            let reply = client.query(&workload[at].0).expect("wire query");
+                            served.push((at, reply.epoch, reply.pairs));
+                        }
+                    }
+                    // Keep querying (bounded) until this reader has
+                    // witnessed at least one maintenance install, so the
+                    // read/write overlap is guaranteed, not probabilistic.
+                    let mut extra = 0usize;
+                    while served.iter().all(|&(_, epoch, _)| epoch == 0) && extra < 500 {
+                        let at = (c + extra) % workload.len();
+                        let reply = client.query(&workload[at].0).expect("wire query");
+                        served.push((at, reply.epoch, reply.pairs));
+                        extra += 1;
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    served
+                })
+            })
+            .collect();
+
+        let applied = writer.join().expect("writer thread");
+        assert!(applied > 0, "the writer must actually install snapshots");
+        readers.into_iter().map(|r| r.join().expect("reader thread")).collect()
+    });
+
+    // Verify every wire answer against sequential evaluation on the
+    // snapshot of the epoch the server reported.
+    let snapshots = snapshots.into_inner().unwrap();
+    let mut checked = 0usize;
+    let mut epochs_seen: Vec<u64> = Vec::new();
+    for served in &observations {
+        for (at, epoch, pairs) in served {
+            let snap = snapshots
+                .get(epoch)
+                .unwrap_or_else(|| panic!("answer reports unknown epoch {epoch}"));
+            let (text, q) = &workload[*at];
+            assert_eq!(&snap.evaluate(q), pairs, "torn read for {text:?} at epoch {epoch}");
+            checked += 1;
+            epochs_seen.push(*epoch);
+        }
+    }
+    assert!(checked >= CLIENTS * QUERIES_PER_CLIENT, "checked only {checked} answers");
+    epochs_seen.sort_unstable();
+    epochs_seen.dedup();
+    assert!(
+        epochs_seen.len() > 1,
+        "maintenance must have been visible to readers (saw epochs {epochs_seen:?})"
+    );
+
+    let stats = engine.stats();
+    assert!(stats.snapshot_swaps > 0);
+    server.shutdown();
+    // Clean shutdown: the port no longer accepts connections.
+    assert!(
+        TcpStream::connect_timeout(&addr, Duration::from_millis(500)).is_err(),
+        "server port must be released after shutdown"
+    );
+}
+
+/// The CI smoke scenario: benchmark-query batches plus one UPDATE over
+/// the wire, answers equal to direct engine evaluation.
+#[test]
+fn loopback_smoke_benchqueries() {
+    let g = generate::gmark(400, 3);
+    let (engine, server) = start_server(g, 4);
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    client.ping().expect("ping");
+
+    let snap = engine.snapshot();
+    let named: Vec<_> = benchqueries::yago_queries(snap.graph(), 7)
+        .into_iter()
+        .chain(benchqueries::lubm_queries(snap.graph(), 7))
+        .chain(benchqueries::watdiv_queries(snap.graph(), 7))
+        .collect();
+    let texts: Vec<String> = named.iter().map(|nq| nq.query.to_text(snap.graph())).collect();
+
+    let reply = client.batch(&texts).expect("batch");
+    assert_eq!(reply.epoch, snap.epoch());
+    assert_eq!(reply.results.len(), named.len());
+    for (nq, pairs) in named.iter().zip(&reply.results) {
+        assert_eq!(&snap.evaluate(&nq.query), pairs, "{} must match direct evaluation", nq.name);
+    }
+
+    // One UPDATE: delete an existing edge, verify a query reflects it.
+    let (v, u, l) = sample_edges(snap.graph(), 1, 5)[0];
+    let name = snap.graph().label_name(l).to_string();
+    let ack = client.delete_edge(v, u, &name).expect("wire delete");
+    assert!(ack.applied);
+    assert_eq!(ack.epoch, 1);
+    let after = client.batch(&texts).expect("batch after update");
+    assert_eq!(after.epoch, 1);
+    let snap1 = engine.snapshot();
+    for (nq, pairs) in named.iter().zip(&after.results) {
+        assert_eq!(&snap1.evaluate(&nq.query), pairs, "{} stale after update", nq.name);
+    }
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.epoch, 1);
+    assert_eq!(stats.batch_requests, 2);
+    assert_eq!(stats.update_requests, 1);
+    assert_eq!(stats.ping_requests, 1);
+    assert_eq!(stats.stats_requests, 1);
+    assert!(stats.queries >= 2 * texts.len() as u64);
+    server.shutdown();
+}
+
+#[test]
+fn pipelined_requests_answer_in_order() {
+    let g = generate::gex();
+    let (_engine, server) = start_server(g, 2);
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+
+    write_frame(&mut stream, &encode_request(&Request::Hello { version: PROTOCOL_VERSION }))
+        .unwrap();
+    let ack = read_frame(&mut stream, DEFAULT_MAX_FRAME).unwrap();
+    assert!(matches!(decode_response(&ack).unwrap(), Response::HelloAck { .. }));
+
+    // Write a full pipeline before reading anything.
+    let texts = ["f", "f . f", "(f . f) & f^-1", "id", "f^-1"];
+    for t in texts {
+        write_frame(&mut stream, &encode_request(&Request::Query(t.into()))).unwrap();
+    }
+    write_frame(&mut stream, &encode_request(&Request::Ping)).unwrap();
+
+    let snap = server.engine().snapshot();
+    for t in texts {
+        let payload = read_frame(&mut stream, DEFAULT_MAX_FRAME).unwrap();
+        match decode_response(&payload).unwrap() {
+            Response::Result { pairs, .. } => {
+                let q = parse_cpq(t, snap.graph()).unwrap();
+                assert_eq!(pairs, snap.evaluate(&q), "pipelined answer for {t:?}");
+            }
+            other => panic!("expected RESULT for {t:?}, got {other:?}"),
+        }
+    }
+    let payload = read_frame(&mut stream, DEFAULT_MAX_FRAME).unwrap();
+    assert!(matches!(decode_response(&payload).unwrap(), Response::Pong));
+    server.shutdown();
+}
+
+#[test]
+fn typed_errors_over_the_wire() {
+    let g = generate::gex();
+    let (_engine, server) = start_server(g, 2);
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    // Syntax error: position survives the wire.
+    match client.query("(f . f") {
+        Err(ClientError::Server(e)) => {
+            assert_eq!(e.code, ErrorCode::Parse);
+            assert!(e.position.is_some());
+        }
+        other => panic!("expected parse error, got {other:?}"),
+    }
+    // Unknown label: distinct code.
+    match client.query("f . nosuch") {
+        Err(ClientError::Server(e)) => {
+            assert_eq!(e.code, ErrorCode::UnknownLabel);
+            assert_eq!(e.position, Some(4));
+            assert!(e.message.contains("nosuch"));
+        }
+        other => panic!("expected unknown-label error, got {other:?}"),
+    }
+    // Bad update: unknown label and out-of-range vertex.
+    match client.insert_edge(0, 1, "ghost") {
+        Err(ClientError::Server(e)) => assert_eq!(e.code, ErrorCode::BadUpdate),
+        other => panic!("expected bad-update error, got {other:?}"),
+    }
+    match client.delete_edge(0, u32::MAX, "f") {
+        Err(ClientError::Server(e)) => assert_eq!(e.code, ErrorCode::BadUpdate),
+        other => panic!("expected bad-update error, got {other:?}"),
+    }
+    // The connection survives all of the above (errors are recoverable).
+    client.ping().expect("connection still alive");
+    let reply = client.query("f").expect("valid query after errors");
+    assert!(!reply.pairs.is_empty());
+    server.shutdown();
+}
+
+#[test]
+fn hostile_queries_cannot_kill_the_server() {
+    // A deeply nested or absurdly long query text fits comfortably under
+    // the frame-size bound but would blow the worker's stack if it ever
+    // reached unbounded recursion — it must come back as a parse error
+    // frame with the server (and even the connection) intact.
+    let g = generate::gex();
+    let (_engine, server) = start_server(g, 2);
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let deep = format!("{}f{}", "(".repeat(200_000), ")".repeat(200_000));
+    let long = vec!["f"; 200_000].join(" . ");
+    for hostile in [deep, long] {
+        match client.query(&hostile) {
+            Err(ClientError::Server(e)) => assert_eq!(e.code, ErrorCode::Parse),
+            other => panic!("expected parse error frame, got {:?}", other.map(|r| r.epoch)),
+        }
+    }
+    client.ping().expect("server must survive hostile queries");
+    assert!(!client.query("f").expect("still serving").pairs.is_empty());
+    server.shutdown();
+}
+
+#[test]
+fn oversized_handshake_frame_gets_a_final_error() {
+    let g = generate::gex();
+    let (_engine, server) = start_server(g, 2);
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    // Announce a payload over the server's bound as the very first frame.
+    use std::io::Write;
+    stream.write_all(&(64u32 * 1024 * 1024).to_be_bytes()).unwrap();
+    stream.flush().unwrap();
+    let payload = read_frame(&mut stream, DEFAULT_MAX_FRAME).unwrap();
+    match decode_response(&payload).unwrap() {
+        Response::Error(e) => assert_eq!(e.code, ErrorCode::BadFrame),
+        other => panic!("expected BadFrame error, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn handshake_is_enforced() {
+    let g = generate::gex();
+    let (_engine, server) = start_server(g, 2);
+
+    // Wrong version is refused with a typed error.
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    write_frame(&mut stream, &encode_request(&Request::Hello { version: 999 })).unwrap();
+    let payload = read_frame(&mut stream, DEFAULT_MAX_FRAME).unwrap();
+    match decode_response(&payload).unwrap() {
+        Response::Error(e) => assert_eq!(e.code, ErrorCode::UnsupportedVersion),
+        other => panic!("expected version error, got {other:?}"),
+    }
+
+    // A first frame that is not HELLO is refused.
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    write_frame(&mut stream, &encode_request(&Request::Ping)).unwrap();
+    let payload = read_frame(&mut stream, DEFAULT_MAX_FRAME).unwrap();
+    match decode_response(&payload).unwrap() {
+        Response::Error(e) => assert_eq!(e.code, ErrorCode::BadFrame),
+        other => panic!("expected handshake error, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn batch_parse_failures_name_the_query() {
+    let g = generate::gex();
+    let (_engine, server) = start_server(g, 2);
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    match client.batch(&["f", "f . f", "(f"]) {
+        Err(ClientError::Server(e)) => {
+            assert_eq!(e.code, ErrorCode::Parse);
+            assert!(e.message.contains("batch query 2"), "got {:?}", e.message);
+        }
+        other => panic!("expected batch parse error, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_unblocks_idle_connections() {
+    // An idle client parked inside the server's read must not stall
+    // shutdown for its full read timeout.
+    let g = generate::gex();
+    let (_engine, server) = start_server(g, 2);
+    let mut idle = Client::connect(server.local_addr()).expect("connect");
+    idle.ping().expect("ping");
+    let t0 = std::time::Instant::now();
+    server.shutdown();
+    assert!(
+        t0.elapsed() < Duration::from_secs(5),
+        "shutdown took {:?} with an idle connection",
+        t0.elapsed()
+    );
+    assert!(idle.ping().is_err(), "connection must be closed by shutdown");
+}

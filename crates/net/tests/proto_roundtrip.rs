@@ -1,0 +1,78 @@
+//! Wire round-trip properties: a CPQ that crosses the protocol — render
+//! to text, frame, decode, parse — must come back semantically unchanged
+//! (equal canonical form), for every benchmark query and for randomly
+//! generated query trees.
+
+use cpqx_graph::generate;
+use cpqx_graph::{ExtLabel, Graph};
+use cpqx_net::proto::{
+    decode_request, encode_request, read_frame, write_frame, Request, DEFAULT_MAX_FRAME,
+};
+use cpqx_query::canonical::{cache_key, canonicalize};
+use cpqx_query::{benchqueries, parse_cpq, Cpq};
+use proptest::prelude::*;
+
+/// Sends `q` through the full wire path (text → request frame → bytes →
+/// decoded request → parse) and returns what the server would evaluate.
+fn through_the_wire(q: &Cpq, g: &Graph) -> Cpq {
+    let text = q.to_text(g);
+    let mut wire = Vec::new();
+    write_frame(&mut wire, &encode_request(&Request::Query(text))).unwrap();
+    let payload = read_frame(&mut std::io::Cursor::new(wire), DEFAULT_MAX_FRAME).unwrap();
+    let Request::Query(received) = decode_request(&payload).unwrap() else {
+        panic!("query decoded as a different opcode");
+    };
+    parse_cpq(&received, g).expect("server-side parse of client-rendered text")
+}
+
+#[test]
+fn every_benchquery_survives_the_wire() {
+    for seed in [1u64, 7, 42] {
+        let g = generate::gmark(400, seed);
+        let named: Vec<_> = benchqueries::yago_queries(&g, seed)
+            .into_iter()
+            .chain(benchqueries::lubm_queries(&g, seed))
+            .chain(benchqueries::watdiv_queries(&g, seed))
+            .collect();
+        assert_eq!(named.len(), 4 + 7 + 12);
+        for nq in named {
+            let received = through_the_wire(&nq.query, &g);
+            assert_eq!(
+                canonicalize(&received),
+                canonicalize(&nq.query),
+                "{} (seed {seed}) changed across the wire",
+                nq.name
+            );
+            assert_eq!(cache_key(&received), cache_key(&nq.query));
+        }
+    }
+}
+
+fn cpq_strategy(ext_labels: u16) -> BoxedStrategy<Cpq> {
+    let leaf = prop_oneof![
+        5 => (0..ext_labels).prop_map(|l| Cpq::ext(ExtLabel(l))),
+        1 => Just(Cpq::Id),
+    ];
+    leaf.boxed().prop_recursive(4, 32, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.join(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.conj(b)),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn random_query_trees_survive_the_wire(
+        (seed, pick) in (0u64..3, 0u64..u64::MAX),
+    ) {
+        let g = generate::gmark(60, seed);
+        let strat = cpq_strategy(g.ext_label_count());
+        let mut rng = TestRng::new(pick);
+        let q = strat.new_value(&mut rng);
+        let received = through_the_wire(&q, &g);
+        prop_assert_eq!(canonicalize(&received), canonicalize(&q), "query {:?}", q);
+    }
+}

@@ -41,5 +41,5 @@ pub mod workload;
 
 pub use ast::{Cpq, Template};
 pub use canonical::{cache_key, canonicalize};
-pub use parser::parse_cpq;
+pub use parser::{parse_cpq, ParseError, ParseErrorKind};
 pub use plan::{plan_query, Plan};

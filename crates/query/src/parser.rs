@@ -16,6 +16,35 @@
 use crate::ast::Cpq;
 use cpqx_graph::Graph;
 
+/// Maximum parenthesis nesting depth accepted by [`parse_cpq`].
+///
+/// The parser is recursive-descent and downstream consumers
+/// (canonicalization, planning) recurse over the AST, so without a bound
+/// a hostile input like `"("×200 000 + "f" + ")"×200 000` overflows the
+/// thread stack — a fatal abort, not a catchable panic. Real CPQs nest a
+/// handful of levels; 128 is far beyond anything meaningful.
+pub const MAX_NESTING_DEPTH: usize = 128;
+
+/// Maximum token count accepted by [`parse_cpq`].
+///
+/// Bounds the depth of the *AST spine* a parenthesis-free operator chain
+/// (`f . f . f . …`) builds, which downstream recursion also walks. The
+/// paper's largest benchmark queries are under 20 tokens.
+pub const MAX_TOKENS: usize = 4_096;
+
+/// Classification of a parse failure, so callers that surface parse
+/// errors across a typed boundary (e.g. the network protocol's error
+/// frames) can distinguish malformed syntax from a well-formed query that
+/// references a label the target graph does not have.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseErrorKind {
+    /// The input is not a well-formed CPQ expression.
+    Syntax,
+    /// The expression is well-formed but names a label missing from the
+    /// graph's label table.
+    UnknownLabel,
+}
+
 /// Parse failure with byte position and message.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
@@ -23,6 +52,8 @@ pub struct ParseError {
     pub position: usize,
     /// Human-readable description.
     pub message: String,
+    /// What went wrong, structurally.
+    pub kind: ParseErrorKind,
 }
 
 impl std::fmt::Display for ParseError {
@@ -112,6 +143,7 @@ fn tokenize(input: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
                 return Err(ParseError {
                     position: start,
                     message: format!("unexpected character {other:?}"),
+                    kind: ParseErrorKind::Syntax,
                 });
             }
         }
@@ -124,6 +156,7 @@ struct Parser<'a> {
     pos: usize,
     graph: &'a Graph,
     input_len: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -167,31 +200,61 @@ impl<'a> Parser<'a> {
                 let l = self.graph.label_named(&name).ok_or_else(|| ParseError {
                     position: at,
                     message: format!("unknown label {name:?}"),
+                    kind: ParseErrorKind::UnknownLabel,
                 })?;
                 Ok(Cpq::ext(if inverse { l.inv() } else { l.fwd() }))
             }
             Some(Tok::LParen) => {
+                self.depth += 1;
+                if self.depth > MAX_NESTING_DEPTH {
+                    return Err(ParseError {
+                        position: at,
+                        message: format!("nesting deeper than {MAX_NESTING_DEPTH} levels"),
+                        kind: ParseErrorKind::Syntax,
+                    });
+                }
                 let q = self.expr()?;
+                self.depth -= 1;
                 match self.bump() {
                     Some(Tok::RParen) => Ok(q),
-                    _ => Err(ParseError { position: self.here(), message: "expected `)`".into() }),
+                    _ => Err(ParseError {
+                        position: self.here(),
+                        message: "expected `)`".into(),
+                        kind: ParseErrorKind::Syntax,
+                    }),
                 }
             }
             other => Err(ParseError {
                 position: at,
                 message: format!("expected `id`, a label, or `(`, got {other:?}"),
+                kind: ParseErrorKind::Syntax,
             }),
         }
     }
 }
 
-/// Parses a CPQ expression, resolving label names against `g`.
+/// Parses a CPQ expression, resolving label names against `g`. Inputs
+/// beyond [`MAX_TOKENS`] tokens or [`MAX_NESTING_DEPTH`] parenthesis
+/// levels are rejected (both the parser and the AST consumers recurse,
+/// so unbounded inputs could exhaust the stack — relevant since query
+/// text can arrive over the network).
 pub fn parse_cpq(input: &str, g: &Graph) -> Result<Cpq, ParseError> {
     let toks = tokenize(input)?;
-    let mut p = Parser { toks, pos: 0, graph: g, input_len: input.len() };
+    if toks.len() > MAX_TOKENS {
+        return Err(ParseError {
+            position: toks[MAX_TOKENS].0,
+            message: format!("query longer than {MAX_TOKENS} tokens"),
+            kind: ParseErrorKind::Syntax,
+        });
+    }
+    let mut p = Parser { toks, pos: 0, graph: g, input_len: input.len(), depth: 0 };
     let q = p.expr()?;
     if p.pos != p.toks.len() {
-        return Err(ParseError { position: p.here(), message: "trailing input".into() });
+        return Err(ParseError {
+            position: p.here(),
+            message: "trailing input".into(),
+            kind: ParseErrorKind::Syntax,
+        });
     }
     Ok(q)
 }
@@ -248,6 +311,44 @@ mod tests {
         let err = parse_cpq("f . nosuch", &g).unwrap_err();
         assert!(err.message.contains("nosuch"));
         assert_eq!(err.position, 4);
+        assert_eq!(err.kind, ParseErrorKind::UnknownLabel);
+    }
+
+    #[test]
+    fn error_kinds_classify() {
+        let g = gex();
+        assert_eq!(parse_cpq("(f . f", &g).unwrap_err().kind, ParseErrorKind::Syntax);
+        assert_eq!(parse_cpq("f %", &g).unwrap_err().kind, ParseErrorKind::Syntax);
+        assert_eq!(parse_cpq("ghost^-1", &g).unwrap_err().kind, ParseErrorKind::UnknownLabel);
+    }
+
+    #[test]
+    fn hostile_inputs_are_bounded_not_fatal() {
+        let g = gex();
+        // Deep nesting must be a parse error, not a stack overflow. 2000
+        // levels stays under MAX_TOKENS, so this exercises the depth
+        // bound itself; anything longer trips the token bound first.
+        let deep = format!("{}f{}", "(".repeat(2_000), ")".repeat(2_000));
+        let err = parse_cpq(&deep, &g).unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::Syntax);
+        assert!(err.message.contains("nesting"));
+        // Over the token bound, the length check fires before any
+        // recursion can start.
+        let deep = format!("{}f{}", "(".repeat(200_000), ")".repeat(200_000));
+        let err = parse_cpq(&deep, &g).unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::Syntax);
+        assert!(err.message.contains("tokens"));
+        // Same for an unparenthesized 200k-factor chain (its AST spine
+        // would be as deep as the nesting above for every consumer).
+        let long = vec!["f"; 200_000].join(" . ");
+        let err = parse_cpq(&long, &g).unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::Syntax);
+        assert!(err.message.contains("tokens"));
+        // The bounds are generous: realistic sizes still parse.
+        let fine = format!("{}f{}", "(".repeat(64), ")".repeat(64));
+        assert!(parse_cpq(&fine, &g).is_ok());
+        let fine = vec!["f"; 512].join(" . ");
+        assert!(parse_cpq(&fine, &g).is_ok());
     }
 
     #[test]

@@ -1,20 +1,26 @@
-//! Engine serving demo: concurrent clients, live maintenance, stats.
+//! Network serving demo: real TCP clients, live maintenance, stats.
 //!
-//! Builds a mid-size social graph, constructs the CPQ-aware index with the
-//! engine's *sharded parallel* builder, then drives it like a server:
-//! several client threads issue a repeating CPQ workload (hitting the
-//! canonical-query result cache) while a maintenance thread keeps
-//! deleting and re-inserting edges — every change installs a fresh
-//! snapshot without ever blocking the clients. Finishes with a batch
-//! evaluation on one pinned snapshot and the engine's stats report.
+//! Builds a mid-size social graph, constructs the CPQ-aware index with
+//! the engine's *sharded parallel* builder, and serves it over the wire
+//! protocol: several client threads connect through [`cpqx::net::Client`]
+//! and replay a CPQ workload (hitting the canonical-query result cache)
+//! while a maintenance thread keeps deleting and re-inserting edges —
+//! every change installs a fresh snapshot without ever blocking the
+//! clients or closing a connection. Finishes with one consistent BATCH
+//! frame, the server's STATS frame, and a graceful shutdown.
+//!
+//! Set `CPQX_NET_LISTEN` (e.g. `127.0.0.1:7777`) to keep the server in
+//! the foreground for external clients (`net_client` connects with
+//! `CPQX_NET_ADDR`) instead of running the self-contained demo.
 //!
 //! Run with: `cargo run --release --example engine_server`
 
-use cpqx::engine::{BatchOptions, BuildOptions, Engine, EngineOptions};
+use cpqx::engine::{BuildOptions, Engine, EngineOptions};
 use cpqx::graph::generate::{random_graph, sample_edges, RandomGraphConfig};
+use cpqx::net::{Client, Server, ServerOptions};
 use cpqx::query::workload::{GraphProbe, WorkloadGen};
-use cpqx::query::{Cpq, Template};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use cpqx::query::Template;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -25,11 +31,15 @@ fn main() {
     let g = random_graph(&RandomGraphConfig::social(2_000, 9_000, 4, 42));
     println!("graph: {} vertices, {} base edges", g.vertex_count(), g.edge_count());
 
-    // A repeating workload of filtered template queries.
+    // A repeating workload of filtered template queries, rendered to the
+    // wire text syntax.
     let probe = GraphProbe(&g);
     let mut gen = WorkloadGen::new(&g, 7);
-    let workload: Vec<Cpq> =
-        Template::ALL.iter().flat_map(|&t| gen.queries(t, 3, &probe)).collect();
+    let workload: Vec<String> = Template::ALL
+        .iter()
+        .flat_map(|&t| gen.queries(t, 3, &probe))
+        .map(|q| q.to_text(&g))
+        .collect();
     println!("workload: {} CPQs across {} templates", workload.len(), Template::ALL.len());
 
     // Sharded parallel build (at least two shards so the demo exercises
@@ -55,25 +65,41 @@ fn main() {
     );
     let engine = Arc::new(engine);
 
-    // Serve: CLIENTS reader threads + one maintenance thread.
-    let stop = Arc::new(AtomicBool::new(false));
-    let served = Arc::new(AtomicU64::new(0));
-    std::thread::scope(|scope| {
-        for c in 0..CLIENTS {
-            let engine = Arc::clone(&engine);
-            let stop = Arc::clone(&stop);
-            let served = Arc::clone(&served);
-            let workload = &workload;
-            scope.spawn(move || {
-                let mut i = c; // stagger clients across the workload
-                while !stop.load(Ordering::Relaxed) {
-                    let answers = engine.query(&workload[i % workload.len()]);
-                    std::hint::black_box(answers.len());
-                    served.fetch_add(1, Ordering::Relaxed);
-                    i += 1;
-                }
-            });
+    // Put it on the wire.
+    let listen = std::env::var("CPQX_NET_LISTEN").unwrap_or_else(|_| "127.0.0.1:0".to_string());
+    let server = Server::bind(Arc::clone(&engine), &*listen, ServerOptions::default())
+        .expect("bind TCP listener");
+    let addr = server.local_addr();
+    println!("serving on {addr} (protocol v{})", cpqx::net::PROTOCOL_VERSION);
+    if std::env::var("CPQX_NET_LISTEN").is_ok() {
+        println!("foreground mode: press Ctrl-C to stop");
+        loop {
+            std::thread::sleep(Duration::from_secs(3600));
         }
+    }
+
+    // Serve: CLIENTS TCP clients + one in-process maintenance thread.
+    let stop = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|scope| {
+        let clients: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let stop = Arc::clone(&stop);
+                let workload = &workload;
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("client connects");
+                    let mut served = 0u64;
+                    let mut i = c; // stagger clients across the workload
+                    while !stop.load(Ordering::Relaxed) {
+                        let reply =
+                            client.query(&workload[i % workload.len()]).expect("wire query");
+                        std::hint::black_box(reply.pairs.len());
+                        served += 1;
+                        i += 1;
+                    }
+                    served
+                })
+            })
+            .collect();
 
         let maintenance = {
             let engine = Arc::clone(&engine);
@@ -100,30 +126,44 @@ fn main() {
 
         std::thread::sleep(RUN_FOR);
         stop.store(true, Ordering::Relaxed);
+        let served: u64 = clients.into_iter().map(|c| c.join().expect("client thread")).sum();
         let updates = maintenance.join().expect("maintenance thread panicked");
         println!(
-            "served {} queries from {CLIENTS} clients while applying {updates} updates \
+            "served {served} queries to {CLIENTS} TCP clients while applying {updates} updates \
              ({} snapshot swaps, final epoch {})",
-            served.load(Ordering::Relaxed),
             engine.stats().snapshot_swaps,
             engine.epoch()
         );
     });
 
-    // One consistent batch over the final snapshot.
-    let batch = engine.evaluate_batch(
-        &workload,
-        BatchOptions { threads: Some(CLIENTS), ..BatchOptions::default() },
-    );
+    // One consistent batch over the wire, then the server's own stats.
+    let mut client = Client::connect(addr).expect("batch client connects");
+    let t0 = Instant::now();
+    let batch = client.batch(&workload).expect("wire batch");
     println!(
-        "batch: {} queries in {:?} on epoch {} → {:.0} qps (p50 {:?}, p99 {:?})",
+        "batch: {} queries in {:?} on epoch {} ({} total pairs)",
         batch.results.len(),
-        batch.total,
+        t0.elapsed(),
         batch.epoch,
-        batch.throughput_qps(),
-        batch.latency_quantile(0.5),
-        batch.latency_quantile(0.99),
+        batch.results.iter().map(Vec::len).sum::<usize>(),
     );
 
-    println!("stats: {}", engine.stats());
+    let stats = client.stats().expect("wire stats");
+    println!(
+        "stats: epoch={} queries={} hit_rate={:.1}% swaps={} p50={}us p99={}us \
+         requests[query={} batch={} stats={}] connections={}",
+        stats.epoch,
+        stats.queries,
+        stats.result_hit_rate() * 100.0,
+        stats.snapshot_swaps,
+        stats.p50_us,
+        stats.p99_us,
+        stats.query_requests,
+        stats.batch_requests,
+        stats.stats_requests,
+        stats.connections,
+    );
+    drop(client);
+    server.shutdown();
+    println!("server shut down cleanly");
 }

@@ -9,6 +9,8 @@
 //! * [`index`] — CPQx and iaCPQx, the paper's CPQ-aware path indexes,
 //! * [`engine`] — sharded parallel index construction and the concurrent
 //!   serving layer (snapshots, caches, batch evaluation),
+//! * [`net`] — the network front-end: a versioned binary wire protocol, a
+//!   threaded TCP server over the engine, and a blocking client,
 //! * [`pathindex`] — the language-unaware Path/iaPath baseline (EDBT 2016),
 //! * [`matcher`] — homomorphic subgraph-matching baselines (TurboHom++- and
 //!   Tentris-style engines).
@@ -46,6 +48,26 @@
 //! assert_eq!(engine.query(&q).len(), 3); // executes
 //! assert_eq!(engine.query(&q).len(), 3); // served from the result cache
 //! ```
+//!
+//! # Network serving
+//!
+//! The [`net`] module puts the engine on the wire: a versioned binary
+//! protocol (spec in `PROTOCOL.md`), a threaded TCP server that stays
+//! available during maintenance, and a blocking client.
+//!
+//! ```
+//! use cpqx::engine::Engine;
+//! use cpqx::graph::generate::gex;
+//! use cpqx::net::{Client, Server, ServerOptions};
+//! use std::sync::Arc;
+//!
+//! let engine = Arc::new(Engine::build(gex(), 2));
+//! let server = Server::bind(engine, "127.0.0.1:0", ServerOptions::default())?;
+//! let mut client = Client::connect(server.local_addr())?;
+//! assert_eq!(client.query("(f . f) & f^-1")?.pairs.len(), 3);
+//! server.shutdown();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 
 #![warn(missing_docs)]
 
@@ -53,6 +75,7 @@ pub use cpqx_core as index;
 pub use cpqx_engine as engine;
 pub use cpqx_graph as graph;
 pub use cpqx_matcher as matcher;
+pub use cpqx_net as net;
 pub use cpqx_pathindex as pathindex;
 pub use cpqx_query as query;
 pub use cpqx_rpq as rpq;
