@@ -37,6 +37,57 @@ pub struct CpqxIndex {
     pub(crate) class_loop: Vec<bool>,
     pub(crate) class_seqs: Vec<Vec<LabelSeq>>,
     pub(crate) p2c: HashMap<Pair, ClassId>,
+    pub(crate) frag: FragCounters,
+}
+
+/// Cumulative lazy-maintenance accounting, reset by every full build (see
+/// [`CpqxIndex::fragmentation`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub(crate) struct FragCounters {
+    /// Class count of the full build this index descends from — the
+    /// minimal-partition baseline fragmentation is measured against.
+    pub(crate) baseline_classes: usize,
+    /// Fresh classes created by lazy updates since that build.
+    pub(crate) fresh_classes: u64,
+    /// Pairs detached and regrouped by lazy updates since that build.
+    pub(crate) refreshed_pairs: u64,
+}
+
+/// Point-in-time fragmentation report of a lazily maintained index.
+///
+/// The lazy update procedures (Secs. IV-E / V-C) never merge classes:
+/// affected pairs are detached into *fresh* classes, so between full
+/// builds the class-slot count only grows and detached-from classes may
+/// become empty tombstones. This is exactly the degradation Table VII
+/// measures as a size ratio; [`Fragmentation::ratio`] is its live,
+/// class-count form, used by serving layers to decide when a
+/// defragmenting rebuild pays off.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Fragmentation {
+    /// Class count of the full build this index descends from.
+    pub baseline_classes: usize,
+    /// Allocated class slots right now, tombstones included.
+    pub class_slots: usize,
+    /// Classes with at least one member pair.
+    pub live_classes: usize,
+    /// Fresh classes created by lazy maintenance since the last build.
+    pub fresh_classes: u64,
+    /// Pairs detached and regrouped by lazy maintenance since the last
+    /// build.
+    pub refreshed_pairs: u64,
+}
+
+impl Fragmentation {
+    /// `class_slots / baseline_classes` — 1.0 for a fresh build, growing
+    /// monotonically under lazy maintenance (classes are never merged).
+    pub fn ratio(&self) -> f64 {
+        self.class_slots as f64 / self.baseline_classes.max(1) as f64
+    }
+
+    /// Empty class slots left behind by detached pairs.
+    pub fn tombstones(&self) -> usize {
+        self.class_slots - self.live_classes
+    }
 }
 
 /// Summary statistics used by the experiment harness (Tables III–IV).
@@ -116,6 +167,7 @@ impl CpqxIndex {
             class_loop: p.class_loop,
             class_seqs: p.class_seqs,
             p2c,
+            frag: FragCounters { baseline_classes: nc, ..FragCounters::default() },
         }
     }
 
@@ -217,6 +269,31 @@ impl CpqxIndex {
     /// Total allocated class slots, including tombstones.
     pub fn class_slots(&self) -> usize {
         self.ic2p.len()
+    }
+
+    /// `class_slots / baseline_classes` in O(1) — the fragmentation
+    /// trigger serving layers poll after every write transaction (see
+    /// [`Fragmentation::ratio`]; the full report is
+    /// [`CpqxIndex::fragmentation`]).
+    pub fn fragmentation_ratio(&self) -> f64 {
+        self.ic2p.len() as f64 / self.frag.baseline_classes.max(1) as f64
+    }
+
+    /// Class count of the full build this index descends from — the
+    /// denominator of [`CpqxIndex::fragmentation_ratio`], in O(1).
+    pub fn baseline_class_count(&self) -> usize {
+        self.frag.baseline_classes
+    }
+
+    /// The full fragmentation report (O(classes): counts live classes).
+    pub fn fragmentation(&self) -> Fragmentation {
+        Fragmentation {
+            baseline_classes: self.frag.baseline_classes,
+            class_slots: self.class_slots(),
+            live_classes: self.live_class_count(),
+            fresh_classes: self.frag.fresh_classes,
+            refreshed_pairs: self.frag.refreshed_pairs,
+        }
     }
 
     /// Number of indexed s-t pairs.

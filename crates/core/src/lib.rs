@@ -42,6 +42,6 @@ pub mod serialize;
 
 pub use bisim::{cpq_path_partition, merge_partitions, ClassId, Partition, RefinementBase};
 pub use exec::{ExecOptions, Executor, Intermediate};
-pub use index::{CpqxIndex, IndexStats};
+pub use index::{CpqxIndex, Fragmentation, IndexStats};
 pub use interest::normalize_interests;
 pub use optimize::{estimate_plan_cost, optimize_query, optimize_query_costed};

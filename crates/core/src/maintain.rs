@@ -183,6 +183,7 @@ impl CpqxIndex {
                     list.remove(i);
                 }
                 self.p2c.remove(&pair);
+                self.frag.refreshed_pairs += 1;
             } else if new_seqs.is_empty() {
                 continue;
             }
@@ -197,6 +198,7 @@ impl CpqxIndex {
                     self.ic2p.push(Vec::new());
                     self.class_loop.push(key.0);
                     self.class_seqs.push(key.1.clone());
+                    self.frag.fresh_classes += 1;
                     // Fresh ids exceed all existing ones, so appending keeps
                     // every posting list sorted.
                     for s in &key.1 {

@@ -208,7 +208,11 @@ impl CpqxIndex {
             class_seqs.push(seqs);
             ic2p.push(pairs);
         }
-        Ok(CpqxIndex { k, interests, il2c, ic2p, class_loop, class_seqs, p2c })
+        // A loaded index starts a fresh fragmentation epoch: the file
+        // format stores only the Def. 4.3 structures, so the loaded class
+        // count becomes the new baseline.
+        let frag = crate::index::FragCounters { baseline_classes: nc, ..Default::default() };
+        Ok(CpqxIndex { k, interests, il2c, ic2p, class_loop, class_seqs, p2c, frag })
     }
 }
 

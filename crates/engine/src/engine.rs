@@ -7,6 +7,13 @@
 //! clone, and *installs* a new snapshot, never blocking in-flight readers
 //! (they finish on the version they started with — snapshot isolation).
 //!
+//! Writes go through **typed delta transactions** ([`crate::delta`]):
+//! one clone + one install per [`Delta`] however many ops it carries,
+//! each op applied by the paper's lazy maintenance procedures, with a
+//! fragmentation-triggered automatic rebuild
+//! ([`EngineOptions::auto_rebuild_ratio`]) as the defragmentation
+//! backstop.
+//!
 //! Serving adds two caches:
 //!
 //! * a **plan cache** per snapshot: canonical query → cost-optimized
@@ -24,11 +31,13 @@ use cpqx_core::{CpqxIndex, Executor};
 use cpqx_graph::{Graph, Label, LabelSeq, Pair, VertexId};
 use cpqx_query::canonical::{cache_key, canonicalize};
 use cpqx_query::{Cpq, Plan};
+use std::collections::BTreeSet;
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
 use crate::build::{build_sharded_with_report, BuildOptions, BuildReport};
 use crate::cache::LruCache;
+use crate::delta::{apply_ops, Delta, DeltaError, DeltaOp, DeltaReport};
 use crate::stats::{EngineCounters, StatsReport};
 
 /// Engine construction knobs.
@@ -57,6 +66,17 @@ pub struct EngineOptions {
     /// of full CPQx. Interest-aware partitions are interest-driven rather
     /// than source-partitioned, so they build sequentially.
     pub interests: Option<Vec<LabelSeq>>,
+    /// Fragmentation threshold for automatic defragmentation: when a
+    /// write transaction leaves the index with
+    /// `class_slots / baseline_classes` *above* this ratio, the engine
+    /// rebuilds the index from scratch inside the same transaction (one
+    /// snapshot install; readers never see the fragmented intermediate).
+    /// This is the lazy-update/rebuild tradeoff of the paper's Table VII
+    /// as a serving policy. `None` disables auto-rebuild; the default
+    /// (8.0) is far above the ratios ordinary churn produces (the paper
+    /// measures 1.02–1.63 for up to 20% edge churn), so it only fires
+    /// under sustained heavy write load.
+    pub auto_rebuild_ratio: Option<f64>,
 }
 
 impl Default for EngineOptions {
@@ -68,6 +88,7 @@ impl Default for EngineOptions {
             plan_cache_capacity: 4096,
             result_admission_min_cost: 0.0,
             interests: None,
+            auto_rebuild_ratio: Some(8.0),
         }
     }
 }
@@ -264,25 +285,60 @@ impl Engine {
         out
     }
 
-    /// Applies a maintenance transaction: clones the current state, runs
-    /// `f` on the clone (graph + index stay consistent through the
-    /// [`CpqxIndex`] maintenance API), installs the result as a new
-    /// snapshot, and invalidates the result cache. Readers are never
-    /// blocked; concurrent writers serialize. Returns `f`'s output and
-    /// the new epoch.
+    /// Applies a typed delta transaction: clones the current state
+    /// **once**, applies every [`DeltaOp`] to the clone via the paper's
+    /// lazy maintenance procedures, and installs the result as one new
+    /// snapshot — the engine's primary write path (single-op helpers and
+    /// the network front-end's UPDATE/DELTA frames all route through
+    /// it). Atomic: an invalid op rejects the whole delta with a
+    /// [`DeltaError`] and installs nothing.
+    ///
+    /// After applying, the index's fragmentation ratio is checked
+    /// against [`EngineOptions::auto_rebuild_ratio`]; crossing it
+    /// triggers a defragmenting full rebuild *within the same
+    /// transaction*, so readers go straight from the pre-delta snapshot
+    /// to the rebuilt one. Lazy-vs-rebuild accounting lands in
+    /// [`StatsReport`] (`delta_transactions`, `lazy_update_ops`,
+    /// `rebuilds`, `auto_rebuilds`, `fragmentation_ratio`).
+    pub fn apply_delta(&self, delta: &Delta) -> Result<DeltaReport, DeltaError> {
+        // Reject invalid deltas read-only against the current snapshot,
+        // before the write transaction takes the lock and pays the
+        // clone. Vertex ids and the label table only grow, so a delta
+        // passing here cannot fail against the clone below.
+        crate::delta::validate_ops(self.snapshot().graph(), delta.ops())?;
+        let (result, epoch, rebuilt, ratio) =
+            self.write_txn(|g, idx| match apply_ops(g, idx, delta.ops()) {
+                Ok(outcomes) => {
+                    let applied = outcomes.iter().filter(|o| o.changed()).count();
+                    (Ok((outcomes, applied)), applied > 0)
+                }
+                Err(e) => (Err(e), false),
+            });
+        let (outcomes, applied) = result?;
+        self.counters.record_delta(applied as u64);
+        Ok(DeltaReport { outcomes, applied, epoch, rebuilt, fragmentation_ratio: ratio })
+    }
+
+    /// Applies a maintenance transaction given as a closure: clones the
+    /// current state, runs `f` on the clone (graph + index stay
+    /// consistent through the [`CpqxIndex`] maintenance API), installs
+    /// the result as a new snapshot, and invalidates the result cache.
+    /// Readers are never blocked; concurrent writers serialize. Returns
+    /// `f`'s output and the new epoch. Prefer [`Engine::apply_delta`]
+    /// where the ops are expressible as typed [`DeltaOp`]s — it gets
+    /// per-op outcomes and lazy-update accounting for free.
     pub fn update<R>(&self, f: impl FnOnce(&mut Graph, &mut CpqxIndex) -> R) -> (R, u64) {
-        let _writer = self.writer.lock().unwrap();
-        let snap = self.snapshot();
-        let mut graph = snap.graph.clone();
-        let mut index = snap.index.clone();
-        let out = f(&mut graph, &mut index);
-        let epoch = self.install(graph, index);
+        let (out, epoch, _, _) = self.write_txn(|g, idx| (f(g, idx), true));
         (out, epoch)
     }
 
     /// Inserts a base edge (lazy index maintenance; see
     /// [`CpqxIndex::insert_edge`]). Returns `false` if it already existed
     /// (no snapshot is installed in that case either).
+    ///
+    /// # Panics
+    /// Panics if the vertices or label are out of range (use
+    /// [`Engine::apply_delta`] for a non-panicking, typed-error path).
     pub fn insert_edge(&self, v: VertexId, u: VertexId, l: Label) -> bool {
         self.insert_edge_with_epoch(v, u, l).0
     }
@@ -293,11 +349,14 @@ impl Engine {
     /// lock, so a concurrent writer can never make the pair stale — the
     /// seam the network front-end's `UPDATE_ACK` relies on.
     pub fn insert_edge_with_epoch(&self, v: VertexId, u: VertexId, l: Label) -> (bool, u64) {
-        self.update_if(|g, idx| idx.insert_edge(g, v, u, l))
+        self.one_op(DeltaOp::InsertEdge { src: v, dst: u, label: l })
     }
 
     /// Deletes a base edge (lazy index maintenance). Returns `false` if
     /// it did not exist.
+    ///
+    /// # Panics
+    /// Panics if the vertices or label are out of range.
     pub fn delete_edge(&self, v: VertexId, u: VertexId, l: Label) -> bool {
         self.delete_edge_with_epoch(v, u, l).0
     }
@@ -305,18 +364,32 @@ impl Engine {
     /// Like [`Engine::delete_edge`] with the pinnable epoch (see
     /// [`Engine::insert_edge_with_epoch`]).
     pub fn delete_edge_with_epoch(&self, v: VertexId, u: VertexId, l: Label) -> (bool, u64) {
-        self.update_if(|g, idx| idx.delete_edge(g, v, u, l))
+        self.one_op(DeltaOp::DeleteEdge { src: v, dst: u, label: l })
     }
 
     /// Registers an interest sequence on an interest-aware engine (see
-    /// [`CpqxIndex::insert_interest`]).
+    /// [`CpqxIndex::insert_interest`]). Returns `false` for sequences
+    /// the index cannot register (full CPQx engine, length outside
+    /// `2..=k`, already registered).
+    ///
+    /// # Panics
+    /// Panics if the sequence names a label the graph lacks (use
+    /// [`Engine::apply_delta`] for a non-panicking, typed-error path).
     pub fn insert_interest(&self, seq: LabelSeq) -> bool {
-        self.update_if(|g, idx| idx.insert_interest(g, seq)).0
+        self.one_op(DeltaOp::InsertInterest { seq }).0
     }
 
     /// Drops an interest sequence on an interest-aware engine.
     pub fn delete_interest(&self, seq: &LabelSeq) -> bool {
-        self.update_if(|_, idx| idx.delete_interest(seq)).0
+        self.one_op(DeltaOp::DeleteInterest { seq: *seq }).0
+    }
+
+    /// A single-op delta transaction (the legacy update surface).
+    fn one_op(&self, op: DeltaOp) -> (bool, u64) {
+        let report = self
+            .apply_delta(&Delta::from(vec![op]))
+            .unwrap_or_else(|e| panic!("invalid single-op update: {e}"));
+        (report.applied > 0, report.epoch)
     }
 
     /// Rebuilds the index from the current graph (defragmentation after
@@ -326,24 +399,43 @@ impl Engine {
         let _writer = self.writer.lock().unwrap();
         let snap = self.snapshot();
         let graph = snap.graph.clone();
-        let (index, report) = match snap.index.interests() {
-            None => {
-                let (index, report) =
-                    build_sharded_with_report(&graph, self.options.k, self.options.build);
-                (index, Some(report))
-            }
-            Some(lq) => {
-                (CpqxIndex::build_interest_aware(&graph, self.options.k, lq.iter().copied()), None)
-            }
-        };
+        let (index, report) = self.build_fresh(&graph, snap.index.interests().cloned());
+        self.counters.record_rebuild(false);
         self.install(graph, index);
         report
     }
 
-    /// Engine statistics: query counts, cache hit rates, swap counts and
-    /// latency percentiles.
+    /// Builds a fresh (minimal-partition) index over `graph`, sharded
+    /// for full CPQx and sequential for iaCPQx — shared by the initial
+    /// build path, [`Engine::rebuild`] and the auto-rebuild trigger.
+    fn build_fresh(
+        &self,
+        graph: &Graph,
+        interests: Option<BTreeSet<LabelSeq>>,
+    ) -> (CpqxIndex, Option<BuildReport>) {
+        match interests {
+            None => {
+                let (index, report) =
+                    build_sharded_with_report(graph, self.options.k, self.options.build);
+                (index, Some(report))
+            }
+            Some(lq) => {
+                (CpqxIndex::build_interest_aware(graph, self.options.k, lq.iter().copied()), None)
+            }
+        }
+    }
+
+    /// Engine statistics: query counts, cache hit rates, swap counts,
+    /// maintenance/fragmentation accounting and latency percentiles.
     pub fn stats(&self) -> StatsReport {
-        self.counters.report()
+        let mut report = self.counters.report();
+        // O(1) fragmentation gauges only — the full report's live-class
+        // scan is too expensive for a stats endpoint polled by monitors.
+        let snap = self.snapshot();
+        report.fragmentation_ratio = snap.index().fragmentation_ratio();
+        report.class_slots = snap.index().class_slots() as u64;
+        report.baseline_classes = snap.index().baseline_class_count() as u64;
+        report
     }
 
     /// The live counters, for sibling modules that evaluate outside
@@ -353,20 +445,42 @@ impl Engine {
         &self.counters
     }
 
-    /// Like [`Engine::update`] but only installs a snapshot when `f`
-    /// reports a change, so no-op maintenance stays read-only. Returns
-    /// whether a change was applied and the resulting epoch (the one the
-    /// update installed, or the unchanged epoch for no-ops) — both
-    /// determined under the writer lock.
-    fn update_if(&self, f: impl FnOnce(&mut Graph, &mut CpqxIndex) -> bool) -> (bool, u64) {
+    /// The single write-transaction core every mutating path funnels
+    /// through (`apply_delta`, `update`, and via them the single-op
+    /// helpers): under the writer lock, clone the current state once,
+    /// run `f` on the clone, and — iff `f` reports a change — install
+    /// the result as one new snapshot. Before installing, the
+    /// fragmentation ratio is checked against
+    /// [`EngineOptions::auto_rebuild_ratio`]; crossing it replaces the
+    /// fragmented clone with a fresh build of the same graph, still
+    /// within the single install, so no reader ever observes the
+    /// fragmented intermediate. Returns `f`'s output, the pinnable
+    /// epoch (installed, or unchanged for no-ops), whether an
+    /// auto-rebuild fired, and the fragmentation ratio after the
+    /// transaction.
+    fn write_txn<R>(
+        &self,
+        f: impl FnOnce(&mut Graph, &mut CpqxIndex) -> (R, bool),
+    ) -> (R, u64, bool, f64) {
         let _writer = self.writer.lock().unwrap();
         let snap = self.snapshot();
         let mut graph = snap.graph.clone();
         let mut index = snap.index.clone();
-        if !f(&mut graph, &mut index) {
-            return (false, snap.epoch());
+        let (out, changed) = f(&mut graph, &mut index);
+        if !changed {
+            return (out, snap.epoch(), false, index.fragmentation_ratio());
         }
-        (true, self.install(graph, index))
+        let rebuilt = match self.options.auto_rebuild_ratio {
+            Some(threshold) if index.fragmentation_ratio() > threshold => {
+                index = self.build_fresh(&graph, index.interests().cloned()).0;
+                self.counters.record_rebuild(true);
+                true
+            }
+            _ => false,
+        };
+        let ratio = index.fragmentation_ratio();
+        let epoch = self.install(graph, index);
+        (out, epoch, rebuilt, ratio)
     }
 
     /// Installs a new current snapshot (caller holds the writer lock).
@@ -597,6 +711,129 @@ mod tests {
         let stats = engine.stats();
         assert_eq!(stats.result_hits, 1, "only the compound query is cached");
         assert_eq!(stats.rejected_admissions, 2);
+    }
+
+    #[test]
+    fn delta_transaction_applies_atomically_with_per_op_outcomes() {
+        use crate::delta::{Delta, OpOutcome};
+        let engine = gex_engine();
+        let snap = engine.snapshot();
+        let g0 = snap.graph();
+        let f = g0.label_named("f").unwrap();
+        let v = g0.label_named("v").unwrap();
+        let (sue, joe) = (g0.vertex_named("sue").unwrap(), g0.vertex_named("joe").unwrap());
+        let new_id = g0.vertex_count();
+        let delta = Delta::new()
+            .add_vertex("newbie")
+            .insert_edge(new_id, sue, f) // references the vertex added above
+            .insert_edge(sue, joe, f) // already exists: noop
+            .change_edge_label(sue, joe, f, v)
+            .delete_edge(joe, sue, v); // never existed: noop
+        let report = engine.apply_delta(&delta).expect("valid delta");
+        assert_eq!(report.outcomes.len(), 5);
+        assert_eq!(report.outcomes[0], OpOutcome::VertexAdded(new_id));
+        assert_eq!(report.outcomes[1], OpOutcome::Applied);
+        assert_eq!(report.outcomes[2], OpOutcome::Noop);
+        assert_eq!(report.outcomes[3], OpOutcome::Applied);
+        assert_eq!(report.outcomes[4], OpOutcome::Noop);
+        assert_eq!(report.applied, 3);
+        // One transaction = one install, whatever the op count.
+        assert_eq!(report.epoch, 1);
+        assert_eq!(engine.epoch(), 1);
+        assert!(!report.rebuilt);
+        assert!(report.fragmentation_ratio >= 1.0);
+        let snap1 = engine.snapshot();
+        for text in ["f . f", "v . v^-1", "(f . f) & f^-1"] {
+            let q = parse_cpq(text, snap1.graph()).unwrap();
+            assert_eq!(*engine.query(&q), eval_reference(snap1.graph(), &q), "{text}");
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.delta_transactions, 1);
+        assert_eq!(stats.lazy_update_ops, 3);
+        assert_eq!(stats.rebuilds, 0);
+
+        // An invalid op rejects the whole delta: nothing installed, even
+        // for the valid prefix.
+        let bad = Delta::new().delete_edge(sue, joe, v).insert_edge(u32::MAX, sue, f);
+        let err = engine.apply_delta(&bad).expect_err("out-of-range vertex");
+        assert_eq!(err.op_index, 1);
+        assert_eq!(engine.epoch(), 1, "aborted delta must not install");
+        let q = parse_cpq("v", engine.snapshot().graph()).unwrap();
+        assert_eq!(
+            *engine.query(&q),
+            eval_reference(engine.snapshot().graph(), &q),
+            "prefix of the aborted delta must not be visible"
+        );
+
+        // Empty deltas don't install either.
+        let report = engine.apply_delta(&Delta::new()).unwrap();
+        assert_eq!(report.epoch, 1);
+        assert_eq!(report.applied, 0);
+    }
+
+    #[test]
+    fn auto_rebuild_defragments_past_the_threshold() {
+        let g = generate::random_graph(&generate::RandomGraphConfig::social(60, 240, 3, 5));
+        let (engine, _) = Engine::with_options(
+            g,
+            EngineOptions { k: 2, auto_rebuild_ratio: Some(1.02), ..EngineOptions::default() },
+        );
+        let baseline = engine.stats().baseline_classes;
+        // Churn until the (very low) threshold trips.
+        let snap = engine.snapshot();
+        let edges: Vec<_> = snap.graph().base_edges().take(40).collect();
+        let mut rebuilt_seen = false;
+        for (v, u, l) in edges {
+            let delta = crate::delta::Delta::new().delete_edge(v, u, l).insert_edge(v, u, l);
+            let report = engine.apply_delta(&delta).unwrap();
+            rebuilt_seen |= report.rebuilt;
+            if report.rebuilt {
+                assert!(
+                    (report.fragmentation_ratio - 1.0).abs() < 1e-9,
+                    "a rebuild restores the minimal partition"
+                );
+            }
+        }
+        assert!(rebuilt_seen, "threshold 1.02 must trip under churn");
+        let stats = engine.stats();
+        assert!(stats.auto_rebuilds >= 1);
+        assert_eq!(stats.rebuilds, stats.auto_rebuilds);
+        assert!(stats.baseline_classes > 0);
+        assert!(baseline > 0);
+        // Serving stays correct across the auto-rebuilds.
+        let snap = engine.snapshot();
+        let q =
+            parse_cpq("0 . 1", snap.graph()).or_else(|_| parse_cpq("l0 . l1", snap.graph())).ok();
+        if let Some(q) = q {
+            assert_eq!(*engine.query(&q), eval_reference(snap.graph(), &q));
+        }
+    }
+
+    #[test]
+    fn interest_delta_ops_on_interest_aware_engine() {
+        use crate::delta::OpOutcome;
+        let g = generate::gex();
+        let f = g.label_named("f").unwrap();
+        let ff = LabelSeq::from_slice(&[f.fwd(), f.fwd()]);
+        let fif = LabelSeq::from_slice(&[f.inv(), f.fwd()]);
+        let (engine, _) = Engine::with_options(
+            g,
+            EngineOptions { k: 2, interests: Some(vec![ff]), ..EngineOptions::default() },
+        );
+        let delta = crate::delta::Delta::new()
+            .insert_interest(fif)
+            .insert_interest(ff) // already registered: noop
+            .delete_interest(ff);
+        let report = engine.apply_delta(&delta).unwrap();
+        assert_eq!(report.outcomes, vec![OpOutcome::Applied, OpOutcome::Noop, OpOutcome::Applied]);
+        let snap = engine.snapshot();
+        let q = parse_cpq("(f^-1 . f) & id", snap.graph()).unwrap();
+        assert_eq!(*engine.query(&q), eval_reference(snap.graph(), &q));
+        // On a full (non-ia) engine interest ops are valid no-ops.
+        let full = gex_engine();
+        let report = full.apply_delta(&crate::delta::Delta::new().insert_interest(fif)).unwrap();
+        assert_eq!(report.outcomes, vec![OpOutcome::Noop]);
+        assert_eq!(full.epoch(), 0);
     }
 
     #[test]

@@ -45,6 +45,7 @@
 pub mod batch;
 pub mod build;
 pub mod cache;
+pub mod delta;
 pub mod engine;
 pub mod pool;
 pub mod stats;
@@ -52,5 +53,6 @@ pub mod stats;
 pub use batch::{BatchOptions, BatchOutcome};
 pub use build::{build_sharded, build_sharded_with_report, BuildOptions, BuildReport};
 pub use cache::LruCache;
+pub use delta::{Delta, DeltaError, DeltaOp, DeltaReport, OpOutcome};
 pub use engine::{Engine, EngineOptions, PlannedQuery, Snapshot};
 pub use stats::StatsReport;

@@ -23,6 +23,10 @@ pub struct EngineCounters {
     snapshot_swaps: AtomicU64,
     invalidations: AtomicU64,
     admission_rejections: AtomicU64,
+    delta_transactions: AtomicU64,
+    lazy_update_ops: AtomicU64,
+    rebuilds: AtomicU64,
+    auto_rebuilds: AtomicU64,
     latencies_us: Mutex<LatencyWindow>,
 }
 
@@ -68,6 +72,18 @@ impl EngineCounters {
         self.admission_rejections.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_delta(&self, applied_ops: u64) {
+        self.delta_transactions.fetch_add(1, Ordering::Relaxed);
+        self.lazy_update_ops.fetch_add(applied_ops, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_rebuild(&self, auto: bool) {
+        self.rebuilds.fetch_add(1, Ordering::Relaxed);
+        if auto {
+            self.auto_rebuilds.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// A consistent-enough point-in-time view of the counters.
     pub fn report(&self) -> StatsReport {
         let mut latencies = self.latencies_us.lock().unwrap().samples.clone();
@@ -95,6 +111,13 @@ impl EngineCounters {
             snapshot_swaps: self.snapshot_swaps.load(Ordering::Relaxed),
             invalidated_results: self.invalidations.load(Ordering::Relaxed),
             rejected_admissions: self.admission_rejections.load(Ordering::Relaxed),
+            delta_transactions: self.delta_transactions.load(Ordering::Relaxed),
+            lazy_update_ops: self.lazy_update_ops.load(Ordering::Relaxed),
+            rebuilds: self.rebuilds.load(Ordering::Relaxed),
+            auto_rebuilds: self.auto_rebuilds.load(Ordering::Relaxed),
+            fragmentation_ratio: 0.0,
+            class_slots: 0,
+            baseline_classes: 0,
             latency_window: latencies.len(),
             p50: pct(0.50),
             p99: pct(0.99),
@@ -136,6 +159,25 @@ pub struct StatsReport {
     /// cache because the estimated plan cost fell below
     /// `EngineOptions::result_admission_min_cost`.
     pub rejected_admissions: u64,
+    /// Delta transactions committed via `Engine::apply_delta` (the
+    /// single-op update helpers count too — they are one-op deltas).
+    pub delta_transactions: u64,
+    /// Individual delta ops applied through the lazy maintenance
+    /// procedures (no-ops excluded).
+    pub lazy_update_ops: u64,
+    /// Full index rebuilds, manual (`Engine::rebuild`) and automatic.
+    pub rebuilds: u64,
+    /// Rebuilds triggered by `EngineOptions::auto_rebuild_ratio`.
+    pub auto_rebuilds: u64,
+    /// Current `class_slots / baseline_classes` of the serving index
+    /// (1.0 right after a build; grows under lazy maintenance). Filled
+    /// by `Engine::stats` from the live snapshot; 0.0 when the report
+    /// comes from bare counters.
+    pub fragmentation_ratio: f64,
+    /// Allocated class slots (tombstones included) of the serving index.
+    pub class_slots: u64,
+    /// Class count of the full build the serving index descends from.
+    pub baseline_classes: u64,
     /// Latency samples currently in the rolling window.
     pub latency_window: usize,
     /// Median query latency over the window.
@@ -148,11 +190,16 @@ impl std::fmt::Display for StatsReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "queries={} hit_rate={:.1}% plan_hit_rate={:.1}% swaps={} p50={:?} p99={:?}",
+            "queries={} hit_rate={:.1}% plan_hit_rate={:.1}% swaps={} deltas={} lazy_ops={} \
+             rebuilds={} frag={:.2} p50={:?} p99={:?}",
             self.queries,
             self.result_hit_rate * 100.0,
             self.plan_hit_rate * 100.0,
             self.snapshot_swaps,
+            self.delta_transactions,
+            self.lazy_update_ops,
+            self.rebuilds,
+            self.fragmentation_ratio,
             self.p50,
             self.p99,
         )

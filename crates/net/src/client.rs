@@ -13,7 +13,7 @@
 
 use crate::proto::{
     decode_response, encode_request, read_frame, write_frame, DecodeError, FrameError, Request,
-    Response, WireError, WireStats, DEFAULT_MAX_FRAME, PROTOCOL_VERSION,
+    Response, WireError, WireOp, WireOutcome, WireStats, DEFAULT_MAX_FRAME, PROTOCOL_VERSION,
 };
 use cpqx_graph::Pair;
 use std::io::{self, BufReader, BufWriter};
@@ -118,6 +118,27 @@ pub struct UpdateReply {
     pub epoch: u64,
 }
 
+/// A delta transaction's outcome: the transaction committed atomically
+/// (rejected deltas surface as [`ClientError::Server`] instead, with
+/// the offending op named in the message).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeltaReply {
+    /// The engine epoch whose snapshot reflects the whole transaction.
+    pub epoch: u64,
+    /// Whether the server's fragmentation threshold triggered a
+    /// defragmenting rebuild inside this transaction.
+    pub rebuilt: bool,
+    /// Per-op outcomes, in op order.
+    pub outcomes: Vec<WireOutcome>,
+}
+
+impl DeltaReply {
+    /// Ops that changed the graph/index.
+    pub fn applied(&self) -> usize {
+        self.outcomes.iter().filter(|o| !matches!(o, WireOutcome::Noop)).count()
+    }
+}
+
 /// A connected, handshaken client (see module docs).
 pub struct Client {
     reader: BufReader<TcpStream>,
@@ -196,6 +217,35 @@ impl Client {
         label: &str,
     ) -> Result<UpdateReply, ClientError> {
         self.update(false, src, dst, label)
+    }
+
+    /// Applies an atomic typed delta transaction (see
+    /// [`crate::proto::WireOp`]): one engine write transaction for the
+    /// whole op list, acknowledged with per-op outcomes. A rejected
+    /// delta (unknown label, out-of-range vertex, …) changes nothing
+    /// server-side and surfaces as [`ClientError::Server`] with
+    /// [`crate::ErrorCode::BadUpdate`].
+    pub fn apply_delta(&mut self, ops: Vec<WireOp>) -> Result<DeltaReply, ClientError> {
+        // Over-long interest sequences can never encode (the codec
+        // refuses to emit a count it could not decode); fail with a
+        // typed error before framing instead of panicking mid-encode.
+        for (i, op) in ops.iter().enumerate() {
+            if let WireOp::InsertInterest { seq } | WireOp::DeleteInterest { seq } = op {
+                if seq.len() > cpqx_graph::MAX_SEQ_LEN {
+                    return Err(ClientError::Protocol(format!(
+                        "delta op {i}: interest sequence of {} steps exceeds the wire bound of {}",
+                        seq.len(),
+                        cpqx_graph::MAX_SEQ_LEN
+                    )));
+                }
+            }
+        }
+        match self.roundtrip(&Request::Delta(ops))? {
+            Response::DeltaAck { epoch, rebuilt, outcomes } => {
+                Ok(DeltaReply { epoch, rebuilt, outcomes })
+            }
+            other => Err(mistyped("DELTA_ACK", &other)),
+        }
     }
 
     /// Fetches the server's statistics report.

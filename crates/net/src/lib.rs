@@ -46,6 +46,11 @@ pub mod client;
 pub mod proto;
 pub mod server;
 
-pub use client::{BatchReply, Client, ClientError, ClientOptions, QueryReply, UpdateReply};
-pub use proto::{ErrorCode, Request, Response, WireError, WireStats, PROTOCOL_VERSION};
+pub use client::{
+    BatchReply, Client, ClientError, ClientOptions, DeltaReply, QueryReply, UpdateReply,
+};
+pub use proto::{
+    ErrorCode, Request, Response, WireError, WireOp, WireOutcome, WireSeqLabel, WireStats,
+    PROTOCOL_VERSION,
+};
 pub use server::{NetStats, Server, ServerOptions};

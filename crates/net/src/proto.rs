@@ -38,8 +38,10 @@ use std::io::{self, Read, Write};
 pub const MAGIC: [u8; 4] = *b"CPQX";
 
 /// The protocol version this build speaks. The handshake requires an
-/// exact match: there is only one version so far, so no negotiation.
-pub const PROTOCOL_VERSION: u16 = 1;
+/// exact match (pre-release protocol: no cross-version compatibility
+/// promise). Version 2 added the typed DELTA/DELTA_ACK frames and
+/// extended the STATS report with maintenance counters.
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// Default bound on accepted payload sizes (16 MiB). Servers apply it to
 /// requests, clients to responses; both sides make it configurable.
@@ -52,6 +54,7 @@ const OP_QUERY: u8 = 0x03;
 const OP_BATCH: u8 = 0x04;
 const OP_UPDATE: u8 = 0x05;
 const OP_STATS: u8 = 0x06;
+const OP_DELTA: u8 = 0x07;
 
 // Response opcodes (server → client): request opcode | 0x80.
 const OP_HELLO_ACK: u8 = 0x81;
@@ -60,6 +63,7 @@ const OP_RESULT: u8 = 0x83;
 const OP_BATCH_RESULT: u8 = 0x84;
 const OP_UPDATE_ACK: u8 = 0x85;
 const OP_STATS_RESULT: u8 = 0x86;
+const OP_DELTA_ACK: u8 = 0x87;
 const OP_ERROR: u8 = 0xFF;
 
 /// A client → server message.
@@ -77,7 +81,8 @@ pub enum Request {
     Query(String),
     /// Evaluate several CPQs against one consistent snapshot.
     Batch(Vec<String>),
-    /// Insert or delete one base edge.
+    /// Insert or delete one base edge — the legacy opaque update form,
+    /// served as a one-op delta transaction since protocol 2.
     Update {
         /// `true` inserts the edge, `false` deletes it.
         insert: bool,
@@ -90,6 +95,98 @@ pub enum Request {
     },
     /// Fetch the server's statistics report.
     Stats,
+    /// Apply an atomic typed delta transaction (protocol ≥ 2): every op
+    /// lands in one engine write transaction, acknowledged with per-op
+    /// outcomes by [`Response::DeltaAck`].
+    Delta(Vec<WireOp>),
+}
+
+/// One typed maintenance op inside a [`Request::Delta`] frame. Labels
+/// travel as names and are resolved against the snapshot current when
+/// the server applies the transaction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireOp {
+    /// Insert the base edge `(src, dst, label)`.
+    InsertEdge {
+        /// Source vertex id.
+        src: u32,
+        /// Target vertex id.
+        dst: u32,
+        /// Base label name.
+        label: String,
+    },
+    /// Delete the base edge `(src, dst, label)`.
+    DeleteEdge {
+        /// Source vertex id.
+        src: u32,
+        /// Target vertex id.
+        dst: u32,
+        /// Base label name.
+        label: String,
+    },
+    /// Relabel the base edge `(src, dst, from)` to `to`.
+    ChangeEdgeLabel {
+        /// Source vertex id.
+        src: u32,
+        /// Target vertex id.
+        dst: u32,
+        /// Current base label name.
+        from: String,
+        /// New base label name.
+        to: String,
+    },
+    /// Add an isolated vertex; its id comes back as
+    /// [`WireOutcome::VertexAdded`] and later ops of the same delta may
+    /// reference it.
+    ///
+    /// The wire has no symbolic reference for a not-yet-allocated id,
+    /// so a later op can only name it by *predicting* the id (the
+    /// vertex count at apply time). That prediction is reliable only
+    /// for a sole writer: under concurrent writers another delta may
+    /// allocate the predicted id first, silently wiring your edges to
+    /// *its* vertex. Multi-writer clients must treat the id in the ack
+    /// as authoritative and send dependent edges in a follow-up delta.
+    AddVertex {
+        /// Display name of the new vertex.
+        name: String,
+    },
+    /// Remove all edges incident to a vertex (the id stays allocated).
+    DeleteVertex {
+        /// The vertex id.
+        vertex: u32,
+    },
+    /// iaCPQx only: register an interest label sequence.
+    InsertInterest {
+        /// The sequence, one direction-aware label per step.
+        seq: Vec<WireSeqLabel>,
+    },
+    /// iaCPQx only: drop an interest label sequence.
+    DeleteInterest {
+        /// The sequence, one direction-aware label per step.
+        seq: Vec<WireSeqLabel>,
+    },
+}
+
+/// One step of a wire-encoded interest sequence: a base label name plus
+/// a traversal direction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireSeqLabel {
+    /// `true` for the inverse direction (`ℓ⁻¹`).
+    pub inverse: bool,
+    /// Base label name.
+    pub label: String,
+}
+
+/// What one op of an acknowledged delta did (see
+/// `cpqx_engine::OpOutcome`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireOutcome {
+    /// The op changed the graph/index.
+    Applied,
+    /// The op was valid but changed nothing.
+    Noop,
+    /// An `AddVertex` op allocated this vertex id.
+    VertexAdded(u32),
 }
 
 /// A server → client message.
@@ -127,6 +224,20 @@ pub enum Response {
     },
     /// Answer to [`Request::Stats`].
     Stats(WireStats),
+    /// Answer to [`Request::Delta`]: the transaction committed as one
+    /// snapshot install (or changed nothing), with per-op outcomes in op
+    /// order. Rejected deltas come back as [`ErrorCode::BadUpdate`]
+    /// error frames instead, naming the offending op.
+    DeltaAck {
+        /// The engine epoch whose snapshot reflects the whole
+        /// transaction.
+        epoch: u64,
+        /// Whether the fragmentation threshold triggered a defragmenting
+        /// rebuild inside this transaction.
+        rebuilt: bool,
+        /// Per-op outcomes, in op order.
+        outcomes: Vec<WireOutcome>,
+    },
     /// Any request can fail with a typed error frame.
     Error(WireError),
 }
@@ -247,6 +358,20 @@ pub struct WireStats {
     pub p50_us: u64,
     /// 99th-percentile engine query latency, microseconds.
     pub p99_us: u64,
+    /// Delta transactions the engine has committed (wire DELTA and
+    /// UPDATE frames, plus in-process writers).
+    pub delta_transactions: u64,
+    /// Individual delta ops applied via lazy maintenance (no-ops
+    /// excluded).
+    pub lazy_update_ops: u64,
+    /// Full index rebuilds (manual + automatic).
+    pub rebuilds: u64,
+    /// Rebuilds triggered by the fragmentation threshold.
+    pub auto_rebuilds: u64,
+    /// Allocated class slots of the serving index (tombstones included).
+    pub class_slots: u64,
+    /// Class count of the full build the serving index descends from.
+    pub baseline_classes: u64,
     /// PING requests served.
     pub ping_requests: u64,
     /// QUERY requests served.
@@ -255,6 +380,8 @@ pub struct WireStats {
     pub batch_requests: u64,
     /// UPDATE requests served.
     pub update_requests: u64,
+    /// DELTA requests served.
+    pub delta_requests: u64,
     /// STATS requests served (includes the one reporting).
     pub stats_requests: u64,
     /// Error frames the server has sent.
@@ -280,7 +407,18 @@ impl WireStats {
             + self.query_requests
             + self.batch_requests
             + self.update_requests
+            + self.delta_requests
             + self.stats_requests
+    }
+
+    /// Current fragmentation ratio of the serving index,
+    /// `class_slots / baseline_classes` (0.0 when unreported).
+    pub fn fragmentation_ratio(&self) -> f64 {
+        if self.baseline_classes == 0 {
+            0.0
+        } else {
+            self.class_slots as f64 / self.baseline_classes as f64
+        }
     }
 }
 
@@ -405,6 +543,47 @@ impl<'a> Cur<'a> {
         String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::BadUtf8)
     }
 
+    fn op(&mut self) -> Result<WireOp, DecodeError> {
+        Ok(match self.u8()? {
+            OPTAG_INSERT_EDGE => {
+                WireOp::InsertEdge { src: self.u32()?, dst: self.u32()?, label: self.str()? }
+            }
+            OPTAG_DELETE_EDGE => {
+                WireOp::DeleteEdge { src: self.u32()?, dst: self.u32()?, label: self.str()? }
+            }
+            OPTAG_CHANGE_EDGE_LABEL => WireOp::ChangeEdgeLabel {
+                src: self.u32()?,
+                dst: self.u32()?,
+                from: self.str()?,
+                to: self.str()?,
+            },
+            OPTAG_ADD_VERTEX => WireOp::AddVertex { name: self.str()? },
+            OPTAG_DELETE_VERTEX => WireOp::DeleteVertex { vertex: self.u32()? },
+            OPTAG_INSERT_INTEREST => WireOp::InsertInterest { seq: self.seq()? },
+            OPTAG_DELETE_INTEREST => WireOp::DeleteInterest { seq: self.seq()? },
+            _ => return Err(DecodeError::BadValue("delta op tag")),
+        })
+    }
+
+    fn seq(&mut self) -> Result<Vec<WireSeqLabel>, DecodeError> {
+        let n = self.u8()? as usize;
+        // Sequences are bounded structurally (they must fit a LabelSeq),
+        // so a hostile count is rejected before any resolution work.
+        if n > cpqx_graph::MAX_SEQ_LEN {
+            return Err(DecodeError::BadValue("interest sequence length"));
+        }
+        (0..n).map(|_| Ok(WireSeqLabel { inverse: self.bool()?, label: self.str()? })).collect()
+    }
+
+    fn outcome(&mut self) -> Result<WireOutcome, DecodeError> {
+        Ok(match self.u8()? {
+            0 => WireOutcome::Noop,
+            1 => WireOutcome::Applied,
+            2 => WireOutcome::VertexAdded(self.u32()?),
+            _ => return Err(DecodeError::BadValue("op outcome")),
+        })
+    }
+
     fn pairs(&mut self) -> Result<Vec<Pair>, DecodeError> {
         let n = self.u32()? as usize;
         // The count must be consistent with the remaining payload before
@@ -424,6 +603,12 @@ impl<'a> Cur<'a> {
 }
 
 /// Encodes a request into a frame payload (no length prefix).
+///
+/// # Panics
+/// Panics if a [`Request::Delta`] interest sequence exceeds
+/// [`cpqx_graph::MAX_SEQ_LEN`] steps — such a frame could never decode
+/// and must not reach the wire ([`crate::Client::apply_delta`] rejects
+/// it with a typed error instead).
 pub fn encode_request(req: &Request) -> Vec<u8> {
     let mut out = Vec::new();
     match req {
@@ -452,8 +637,80 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             put_str(&mut out, label);
         }
         Request::Stats => out.push(OP_STATS),
+        Request::Delta(ops) => {
+            out.push(OP_DELTA);
+            put_u32(&mut out, ops.len() as u32);
+            for op in ops {
+                put_op(&mut out, op);
+            }
+        }
     }
     out
+}
+
+// Delta op tags (first byte of each op inside a DELTA frame).
+const OPTAG_INSERT_EDGE: u8 = 1;
+const OPTAG_DELETE_EDGE: u8 = 2;
+const OPTAG_CHANGE_EDGE_LABEL: u8 = 3;
+const OPTAG_ADD_VERTEX: u8 = 4;
+const OPTAG_DELETE_VERTEX: u8 = 5;
+const OPTAG_INSERT_INTEREST: u8 = 6;
+const OPTAG_DELETE_INTEREST: u8 = 7;
+
+fn put_op(out: &mut Vec<u8>, op: &WireOp) {
+    match op {
+        WireOp::InsertEdge { src, dst, label } => {
+            out.push(OPTAG_INSERT_EDGE);
+            put_u32(out, *src);
+            put_u32(out, *dst);
+            put_str(out, label);
+        }
+        WireOp::DeleteEdge { src, dst, label } => {
+            out.push(OPTAG_DELETE_EDGE);
+            put_u32(out, *src);
+            put_u32(out, *dst);
+            put_str(out, label);
+        }
+        WireOp::ChangeEdgeLabel { src, dst, from, to } => {
+            out.push(OPTAG_CHANGE_EDGE_LABEL);
+            put_u32(out, *src);
+            put_u32(out, *dst);
+            put_str(out, from);
+            put_str(out, to);
+        }
+        WireOp::AddVertex { name } => {
+            out.push(OPTAG_ADD_VERTEX);
+            put_str(out, name);
+        }
+        WireOp::DeleteVertex { vertex } => {
+            out.push(OPTAG_DELETE_VERTEX);
+            put_u32(out, *vertex);
+        }
+        WireOp::InsertInterest { seq } => {
+            out.push(OPTAG_INSERT_INTEREST);
+            put_seq(out, seq);
+        }
+        WireOp::DeleteInterest { seq } => {
+            out.push(OPTAG_DELETE_INTEREST);
+            put_seq(out, seq);
+        }
+    }
+}
+
+fn put_seq(out: &mut Vec<u8>, seq: &[WireSeqLabel]) {
+    // Hard assert, not debug: `seq.len() as u8` on an over-long sequence
+    // would silently truncate the count and desynchronize the op stream
+    // for the decoder (which rejects counts above MAX_SEQ_LEN anyway).
+    assert!(
+        seq.len() <= cpqx_graph::MAX_SEQ_LEN,
+        "interest sequence of {} steps exceeds MAX_SEQ_LEN",
+        seq.len()
+    );
+    out.push(seq.len() as u8);
+    for step in seq {
+        out.push(u8::from(step.inverse));
+        put_str(out, &step.label);
+    }
 }
 
 /// Decodes a frame payload into a request.
@@ -488,6 +745,18 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, DecodeError> {
             Request::Update { insert, src, dst, label }
         }
         OP_STATS => Request::Stats,
+        OP_DELTA => {
+            let n = c.u32()? as usize;
+            // Smallest op on the wire: tag + an empty interest sequence.
+            if self_inconsistent_count(n, 2, c.buf.len() - c.at) {
+                return Err(DecodeError::Truncated);
+            }
+            let mut ops = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                ops.push(c.op()?);
+            }
+            Request::Delta(ops)
+        }
         other => return Err(DecodeError::UnknownOpcode(other)),
     };
     c.finish()?;
@@ -532,6 +801,22 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
                 put_u64(&mut out, field);
             }
         }
+        Response::DeltaAck { epoch, rebuilt, outcomes } => {
+            out.push(OP_DELTA_ACK);
+            put_u64(&mut out, *epoch);
+            out.push(u8::from(*rebuilt));
+            put_u32(&mut out, outcomes.len() as u32);
+            for o in outcomes {
+                match o {
+                    WireOutcome::Noop => out.push(0),
+                    WireOutcome::Applied => out.push(1),
+                    WireOutcome::VertexAdded(v) => {
+                        out.push(2);
+                        put_u32(&mut out, *v);
+                    }
+                }
+            }
+        }
         Response::Error(e) => {
             out.push(OP_ERROR);
             out.push(e.code.to_u8());
@@ -563,6 +848,19 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, DecodeError> {
             Response::BatchResult { epoch, results }
         }
         OP_UPDATE_ACK => Response::UpdateAck { applied: c.bool()?, epoch: c.u64()? },
+        OP_DELTA_ACK => {
+            let epoch = c.u64()?;
+            let rebuilt = c.bool()?;
+            let n = c.u32()? as usize;
+            if self_inconsistent_count(n, 1, c.buf.len() - c.at) {
+                return Err(DecodeError::Truncated);
+            }
+            let mut outcomes = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                outcomes.push(c.outcome()?);
+            }
+            Response::DeltaAck { epoch, rebuilt, outcomes }
+        }
         OP_STATS_RESULT => {
             let mut fields = [0u64; STATS_FIELDS];
             for f in fields.iter_mut() {
@@ -584,7 +882,7 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, DecodeError> {
     Ok(resp)
 }
 
-const STATS_FIELDS: usize = 18;
+const STATS_FIELDS: usize = 25;
 
 fn stats_fields(s: &WireStats) -> [u64; STATS_FIELDS] {
     [
@@ -597,12 +895,19 @@ fn stats_fields(s: &WireStats) -> [u64; STATS_FIELDS] {
         s.snapshot_swaps,
         s.invalidated_results,
         s.rejected_admissions,
+        s.delta_transactions,
+        s.lazy_update_ops,
+        s.rebuilds,
+        s.auto_rebuilds,
+        s.class_slots,
+        s.baseline_classes,
         s.p50_us,
         s.p99_us,
         s.ping_requests,
         s.query_requests,
         s.batch_requests,
         s.update_requests,
+        s.delta_requests,
         s.stats_requests,
         s.error_responses,
         s.connections,
@@ -620,15 +925,22 @@ fn stats_from_fields(f: [u64; STATS_FIELDS]) -> WireStats {
         snapshot_swaps: f[6],
         invalidated_results: f[7],
         rejected_admissions: f[8],
-        p50_us: f[9],
-        p99_us: f[10],
-        ping_requests: f[11],
-        query_requests: f[12],
-        batch_requests: f[13],
-        update_requests: f[14],
-        stats_requests: f[15],
-        error_responses: f[16],
-        connections: f[17],
+        delta_transactions: f[9],
+        lazy_update_ops: f[10],
+        rebuilds: f[11],
+        auto_rebuilds: f[12],
+        class_slots: f[13],
+        baseline_classes: f[14],
+        p50_us: f[15],
+        p99_us: f[16],
+        ping_requests: f[17],
+        query_requests: f[18],
+        batch_requests: f[19],
+        update_requests: f[20],
+        delta_requests: f[21],
+        stats_requests: f[22],
+        error_responses: f[23],
+        connections: f[24],
     }
 }
 
@@ -716,6 +1028,23 @@ mod tests {
             Request::Update { insert: true, src: 0, dst: u32::MAX, label: "follows".into() },
             Request::Update { insert: false, src: 7, dst: 7, label: "f".into() },
             Request::Stats,
+            Request::Delta(vec![]),
+            Request::Delta(vec![
+                WireOp::AddVertex { name: "newbie".into() },
+                WireOp::InsertEdge { src: 14, dst: 0, label: "f".into() },
+                WireOp::DeleteEdge { src: 1, dst: 2, label: "v".into() },
+                WireOp::ChangeEdgeLabel { src: 3, dst: 4, from: "f".into(), to: "v".into() },
+                WireOp::DeleteVertex { vertex: 9 },
+                WireOp::InsertInterest {
+                    seq: vec![
+                        WireSeqLabel { inverse: false, label: "f".into() },
+                        WireSeqLabel { inverse: true, label: "f".into() },
+                    ],
+                },
+                WireOp::DeleteInterest {
+                    seq: vec![WireSeqLabel { inverse: false, label: "v".into() }],
+                },
+            ]),
         ]
     }
 
@@ -731,6 +1060,16 @@ mod tests {
                 results: vec![vec![Pair::new(0, 0)], vec![], vec![Pair::new(5, 6)]],
             },
             Response::UpdateAck { applied: true, epoch: 3 },
+            Response::DeltaAck { epoch: 0, rebuilt: false, outcomes: vec![] },
+            Response::DeltaAck {
+                epoch: 17,
+                rebuilt: true,
+                outcomes: vec![
+                    WireOutcome::Applied,
+                    WireOutcome::Noop,
+                    WireOutcome::VertexAdded(4096),
+                ],
+            },
             Response::Stats(WireStats {
                 epoch: 2,
                 queries: 100,
@@ -826,6 +1165,34 @@ mod tests {
         let mut err = encode_response(&Response::Error(WireError::new(ErrorCode::Internal, "x")));
         err[1] = 0xEE;
         assert_eq!(decode_response(&err), Err(DecodeError::BadValue("error code")));
+    }
+
+    #[test]
+    fn bad_delta_payloads_are_rejected() {
+        // Unknown op tag.
+        let mut bytes = vec![OP_DELTA];
+        bytes.extend_from_slice(&1u32.to_be_bytes());
+        bytes.extend_from_slice(&[0xEE, 0x00]);
+        assert_eq!(decode_request(&bytes), Err(DecodeError::BadValue("delta op tag")));
+        // Hostile op count in a tiny payload fails the consistency check.
+        let mut bytes = vec![OP_DELTA];
+        bytes.extend_from_slice(&0x4000_0000u32.to_be_bytes());
+        bytes.extend_from_slice(&[0, 0]);
+        assert_eq!(decode_request(&bytes), Err(DecodeError::Truncated));
+        // An interest sequence longer than a LabelSeq can hold.
+        let mut bytes = vec![OP_DELTA];
+        bytes.extend_from_slice(&1u32.to_be_bytes());
+        bytes.push(OPTAG_INSERT_INTEREST);
+        bytes.push(cpqx_graph::MAX_SEQ_LEN as u8 + 1);
+        bytes.extend_from_slice(&[0; 64]);
+        assert_eq!(decode_request(&bytes), Err(DecodeError::BadValue("interest sequence length")));
+        // Bad outcome tag in an ack.
+        let mut bytes = vec![OP_DELTA_ACK];
+        bytes.extend_from_slice(&1u64.to_be_bytes());
+        bytes.push(0);
+        bytes.extend_from_slice(&1u32.to_be_bytes());
+        bytes.push(9);
+        assert_eq!(decode_response(&bytes), Err(DecodeError::BadValue("op outcome")));
     }
 
     #[test]

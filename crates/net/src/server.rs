@@ -21,9 +21,12 @@
 
 use crate::proto::{
     decode_request, encode_response, read_frame, write_frame, ErrorCode, FrameError, Request,
-    Response, WireError, WireStats, DEFAULT_MAX_FRAME, PROTOCOL_VERSION,
+    Response, WireError, WireOp, WireOutcome, WireSeqLabel, WireStats, DEFAULT_MAX_FRAME,
+    PROTOCOL_VERSION,
 };
+use cpqx_engine::delta::{Delta, DeltaOp, OpOutcome};
 use cpqx_engine::{BatchOptions, Engine};
+use cpqx_graph::{Graph, Label, LabelSeq};
 use cpqx_query::parse_cpq;
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, BufReader, BufWriter};
@@ -85,6 +88,8 @@ pub struct NetStats {
     pub batch_requests: u64,
     /// UPDATE requests served.
     pub update_requests: u64,
+    /// DELTA requests served.
+    pub delta_requests: u64,
     /// STATS requests served.
     pub stats_requests: u64,
     /// Error frames sent.
@@ -99,6 +104,7 @@ struct NetCounters {
     query: AtomicU64,
     batch: AtomicU64,
     update: AtomicU64,
+    delta: AtomicU64,
     stats: AtomicU64,
     errors: AtomicU64,
 }
@@ -112,6 +118,7 @@ impl NetCounters {
             query_requests: self.query.load(Ordering::Relaxed),
             batch_requests: self.batch.load(Ordering::Relaxed),
             update_requests: self.update.load(Ordering::Relaxed),
+            delta_requests: self.delta.load(Ordering::Relaxed),
             stats_requests: self.stats.load(Ordering::Relaxed),
             error_responses: self.errors.load(Ordering::Relaxed),
         }
@@ -429,34 +436,124 @@ fn handle(s: &Shared, req: Request) -> Response {
         }
         Request::Update { insert, src, dst, label } => {
             s.counters.update.fetch_add(1, Ordering::Relaxed);
-            let snap = s.engine.snapshot();
-            let Some(l) = snap.graph().label_named(&label) else {
-                return Response::Error(WireError::new(
-                    ErrorCode::BadUpdate,
-                    format!("unknown label {label:?}"),
-                ));
-            };
-            let vertices = snap.graph().vertex_count();
-            if src >= vertices || dst >= vertices {
-                return Response::Error(WireError::new(
-                    ErrorCode::BadUpdate,
-                    format!("vertex out of range (graph has {vertices} vertices)"),
-                ));
-            }
-            // The *_with_epoch seams report the epoch determined under
-            // the engine's writer lock — re-reading `engine.epoch()`
-            // here could see a later concurrent writer's install.
-            let (applied, epoch) = if insert {
-                s.engine.insert_edge_with_epoch(src, dst, l)
+            // The legacy opaque form is one op of the typed delta path.
+            let op = if insert {
+                WireOp::InsertEdge { src, dst, label }
             } else {
-                s.engine.delete_edge_with_epoch(src, dst, l)
+                WireOp::DeleteEdge { src, dst, label }
             };
-            Response::UpdateAck { applied, epoch }
+            match apply_wire_delta(s, &[op]) {
+                // The ack epoch was determined under the engine's writer
+                // lock — re-reading `engine.epoch()` here could see a
+                // later concurrent writer's install.
+                Ok(report) => {
+                    Response::UpdateAck { applied: report.applied > 0, epoch: report.epoch }
+                }
+                Err(e) => Response::Error(e),
+            }
+        }
+        Request::Delta(ops) => {
+            s.counters.delta.fetch_add(1, Ordering::Relaxed);
+            match apply_wire_delta(s, &ops) {
+                Ok(report) => Response::DeltaAck {
+                    epoch: report.epoch,
+                    rebuilt: report.rebuilt,
+                    outcomes: report.outcomes.iter().map(wire_outcome).collect(),
+                },
+                Err(e) => Response::Error(e),
+            }
         }
         Request::Stats => {
             s.counters.stats.fetch_add(1, Ordering::Relaxed);
             Response::Stats(wire_stats(s))
         }
+    }
+}
+
+/// Resolves wire ops against the current snapshot's label table and
+/// applies them as one atomic engine transaction. Unknown labels,
+/// over-long interests and engine-side rejections (e.g. out-of-range
+/// vertices) all come back as [`ErrorCode::BadUpdate`] error frames
+/// naming the offending op; nothing is applied in that case.
+fn apply_wire_delta(s: &Shared, ops: &[WireOp]) -> Result<cpqx_engine::DeltaReport, WireError> {
+    // Label ids are append-only, so resolving against the snapshot
+    // current *now* stays valid when the engine applies the delta to a
+    // possibly newer clone under its writer lock.
+    let snap = s.engine.snapshot();
+    let delta = resolve_ops(snap.graph(), ops)?;
+    s.engine.apply_delta(&delta).map_err(|e| {
+        WireError::new(ErrorCode::BadUpdate, format!("delta op {}: {}", e.op_index, e.reason))
+    })
+}
+
+fn resolve_ops(g: &Graph, ops: &[WireOp]) -> Result<Delta, WireError> {
+    let label = |name: &str, i: usize| -> Result<Label, WireError> {
+        g.label_named(name).ok_or_else(|| {
+            WireError::new(ErrorCode::BadUpdate, format!("delta op {i}: unknown label {name:?}"))
+        })
+    };
+    let seq = |steps: &[WireSeqLabel], i: usize| -> Result<LabelSeq, WireError> {
+        steps
+            .iter()
+            .map(|s| label(&s.label, i).map(|l| if s.inverse { l.inv() } else { l.fwd() }))
+            .collect::<Result<Vec<_>, _>>()
+            .map(|ls| LabelSeq::from_slice(&ls))
+    };
+    // Vertex ids are pre-validated here, against the snapshot's count
+    // plus any preceding in-delta AddVertex ops, so a delta that can
+    // only be rejected never reaches the engine's writer lock (where
+    // rejection would cost a full graph + index clone). Ids only grow,
+    // so passing here never turns into a spurious engine-side panic —
+    // the engine still re-validates against the clone it mutates.
+    let check = |v: u32, bound: u32, i: usize| -> Result<u32, WireError> {
+        if v < bound {
+            Ok(v)
+        } else {
+            Err(WireError::new(
+                ErrorCode::BadUpdate,
+                format!("delta op {i}: vertex {v} out of range (graph has {bound})"),
+            ))
+        }
+    };
+    let mut vertices = g.vertex_count();
+    let mut resolved = Vec::with_capacity(ops.len());
+    for (i, op) in ops.iter().enumerate() {
+        resolved.push(match op {
+            WireOp::InsertEdge { src, dst, label: l } => DeltaOp::InsertEdge {
+                src: check(*src, vertices, i)?,
+                dst: check(*dst, vertices, i)?,
+                label: label(l, i)?,
+            },
+            WireOp::DeleteEdge { src, dst, label: l } => DeltaOp::DeleteEdge {
+                src: check(*src, vertices, i)?,
+                dst: check(*dst, vertices, i)?,
+                label: label(l, i)?,
+            },
+            WireOp::ChangeEdgeLabel { src, dst, from, to } => DeltaOp::ChangeEdgeLabel {
+                src: check(*src, vertices, i)?,
+                dst: check(*dst, vertices, i)?,
+                from: label(from, i)?,
+                to: label(to, i)?,
+            },
+            WireOp::AddVertex { name } => {
+                vertices += 1;
+                DeltaOp::AddVertex { name: name.clone() }
+            }
+            WireOp::DeleteVertex { vertex } => {
+                DeltaOp::DeleteVertex { vertex: check(*vertex, vertices, i)? }
+            }
+            WireOp::InsertInterest { seq: s } => DeltaOp::InsertInterest { seq: seq(s, i)? },
+            WireOp::DeleteInterest { seq: s } => DeltaOp::DeleteInterest { seq: seq(s, i)? },
+        });
+    }
+    Ok(Delta::from(resolved))
+}
+
+fn wire_outcome(o: &OpOutcome) -> WireOutcome {
+    match o {
+        OpOutcome::Applied => WireOutcome::Applied,
+        OpOutcome::Noop => WireOutcome::Noop,
+        OpOutcome::VertexAdded(v) => WireOutcome::VertexAdded(*v),
     }
 }
 
@@ -473,12 +570,19 @@ fn wire_stats(s: &Shared) -> WireStats {
         snapshot_swaps: engine.snapshot_swaps,
         invalidated_results: engine.invalidated_results,
         rejected_admissions: engine.rejected_admissions,
+        delta_transactions: engine.delta_transactions,
+        lazy_update_ops: engine.lazy_update_ops,
+        rebuilds: engine.rebuilds,
+        auto_rebuilds: engine.auto_rebuilds,
+        class_slots: engine.class_slots,
+        baseline_classes: engine.baseline_classes,
         p50_us: engine.p50.as_micros().min(u64::MAX as u128) as u64,
         p99_us: engine.p99.as_micros().min(u64::MAX as u128) as u64,
         ping_requests: net.ping_requests,
         query_requests: net.query_requests,
         batch_requests: net.batch_requests,
         update_requests: net.update_requests,
+        delta_requests: net.delta_requests,
         stats_requests: net.stats_requests,
         error_responses: net.error_responses,
         connections: net.connections,

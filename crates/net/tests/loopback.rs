@@ -9,7 +9,7 @@ use cpqx_net::proto::{
     decode_response, encode_request, read_frame, write_frame, Request, Response, DEFAULT_MAX_FRAME,
     PROTOCOL_VERSION,
 };
-use cpqx_net::{Client, ClientError, ErrorCode, Server, ServerOptions};
+use cpqx_net::{Client, ClientError, ErrorCode, Server, ServerOptions, WireOp, WireOutcome};
 use cpqx_query::workload::{GraphProbe, WorkloadGen};
 use cpqx_query::{benchqueries, parse_cpq, Cpq, Template};
 use std::collections::HashMap;
@@ -30,7 +30,15 @@ fn text_workload(g: &cpqx_graph::Graph, per_template: usize) -> Vec<(String, Cpq
 }
 
 fn start_server(graph: cpqx_graph::Graph, workers: usize) -> (Arc<Engine>, Server) {
-    let (engine, _) = Engine::with_options(graph, EngineOptions { k: 2, ..Default::default() });
+    start_server_with(graph, workers, EngineOptions { k: 2, ..Default::default() })
+}
+
+fn start_server_with(
+    graph: cpqx_graph::Graph,
+    workers: usize,
+    opts: EngineOptions,
+) -> (Arc<Engine>, Server) {
+    let (engine, _) = Engine::with_options(graph, opts);
     let engine = Arc::new(engine);
     let server = Server::bind(
         Arc::clone(&engine),
@@ -177,6 +185,157 @@ fn concurrent_clients_with_live_wire_maintenance() {
         TcpStream::connect_timeout(&addr, Duration::from_millis(500)).is_err(),
         "server port must be released after shutdown"
     );
+}
+
+/// Typed delta transactions over the wire under concurrent readers,
+/// with the engine's fragmentation threshold set low enough that an
+/// automatic defragmenting rebuild fires mid-run: readers pinned on the
+/// pre-churn epoch stay byte-for-byte consistent, every live answer
+/// matches sequential evaluation on the snapshot of the epoch it
+/// reports, and per-op DELTA acks carry correct typed outcomes.
+#[test]
+fn typed_deltas_with_pinned_readers_and_auto_rebuild() {
+    const CLIENTS: usize = 4;
+    const QUERIES_PER_CLIENT: usize = 24;
+    const WRITER_ROUNDS: u64 = 24;
+
+    let g = generate::random_graph(&RandomGraphConfig::social(150, 700, 3, 17));
+    let workload = text_workload(&g, 2);
+    assert!(workload.len() >= 10);
+    let (engine, server) = start_server_with(
+        g,
+        CLIENTS + 2,
+        EngineOptions { k: 2, auto_rebuild_ratio: Some(1.05), ..Default::default() },
+    );
+    let addr = server.local_addr();
+
+    // The pre-churn snapshot and its answers: the pin readers re-check
+    // against these *while* deltas and rebuilds land.
+    let snap0 = engine.snapshot();
+    let initial: Vec<Vec<Pair>> = workload.iter().map(|(_, q)| snap0.evaluate(q)).collect();
+
+    let snapshots: Mutex<HashMap<u64, Arc<Snapshot>>> = Mutex::new(HashMap::new());
+    snapshots.lock().unwrap().insert(0, engine.snapshot());
+
+    type Served = (usize, u64, Vec<Pair>);
+    let (observations, rebuilt_over_wire): (Vec<Vec<Served>>, bool) = std::thread::scope(|scope| {
+        let workload = &workload;
+        let snapshots = &snapshots;
+        let engine = &engine;
+        let snap0 = &snap0;
+        let initial = &initial;
+
+        let writer = scope.spawn(move || {
+            let mut client = Client::connect(addr).expect("writer connects");
+            let mut rebuilt = false;
+            for round in 0..WRITER_ROUNDS {
+                let snap = engine.snapshot();
+                let name = |l| snap.graph().label_name(l).to_string();
+                let victims = sample_edges(snap.graph(), 2, round);
+                let (v1, u1, l1) = victims[0];
+                let (v2, u2, l2) = victims[1];
+                // One multi-op transaction: churn two edges, relabel
+                // one, and every few rounds grow the graph by a
+                // vertex wired to an existing one *within the same
+                // delta* (exercising in-delta id visibility).
+                let mut ops = vec![
+                    WireOp::DeleteEdge { src: v1, dst: u1, label: name(l1) },
+                    WireOp::InsertEdge { src: v1, dst: u1, label: name(l1) },
+                    WireOp::ChangeEdgeLabel { src: v2, dst: u2, from: name(l2), to: name(l1) },
+                    WireOp::ChangeEdgeLabel { src: v2, dst: u2, from: name(l1), to: name(l2) },
+                ];
+                if round % 6 == 5 {
+                    let fresh_id = snap.graph().vertex_count();
+                    ops.push(WireOp::AddVertex { name: format!("wire-{round}") });
+                    ops.push(WireOp::InsertEdge { src: fresh_id, dst: v1, label: name(l1) });
+                    ops.push(WireOp::DeleteVertex { vertex: fresh_id });
+                }
+                let n_ops = ops.len();
+                let ack = client.apply_delta(ops).expect("wire delta");
+                assert_eq!(ack.outcomes.len(), n_ops);
+                if round % 6 == 5 {
+                    assert_eq!(
+                        ack.outcomes[n_ops - 3],
+                        WireOutcome::VertexAdded(snap.graph().vertex_count()),
+                        "AddVertex must report the allocated id"
+                    );
+                }
+                rebuilt |= ack.rebuilt;
+                let now = engine.snapshot();
+                assert_eq!(now.epoch(), ack.epoch, "sole writer: ack epoch must be current");
+                snapshots.lock().unwrap().insert(ack.epoch, now);
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            rebuilt
+        });
+
+        let readers: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("reader connects");
+                    let mut served: Vec<Served> = Vec::new();
+                    for j in 0..QUERIES_PER_CLIENT {
+                        let at = (c * 5 + j * 3) % workload.len();
+                        let reply = client.query(&workload[at].0).expect("wire query");
+                        served.push((at, reply.epoch, reply.pairs));
+                        // Pinned-epoch consistency: the pre-churn
+                        // snapshot answers exactly as before, however
+                        // many deltas and auto-rebuilds have landed.
+                        let pin = (c + j) % workload.len();
+                        assert_eq!(
+                            snap0.evaluate(&workload[pin].1),
+                            initial[pin],
+                            "pinned epoch-0 reader observed drift"
+                        );
+                    }
+                    // Guarantee overlap with maintenance: keep
+                    // querying (bounded) until a delta install is
+                    // visible to this reader.
+                    let mut extra = 0usize;
+                    while served.iter().all(|&(_, epoch, _)| epoch == 0) && extra < 500 {
+                        let at = (c + extra) % workload.len();
+                        let reply = client.query(&workload[at].0).expect("wire query");
+                        served.push((at, reply.epoch, reply.pairs));
+                        extra += 1;
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    served
+                })
+            })
+            .collect();
+
+        let rebuilt = writer.join().expect("writer thread");
+        (readers.into_iter().map(|r| r.join().expect("reader thread")).collect(), rebuilt)
+    });
+
+    assert!(rebuilt_over_wire, "threshold 1.05 must trip an auto-rebuild over the wire");
+    let stats = engine.stats();
+    assert!(stats.auto_rebuilds >= 1, "engine must count the auto-rebuild");
+    assert!(stats.delta_transactions >= WRITER_ROUNDS);
+
+    // Every live answer matches sequential evaluation on the snapshot of
+    // the epoch it reported — even across rebuild installs.
+    let snapshots = snapshots.into_inner().unwrap();
+    let mut epochs_seen: Vec<u64> = Vec::new();
+    for served in &observations {
+        for (at, epoch, pairs) in served {
+            let snap = snapshots
+                .get(epoch)
+                .unwrap_or_else(|| panic!("answer reports unknown epoch {epoch}"));
+            let (text, q) = &workload[*at];
+            assert_eq!(&snap.evaluate(q), pairs, "torn read for {text:?} at epoch {epoch}");
+            epochs_seen.push(*epoch);
+        }
+    }
+    epochs_seen.sort_unstable();
+    epochs_seen.dedup();
+    assert!(epochs_seen.len() > 1, "deltas must have been visible to readers");
+
+    let wire_stats = Client::connect(addr).unwrap().stats().expect("stats");
+    assert!(wire_stats.delta_requests >= WRITER_ROUNDS);
+    assert!(wire_stats.rebuilds >= 1);
+    assert!(wire_stats.fragmentation_ratio() > 0.0);
+    server.shutdown();
 }
 
 /// The CI smoke scenario: benchmark-query batches plus one UPDATE over

@@ -6,7 +6,8 @@
 use cpqx_graph::generate;
 use cpqx_graph::{ExtLabel, Graph};
 use cpqx_net::proto::{
-    decode_request, encode_request, read_frame, write_frame, Request, DEFAULT_MAX_FRAME,
+    decode_request, encode_request, read_frame, write_frame, Request, WireOp, WireSeqLabel,
+    DEFAULT_MAX_FRAME,
 };
 use cpqx_query::canonical::{cache_key, canonicalize};
 use cpqx_query::{benchqueries, parse_cpq, Cpq};
@@ -74,5 +75,66 @@ proptest! {
         let q = strat.new_value(&mut rng);
         let received = through_the_wire(&q, &g);
         prop_assert_eq!(canonicalize(&received), canonicalize(&q), "query {:?}", q);
+    }
+}
+
+fn wire_op_strategy() -> BoxedStrategy<WireOp> {
+    let label = || {
+        prop_oneof![
+            Just("cites".to_string()),
+            Just("livesIn".to_string()),
+            Just("héldIn".to_string()), // non-ASCII names must survive UTF-8 framing
+            Just(String::new()),
+        ]
+    };
+    let seq = prop::collection::vec(
+        (prop::bool::ANY, label()).prop_map(|(inverse, label)| WireSeqLabel { inverse, label }),
+        0..cpqx_graph::MAX_SEQ_LEN,
+    );
+    prop_oneof![
+        (any::<u32>(), any::<u32>(), label()).prop_map(|(src, dst, label)| WireOp::InsertEdge {
+            src,
+            dst,
+            label
+        }),
+        (any::<u32>(), any::<u32>(), label()).prop_map(|(src, dst, label)| WireOp::DeleteEdge {
+            src,
+            dst,
+            label
+        }),
+        (any::<u32>(), any::<u32>(), label(), label())
+            .prop_map(|(src, dst, from, to)| WireOp::ChangeEdgeLabel { src, dst, from, to }),
+        label().prop_map(|name| WireOp::AddVertex { name }),
+        any::<u32>().prop_map(|vertex| WireOp::DeleteVertex { vertex }),
+        seq.prop_map(|seq| WireOp::InsertInterest { seq }),
+        prop::collection::vec(
+            (prop::bool::ANY, label()).prop_map(|(inverse, label)| WireSeqLabel { inverse, label }),
+            0..cpqx_graph::MAX_SEQ_LEN,
+        )
+        .prop_map(|seq| WireOp::DeleteInterest { seq }),
+    ]
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    // Typed delta frames round-trip op-for-op, including truncation
+    // robustness of every random encoding.
+    #[test]
+    fn random_deltas_survive_the_wire(
+        ops in prop::collection::vec(wire_op_strategy(), 0..12),
+    ) {
+        let req = Request::Delta(ops);
+        let bytes = encode_request(&req);
+        prop_assert_eq!(decode_request(&bytes).unwrap(), req.clone());
+        for cut in 0..bytes.len() {
+            let _ = decode_request(&bytes[..cut]); // must never panic
+        }
+        // Framed transport preserves the payload byte-for-byte.
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &bytes).unwrap();
+        let payload = read_frame(&mut std::io::Cursor::new(wire), DEFAULT_MAX_FRAME).unwrap();
+        prop_assert_eq!(decode_request(&payload).unwrap(), req);
     }
 }

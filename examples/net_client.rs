@@ -4,7 +4,8 @@
 //! graph on an ephemeral loopback port and talks to it; point
 //! `CPQX_NET_ADDR` at a running server (e.g. the `engine_server`
 //! example) to use that instead. Shows the full request surface: PING,
-//! QUERY (including a typed parse-error frame), BATCH, UPDATE and STATS.
+//! QUERY (including a typed parse-error frame), BATCH, UPDATE, an
+//! atomic multi-op DELTA transaction with per-op outcomes, and STATS.
 //!
 //! Run with: `cargo run --release --example net_client`
 
@@ -78,12 +79,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("delete ({v})-[{name}]->({u}): applied={} epoch={}", ack.applied, ack.epoch);
         let ack = client.insert_edge(v, u, &name)?;
         println!("insert ({v})-[{name}]->({u}): applied={} epoch={}", ack.applied, ack.epoch);
+
+        // A typed delta: one atomic transaction, one snapshot install,
+        // per-op outcomes — including the id of a vertex added and wired
+        // up within the same delta. Predicting the id from the snapshot
+        // is safe here because this demo is the sole writer; concurrent
+        // writers must use the id from the ack instead (see PROTOCOL.md).
+        use cpqx::net::WireOp;
+        let fresh_id = snap.graph().vertex_count();
+        let ack = client.apply_delta(vec![
+            WireOp::AddVertex { name: "delta-demo".into() },
+            WireOp::InsertEdge { src: fresh_id, dst: v, label: name.clone() },
+            WireOp::DeleteEdge { src: fresh_id, dst: v, label: name.clone() },
+            WireOp::DeleteEdge { src: fresh_id, dst: v, label: name.clone() }, // noop
+        ])?;
+        println!(
+            "delta of 4 ops: epoch={} rebuilt={} outcomes={:?}",
+            ack.epoch, ack.rebuilt, ack.outcomes
+        );
     }
 
     let stats = client.stats()?;
     println!(
         "stats: epoch={} queries={} hit_rate={:.1}% p50={}us p99={}us \
-         requests[ping={} query={} batch={} update={} stats={}] errors={}",
+         requests[ping={} query={} batch={} update={} delta={} stats={}] errors={} \
+         maint[deltas={} lazy_ops={} rebuilds={} frag={:.2}x]",
         stats.epoch,
         stats.queries,
         stats.result_hit_rate() * 100.0,
@@ -93,8 +113,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.query_requests,
         stats.batch_requests,
         stats.update_requests,
+        stats.delta_requests,
         stats.stats_requests,
         stats.error_responses,
+        stats.delta_transactions,
+        stats.lazy_update_ops,
+        stats.rebuilds,
+        stats.fragmentation_ratio(),
     );
 
     if let Some(server) = local {
