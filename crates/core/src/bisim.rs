@@ -252,7 +252,7 @@ fn build_level1(g: &Graph) -> Level {
     // (pair, label) for every extended edge, sorted by (pair, label).
     let mut entries: Vec<(Pair, u16)> = Vec::new();
     for l in g.ext_labels() {
-        for &p in g.edge_pairs(l) {
+        for p in g.edge_pairs(l).iter() {
             entries.push((p, l.0));
         }
     }

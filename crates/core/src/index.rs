@@ -4,11 +4,39 @@
 use crate::bisim::{cpq_path_partition, ClassId, Partition};
 use crate::exec::Executor;
 use crate::interest::{interest_partition, normalize_interests};
-use cpqx_graph::{Graph, LabelSeq, Pair};
+use cpqx_graph::{CowDiff, Graph, LabelSeq, Pair};
 use cpqx_query::plan::{plan_query, Plan};
 use cpqx_query::workload::SeqProbe;
 use cpqx_query::Cpq;
 use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+/// Classes per copy-on-write chunk of the class partition store.
+/// Fine-grained on purpose: a lazy update touches the chunks of the
+/// affected pairs' (scattered) class ids plus the tail, so the shared
+/// fraction improves directly with chunk count while the per-clone cost
+/// stays a vector of `Arc` bumps.
+pub(crate) const CLASS_CHUNK: usize = 1 << 8;
+
+/// Source-vertex ids per copy-on-write shard of the pair → class map
+/// (fine-grained for the same touched/total reason as [`CLASS_CHUNK`]).
+const P2C_SHARD_BITS: u32 = 8;
+
+/// One fixed-width class-id range of the index's partition storage: the
+/// `Ic2p` rows, loop flags and sequence sets of up to [`CLASS_CHUNK`]
+/// consecutive classes. Chunks sit behind `Arc` and mutate through
+/// `Arc::make_mut`, so `CpqxIndex::clone` is O(#chunks) and a lazy
+/// update copies only the chunks holding touched classes — fresh classes
+/// append to the last chunk only.
+#[derive(Clone, Default)]
+pub(crate) struct ClassChunk {
+    /// `Ic2p` rows: sorted s-t pairs per class.
+    pub(crate) pairs: Vec<Vec<Pair>>,
+    /// Per-class cyclicity flags.
+    pub(crate) loops: Vec<bool>,
+    /// Per-class sorted `L≤k` sequence sets.
+    pub(crate) seqs: Vec<Vec<LabelSeq>>,
+}
 
 /// A CPQ-aware path index (CPQx, Sec. IV) or its interest-aware variant
 /// (iaCPQx, Sec. V).
@@ -26,17 +54,38 @@ use std::collections::{BTreeSet, HashMap};
 /// The type is `Clone` so a serving layer can snapshot it, apply
 /// maintenance to the copy, and atomically publish the result without
 /// blocking readers of the old version (see the `cpqx-engine` crate).
+///
+/// # Copy-on-write storage
+///
+/// The heavyweight stores are structurally shared between clones:
+///
+/// * the class partition (`Ic2p` rows, loop flags, sequence sets) lives
+///   in fixed-width [`ClassChunk`]s behind `Arc`,
+/// * the pair → class inverted index is sharded by source-vertex range
+///   behind `Arc`,
+/// * `Il2c` posting lists sit individually behind `Arc` (the key set is
+///   small — O(|L|ᵏ) sequences — so the map itself clones cheaply).
+///
+/// Cloning is therefore O(#chunks + #shards + #sequences), and the lazy
+/// maintenance procedures copy only what they touch via `Arc::make_mut`
+/// — the property that makes the engine's per-transaction snapshot
+/// O(changed) instead of O(index). [`CpqxIndex::cow_diff`] reports the
+/// sharing between two descendants.
 #[derive(Clone)]
 pub struct CpqxIndex {
     pub(crate) k: usize,
     /// `None` for full CPQx; `Some(Lq)` for iaCPQx (length-1 sequences are
     /// implicit and not stored here).
     pub(crate) interests: Option<BTreeSet<LabelSeq>>,
-    pub(crate) il2c: HashMap<LabelSeq, Vec<ClassId>>,
-    pub(crate) ic2p: Vec<Vec<Pair>>,
-    pub(crate) class_loop: Vec<bool>,
-    pub(crate) class_seqs: Vec<Vec<LabelSeq>>,
-    pub(crate) p2c: HashMap<Pair, ClassId>,
+    pub(crate) il2c: HashMap<LabelSeq, Arc<Vec<ClassId>>>,
+    /// Class partition store, chunked by class-id range.
+    pub(crate) classes: Vec<Arc<ClassChunk>>,
+    /// Allocated class slots (tombstones included) across all chunks.
+    pub(crate) class_count: usize,
+    /// Pair → class map, sharded by source-vertex range.
+    pub(crate) p2c: Vec<Arc<HashMap<Pair, ClassId>>>,
+    /// Indexed pairs across all shards.
+    pub(crate) pair_count: usize,
     pub(crate) frag: FragCounters,
 }
 
@@ -80,8 +129,17 @@ pub struct Fragmentation {
 impl Fragmentation {
     /// `class_slots / baseline_classes` — 1.0 for a fresh build, growing
     /// monotonically under lazy maintenance (classes are never merged).
+    ///
+    /// An index built from an **empty** graph has `baseline_classes == 0`;
+    /// such an index is treated as fresh (ratio 1.0) rather than
+    /// infinitely fragmented — the first lazy update re-baselines it (see
+    /// `CpqxIndex::refresh_pairs`), so an empty-seeded serving layer never
+    /// trips its rebuild threshold on the very first insert.
     pub fn ratio(&self) -> f64 {
-        self.class_slots as f64 / self.baseline_classes.max(1) as f64
+        if self.baseline_classes == 0 {
+            return 1.0;
+        }
+        self.class_slots as f64 / self.baseline_classes as f64
     }
 
     /// Empty class slots left behind by detached pairs.
@@ -145,30 +203,97 @@ impl CpqxIndex {
     /// or by [`crate::interest::interest_partition`].
     pub fn from_partition(k: usize, interests: Option<BTreeSet<LabelSeq>>, p: Partition) -> Self {
         let nc = p.class_count();
-        let mut ic2p: Vec<Vec<Pair>> = vec![Vec::new(); nc];
-        let mut p2c = HashMap::with_capacity(p.pair_count());
-        // `pair_classes` is sorted by pair, so per-class lists stay sorted.
-        for &(pair, c) in &p.pair_classes {
-            ic2p[c as usize].push(pair);
-            p2c.insert(pair, c);
-        }
-        let mut il2c: HashMap<LabelSeq, Vec<ClassId>> = HashMap::new();
+        let mut il2c: HashMap<LabelSeq, Arc<Vec<ClassId>>> = HashMap::new();
         for (c, seqs) in p.class_seqs.iter().enumerate() {
             for s in seqs {
                 // Classes are visited in ascending id order: postings sorted.
-                il2c.entry(*s).or_default().push(c as ClassId);
+                Arc::make_mut(il2c.entry(*s).or_default()).push(c as ClassId);
             }
         }
-        CpqxIndex {
+        let mut idx = CpqxIndex {
             k,
             interests,
             il2c,
-            ic2p,
-            class_loop: p.class_loop,
-            class_seqs: p.class_seqs,
-            p2c,
+            classes: Vec::with_capacity(nc.div_ceil(CLASS_CHUNK)),
+            class_count: 0,
+            p2c: Vec::new(),
+            pair_count: 0,
             frag: FragCounters { baseline_classes: nc, ..FragCounters::default() },
+        };
+        for (lp, seqs) in p.class_loop.into_iter().zip(p.class_seqs) {
+            idx.push_class(lp, seqs);
         }
+        // `pair_classes` is sorted by pair, so per-class rows stay sorted
+        // under plain appends.
+        for &(pair, c) in &p.pair_classes {
+            let (chunk, off) = idx.class_slot_mut(c);
+            chunk.pairs[off].push(pair);
+            idx.p2c_insert(pair, c);
+        }
+        idx
+    }
+
+    // ---------------------------------------- chunked-store primitives --
+
+    /// The chunk and in-chunk offset of a class (read path).
+    #[inline]
+    fn class_slot(&self, c: ClassId) -> (&ClassChunk, usize) {
+        (&self.classes[c as usize / CLASS_CHUNK], c as usize % CLASS_CHUNK)
+    }
+
+    /// The chunk and in-chunk offset of a class, copying the chunk if it
+    /// is shared (the copy-on-write mutation seam).
+    #[inline]
+    pub(crate) fn class_slot_mut(&mut self, c: ClassId) -> (&mut ClassChunk, usize) {
+        (Arc::make_mut(&mut self.classes[c as usize / CLASS_CHUNK]), c as usize % CLASS_CHUNK)
+    }
+
+    /// Appends a fresh (empty) class slot, returning its id. Only the last
+    /// chunk is touched.
+    pub(crate) fn push_class(&mut self, is_loop: bool, seqs: Vec<LabelSeq>) -> ClassId {
+        let c = self.class_count as ClassId;
+        if self.class_count.is_multiple_of(CLASS_CHUNK) {
+            self.classes.push(Arc::new(ClassChunk::default()));
+        }
+        let chunk = Arc::make_mut(self.classes.last_mut().expect("chunk just ensured"));
+        chunk.pairs.push(Vec::new());
+        chunk.loops.push(is_loop);
+        chunk.seqs.push(seqs);
+        self.class_count += 1;
+        c
+    }
+
+    /// The p2c shard index of a pair (by source-vertex range).
+    #[inline]
+    fn p2c_shard(p: Pair) -> usize {
+        (p.src() >> P2C_SHARD_BITS) as usize
+    }
+
+    /// Inserts into the pair → class map, copying only the pair's shard.
+    pub(crate) fn p2c_insert(&mut self, p: Pair, c: ClassId) {
+        let s = Self::p2c_shard(p);
+        if s >= self.p2c.len() {
+            self.p2c.resize_with(s + 1, Default::default);
+        }
+        if Arc::make_mut(&mut self.p2c[s]).insert(p, c).is_none() {
+            self.pair_count += 1;
+        }
+    }
+
+    /// Removes from the pair → class map; absent pairs copy nothing.
+    pub(crate) fn p2c_remove(&mut self, p: Pair) -> Option<ClassId> {
+        let s = Self::p2c_shard(p);
+        let shard = self.p2c.get_mut(s)?;
+        if !shard.contains_key(&p) {
+            return None;
+        }
+        self.pair_count -= 1;
+        Arc::make_mut(shard).remove(&p)
+    }
+
+    /// Appends `c` to the posting list of `s`, copying only that list.
+    pub(crate) fn il2c_push(&mut self, s: LabelSeq, c: ClassId) {
+        Arc::make_mut(self.il2c.entry(s).or_default()).push(c);
     }
 
     /// The index path-length parameter `k`.
@@ -188,28 +313,31 @@ impl CpqxIndex {
 
     /// `Il2c(ℓ)` — the sorted class ids whose pairs match `seq`.
     pub fn lookup(&self, seq: &LabelSeq) -> &[ClassId] {
-        self.il2c.get(seq).map(Vec::as_slice).unwrap_or(&[])
+        self.il2c.get(seq).map(|v| v.as_slice()).unwrap_or(&[])
     }
 
     /// `Ic2p(c)` — the sorted s-t pairs of class `c`.
     pub fn class_pairs(&self, c: ClassId) -> &[Pair] {
-        &self.ic2p[c as usize]
+        let (chunk, off) = self.class_slot(c);
+        &chunk.pairs[off]
     }
 
     /// Whether all pairs of class `c` are cyclic (`v = u`) — the O(1)
     /// IDENTITY check (all members share cyclicity by construction).
     pub fn class_is_loop(&self, c: ClassId) -> bool {
-        self.class_loop[c as usize]
+        let (chunk, off) = self.class_slot(c);
+        chunk.loops[off]
     }
 
     /// The label-sequence set shared by all pairs of class `c`.
     pub fn class_sequences(&self, c: ClassId) -> &[LabelSeq] {
-        &self.class_seqs[c as usize]
+        let (chunk, off) = self.class_slot(c);
+        &chunk.seqs[off]
     }
 
     /// The class of an s-t pair, if indexed.
     pub fn class_of(&self, p: Pair) -> Option<ClassId> {
-        self.p2c.get(&p).copied()
+        self.p2c.get(Self::p2c_shard(p))?.get(&p).copied()
     }
 
     /// Whether one LOOKUP can answer `seq`: full indexes answer every
@@ -263,20 +391,27 @@ impl CpqxIndex {
     /// Number of classes with at least one pair (freshly built indexes have
     /// no empty classes; lazy maintenance can leave tombstones behind).
     pub fn live_class_count(&self) -> usize {
-        self.ic2p.iter().filter(|p| !p.is_empty()).count()
+        self.classes.iter().flat_map(|ch| ch.pairs.iter()).filter(|p| !p.is_empty()).count()
     }
 
     /// Total allocated class slots, including tombstones.
     pub fn class_slots(&self) -> usize {
-        self.ic2p.len()
+        self.class_count
     }
 
     /// `class_slots / baseline_classes` in O(1) — the fragmentation
     /// trigger serving layers poll after every write transaction (see
     /// [`Fragmentation::ratio`]; the full report is
-    /// [`CpqxIndex::fragmentation`]).
+    /// [`CpqxIndex::fragmentation`]). A zero baseline (index built from an
+    /// empty graph) reads as fresh: 1.0, never `class_slots` — the first
+    /// lazy update re-baselines instead (see the module docs of
+    /// `maintain`), so empty-seeded engines cannot thrash their
+    /// auto-rebuild threshold.
     pub fn fragmentation_ratio(&self) -> f64 {
-        self.ic2p.len() as f64 / self.frag.baseline_classes.max(1) as f64
+        if self.frag.baseline_classes == 0 {
+            return 1.0;
+        }
+        self.class_count as f64 / self.frag.baseline_classes as f64
     }
 
     /// Class count of the full build this index descends from — the
@@ -298,17 +433,21 @@ impl CpqxIndex {
 
     /// Number of indexed s-t pairs.
     pub fn pair_count(&self) -> usize {
-        self.p2c.len()
+        self.pair_count
     }
 
     /// Index statistics (sizes follow Thm. 4.2's accounting; see
     /// [`IndexStats`]).
     pub fn stats(&self) -> IndexStats {
-        let postings: usize = self.il2c.values().map(Vec::len).sum();
+        let postings: usize = self.il2c.values().map(|v| v.len()).sum();
         let pairs = self.pair_count();
         // γ = average |L≤k(v,u)| over pairs = Σ_c |seqs(c)|·|P(c)| / |P≤k|.
-        let weighted: usize =
-            self.class_seqs.iter().zip(&self.ic2p).map(|(s, p)| s.len() * p.len()).sum();
+        let weighted: usize = self
+            .classes
+            .iter()
+            .flat_map(|ch| ch.seqs.iter().zip(&ch.pairs))
+            .map(|(s, p)| s.len() * p.len())
+            .sum();
         let gamma = if pairs == 0 { 0.0 } else { weighted as f64 / pairs as f64 };
         // Packed (CSR-equivalent) accounting: keys + entries + offsets.
         // Container headers are an implementation detail, so sizes stay
@@ -319,13 +458,15 @@ impl CpqxIndex {
             .values()
             .map(|v| seq_bytes + v.len() * std::mem::size_of::<ClassId>() + 4)
             .sum();
-        let ic2p_bytes: usize =
-            self.ic2p.iter().map(|v| v.len() * std::mem::size_of::<Pair>()).sum::<usize>()
-                + (self.ic2p.len() + 1) * 4;
+        let ic2p_bytes: usize = pairs * std::mem::size_of::<Pair>() + (self.class_count + 1) * 4;
         let core_bytes = il2c_bytes + ic2p_bytes;
-        let class_seq_bytes: usize = self.class_seqs.iter().map(|v| v.len() * seq_bytes + 4).sum();
-        let p2c_bytes =
-            self.p2c.len() * (std::mem::size_of::<Pair>() + std::mem::size_of::<ClassId>());
+        let class_seq_bytes: usize = self
+            .classes
+            .iter()
+            .flat_map(|ch| ch.seqs.iter())
+            .map(|v| v.len() * seq_bytes + 4)
+            .sum();
+        let p2c_bytes = pairs * (std::mem::size_of::<Pair>() + std::mem::size_of::<ClassId>());
         IndexStats {
             k: self.k,
             classes: self.live_class_count(),
@@ -334,13 +475,51 @@ impl CpqxIndex {
             postings,
             gamma,
             core_bytes,
-            total_bytes: core_bytes + class_seq_bytes + p2c_bytes + self.class_loop.len(),
+            total_bytes: core_bytes + class_seq_bytes + p2c_bytes + self.class_count,
         }
     }
 
     /// Core index size in bytes (`Il2c` + `Ic2p`), the Table IV quantity.
     pub fn size_bytes(&self) -> usize {
         self.stats().core_bytes
+    }
+
+    /// Structural-sharing report against the index this one was cloned
+    /// from, covering the two chunked stores (class chunks + p2c shards):
+    /// per position, whether the `Arc` is still shared with `before` or
+    /// was copied / newly created. The engine sums this into its
+    /// `cow_chunks_copied` / `cow_chunks_shared` gauges after every write
+    /// transaction.
+    pub fn cow_diff(&self, before: &CpqxIndex) -> CowDiff {
+        let mut diff = CowDiff::default();
+        diff.record_arcs(&self.classes, &before.classes);
+        diff.record_arcs(&self.p2c, &before.p2c);
+        diff
+    }
+
+    /// A clone that shares **no** chunk, shard or posting with `self` —
+    /// every store is copied up front. This reproduces the cost of the
+    /// pre-COW full-copy write path for benchmarking and regression
+    /// comparison (the engine's `deep_clone_writes` option); ordinary code
+    /// should use the cheap structural-sharing `Clone`.
+    pub fn deep_clone(&self) -> CpqxIndex {
+        let mut idx = self.clone();
+        for c in &mut idx.classes {
+            *c = Arc::new(ClassChunk::clone(c));
+        }
+        for s in &mut idx.p2c {
+            *s = Arc::new(HashMap::clone(s));
+        }
+        for v in idx.il2c.values_mut() {
+            *v = Arc::new(Vec::clone(v));
+        }
+        idx
+    }
+
+    /// Number of copy-on-write units backing this index (class chunks +
+    /// p2c shards).
+    pub fn chunk_count(&self) -> usize {
+        self.classes.len() + self.p2c.len()
     }
 }
 

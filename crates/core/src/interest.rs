@@ -163,7 +163,7 @@ mod tests {
         }
         for el in g.ext_labels() {
             for pr in g.edge_pairs(el) {
-                assert!(seen.contains(pr), "edge pair {pr:?} missing");
+                assert!(seen.contains(&pr), "edge pair {pr:?} missing");
             }
         }
     }

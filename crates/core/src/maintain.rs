@@ -111,12 +111,13 @@ impl CpqxIndex {
         // are "unchanged" for the refresh, but their classes must still
         // appear under the re-added Il2c key. Class homogeneity makes this
         // sound: if one member matches `seq`, the whole class does.
-        let posting = self.il2c.entry(seq).or_default();
-        for p in pairs {
-            if let Some(&c) = self.p2c.get(&p) {
-                if let Err(i) = posting.binary_search(&c) {
-                    posting.insert(i, c);
-                }
+        let mut classes: Vec<ClassId> = pairs.iter().filter_map(|&p| self.class_of(p)).collect();
+        classes.sort_unstable();
+        classes.dedup();
+        let posting = std::sync::Arc::make_mut(self.il2c.entry(seq).or_default());
+        for c in classes {
+            if let Err(i) = posting.binary_search(&c) {
+                posting.insert(i, c);
             }
         }
         true
@@ -168,21 +169,28 @@ impl CpqxIndex {
     /// Core lazy-update step: recompute the indexed sequence set of each
     /// candidate pair; detach pairs whose set changed and regroup them into
     /// fresh classes keyed by `(is-loop, new set)`.
+    ///
+    /// All mutation goes through the index's chunk-local copy-on-write
+    /// primitives (`class_slot_mut`, `p2c_insert`/`p2c_remove`,
+    /// `il2c_push`), so an update copies only the class chunks, p2c shards
+    /// and posting lists it actually touches — unchanged candidates (the
+    /// common case for over-approximated affected sets) copy nothing.
     fn refresh_pairs(&mut self, g: &Graph, candidates: Vec<Pair>) {
         let mut groups: HashMap<(bool, Vec<LabelSeq>), ClassId> = HashMap::new();
         for pair in candidates {
             let new_seqs = self.indexed_seqs_of(g, pair);
-            let old = self.p2c.get(&pair).copied();
+            let old = self.class_of(pair);
             if let Some(c) = old {
-                if self.class_seqs[c as usize] == new_seqs {
+                if self.class_sequences(c) == new_seqs.as_slice() {
                     continue; // unchanged — e.g. an alternative path exists
                 }
                 // Detach from the old class (it may become a tombstone).
-                let list = &mut self.ic2p[c as usize];
+                let (chunk, off) = self.class_slot_mut(c);
+                let list = &mut chunk.pairs[off];
                 if let Ok(i) = list.binary_search(&pair) {
                     list.remove(i);
                 }
-                self.p2c.remove(&pair);
+                self.p2c_remove(pair);
                 self.frag.refreshed_pairs += 1;
             } else if new_seqs.is_empty() {
                 continue;
@@ -194,25 +202,31 @@ impl CpqxIndex {
             let c = match groups.get(&key) {
                 Some(&c) => c,
                 None => {
-                    let c = self.ic2p.len() as ClassId;
-                    self.ic2p.push(Vec::new());
-                    self.class_loop.push(key.0);
-                    self.class_seqs.push(key.1.clone());
+                    let c = self.push_class(key.0, key.1.clone());
                     self.frag.fresh_classes += 1;
                     // Fresh ids exceed all existing ones, so appending keeps
                     // every posting list sorted.
                     for s in &key.1 {
-                        self.il2c.entry(*s).or_default().push(c);
+                        self.il2c_push(*s, c);
                     }
                     groups.insert(key, c);
                     c
                 }
             };
-            let list = &mut self.ic2p[c as usize];
+            let (chunk, off) = self.class_slot_mut(c);
+            let list = &mut chunk.pairs[off];
             if let Err(i) = list.binary_search(&pair) {
                 list.insert(i, pair);
             }
-            self.p2c.insert(pair, c);
+            self.p2c_insert(pair, c);
+        }
+        // Re-baseline an index built from an empty graph on its first
+        // growth: a zero baseline carries no fragmentation signal, and
+        // measuring the first real classes against it would read as
+        // instant maximal fragmentation (and could thrash a serving
+        // layer's auto-rebuild threshold).
+        if self.frag.baseline_classes == 0 && self.class_slots() > 0 {
+            self.frag.baseline_classes = self.class_slots();
         }
     }
 }

@@ -118,15 +118,15 @@ impl CpqxIndex {
                 }
             }
         }
-        write_u32(&mut w, self.ic2p.len() as u32)?;
-        for c in 0..self.ic2p.len() {
-            w.write_all(&[self.class_loop[c] as u8])?;
-            write_u32(&mut w, self.class_seqs[c].len() as u32)?;
-            for s in &self.class_seqs[c] {
+        write_u32(&mut w, self.class_slots() as u32)?;
+        for c in 0..self.class_slots() as ClassId {
+            w.write_all(&[self.class_is_loop(c) as u8])?;
+            write_u32(&mut w, self.class_sequences(c).len() as u32)?;
+            for s in self.class_sequences(c) {
                 write_seq(&mut w, s)?;
             }
-            write_u32(&mut w, self.ic2p[c].len() as u32)?;
-            for p in &self.ic2p[c] {
+            write_u32(&mut w, self.class_pairs(c).len() as u32)?;
+            for p in self.class_pairs(c) {
                 write_u64(&mut w, p.0)?;
             }
         }
@@ -162,12 +162,22 @@ impl CpqxIndex {
             _ => return Err(LoadError::Corrupt("bad mode byte")),
         };
         let nc = read_u32(&mut r)? as usize;
-        let mut class_loop = Vec::with_capacity(nc);
-        let mut class_seqs = Vec::with_capacity(nc);
-        let mut ic2p: Vec<Vec<Pair>> = Vec::with_capacity(nc);
-        let mut il2c: HashMap<LabelSeq, Vec<ClassId>> = HashMap::new();
-        let mut p2c: HashMap<Pair, ClassId> = HashMap::new();
-        for c in 0..nc {
+        // A loaded index starts a fresh fragmentation epoch: the file
+        // format stores only the Def. 4.3 structures, so the loaded class
+        // count becomes the new baseline. The derived stores (`Il2c`,
+        // pair → class) rebuild through the index's chunked-store
+        // primitives.
+        let mut idx = CpqxIndex {
+            k,
+            interests,
+            il2c: HashMap::new(),
+            classes: Vec::new(),
+            class_count: 0,
+            p2c: Vec::new(),
+            pair_count: 0,
+            frag: crate::index::FragCounters { baseline_classes: nc, ..Default::default() },
+        };
+        for c in 0..nc as ClassId {
             let is_loop = match read_u8(&mut r)? {
                 0 => false,
                 1 => true,
@@ -197,22 +207,20 @@ impl CpqxIndex {
                 if p.is_loop() != is_loop {
                     return Err(LoadError::Corrupt("pair cyclicity disagrees with class flag"));
                 }
-                if p2c.insert(*p, c as ClassId).is_some() {
+                if idx.class_of(*p).is_some() {
                     return Err(LoadError::Corrupt("pair assigned to two classes"));
                 }
+                idx.p2c_insert(*p, c);
             }
             for s in &seqs {
-                il2c.entry(*s).or_default().push(c as ClassId);
+                idx.il2c_push(*s, c);
             }
-            class_loop.push(is_loop);
-            class_seqs.push(seqs);
-            ic2p.push(pairs);
+            let created = idx.push_class(is_loop, seqs);
+            debug_assert_eq!(created, c);
+            let (chunk, off) = idx.class_slot_mut(c);
+            chunk.pairs[off] = pairs;
         }
-        // A loaded index starts a fresh fragmentation epoch: the file
-        // format stores only the Def. 4.3 structures, so the loaded class
-        // count becomes the new baseline.
-        let frag = crate::index::FragCounters { baseline_classes: nc, ..Default::default() };
-        Ok(CpqxIndex { k, interests, il2c, ic2p, class_loop, class_seqs, p2c, frag })
+        Ok(idx)
     }
 }
 

@@ -123,3 +123,39 @@ proptest! {
         prop_assert!(idx.fragmentation().ratio() >= 1.0);
     }
 }
+
+/// Regression (empty-baseline misfire): an index built from a graph with
+/// **no edges** has `baseline_classes == 0`. The ratio used to read as
+/// `class_slots / max(1) = class_slots`, so the very first lazy insert on
+/// an empty-seeded index looked instantly, maximally fragmented and could
+/// trip a serving layer's auto-rebuild threshold into rebuild thrash. A
+/// zero baseline must read as fresh (1.0) and re-baseline on first
+/// growth.
+#[test]
+fn empty_baseline_reads_fresh_and_rebaselines() {
+    let mut b = cpqx_graph::GraphBuilder::new();
+    b.ensure_vertices(10);
+    b.ensure_labels(2);
+    let mut g = b.build();
+    let mut idx = CpqxIndex::build(&g, 2);
+    assert_eq!(idx.class_slots(), 0);
+    assert_eq!(idx.baseline_class_count(), 0);
+    assert!((idx.fragmentation_ratio() - 1.0).abs() < 1e-12, "empty build reads fresh");
+    assert!((idx.fragmentation().ratio() - 1.0).abs() < 1e-12);
+
+    // First growth: classes appear, and the baseline snaps to them
+    // instead of staying 0 — the ratio stays 1.0, not `class_slots`.
+    assert!(idx.insert_edge(&mut g, 0, 1, Label(0)));
+    assert!(idx.class_slots() > 0);
+    assert_eq!(idx.baseline_class_count(), idx.class_slots(), "re-baselined on first growth");
+    assert!((idx.fragmentation_ratio() - 1.0).abs() < 1e-12);
+
+    // Subsequent churn is measured against the new baseline as usual.
+    assert!(idx.insert_edge(&mut g, 1, 2, Label(1)));
+    assert!(idx.fragmentation_ratio() >= 1.0);
+    assert!(idx.fragmentation_ratio() < idx.class_slots() as f64, "ratio must not equal slots");
+
+    // Queries stay correct throughout.
+    let pairs = idx.evaluate(&g, &cpqx_query::parse_cpq("l0 . l1", &g).unwrap());
+    assert_eq!(pairs, vec![Pair::new(0, 2)]);
+}

@@ -49,15 +49,14 @@ impl BatchOutcome {
         self.results.len() as f64 / self.total.as_secs_f64()
     }
 
-    /// The `p`-quantile (0.0–1.0) of per-query latency.
+    /// The `p`-quantile (0.0–1.0, clamped) of per-query latency — the
+    /// engine-wide nearest-rank definition
+    /// ([`crate::stats::nearest_rank_quantile`]), so batch quantiles and
+    /// `StatsReport` percentiles agree on semantics.
     pub fn latency_quantile(&self, p: f64) -> Duration {
-        if self.latencies.is_empty() {
-            return Duration::ZERO;
-        }
         let mut sorted = self.latencies.clone();
         sorted.sort_unstable();
-        let idx = ((sorted.len() as f64 - 1.0) * p.clamp(0.0, 1.0)).round() as usize;
-        sorted[idx]
+        crate::stats::nearest_rank_quantile(&sorted, p).unwrap_or(Duration::ZERO)
     }
 }
 

@@ -77,6 +77,13 @@ pub struct EngineOptions {
     /// measures 1.02–1.63 for up to 20% edge churn), so it only fires
     /// under sustained heavy write load.
     pub auto_rebuild_ratio: Option<f64>,
+    /// Benchmark/regression switch: force every write transaction to
+    /// deep-copy the whole graph + index instead of the structural-sharing
+    /// clone — the pre-COW O(graph) write path. Results are identical;
+    /// only cost differs. `maintenance_throughput` uses this to compare
+    /// the two write paths so a regression back to O(graph) clones fails
+    /// visibly in CI. Leave `false` in production.
+    pub deep_clone_writes: bool,
 }
 
 impl Default for EngineOptions {
@@ -89,6 +96,7 @@ impl Default for EngineOptions {
             result_admission_min_cost: 0.0,
             interests: None,
             auto_rebuild_ratio: Some(8.0),
+            deep_clone_writes: false,
         }
     }
 }
@@ -426,12 +434,20 @@ impl Engine {
     }
 
     /// Engine statistics: query counts, cache hit rates, swap counts,
-    /// maintenance/fragmentation accounting and latency percentiles.
+    /// maintenance/fragmentation accounting, copy-on-write sharing and
+    /// latency percentiles.
     pub fn stats(&self) -> StatsReport {
+        // Pin the snapshot *before* reading the counters: the counter
+        // report then describes a state at least as old as the gauges, so
+        // one report never mixes gauges from a snapshot that a
+        // counter-visible write transaction has already replaced. (The
+        // converse skew — counters advancing right after the pin — only
+        // over-reports activity, never attributes gauges to the wrong
+        // snapshot.)
+        let snap = self.snapshot();
         let mut report = self.counters.report();
         // O(1) fragmentation gauges only — the full report's live-class
         // scan is too expensive for a stats endpoint polled by monitors.
-        let snap = self.snapshot();
         report.fragmentation_ratio = snap.index().fragmentation_ratio();
         report.class_slots = snap.index().class_slots() as u64;
         report.baseline_classes = snap.index().baseline_class_count() as u64;
@@ -464,8 +480,15 @@ impl Engine {
     ) -> (R, u64, bool, f64) {
         let _writer = self.writer.lock().unwrap();
         let snap = self.snapshot();
-        let mut graph = snap.graph.clone();
-        let mut index = snap.index.clone();
+        // The clone is O(#chunks): all heavyweight storage is structurally
+        // shared with the snapshot and copied chunk-by-chunk on first
+        // touch (`deep_clone_writes` forces the pre-COW full copy for
+        // benchmark comparison).
+        let (mut graph, mut index) = if self.options.deep_clone_writes {
+            (snap.graph.deep_clone(), snap.index.deep_clone())
+        } else {
+            (snap.graph.clone(), snap.index.clone())
+        };
         let (out, changed) = f(&mut graph, &mut index);
         if !changed {
             return (out, snap.epoch(), false, index.fragmentation_ratio());
@@ -478,6 +501,11 @@ impl Engine {
             }
             _ => false,
         };
+        // Copy-on-write accounting against the snapshot being replaced: a
+        // rebuild naturally reads as all-copied, a small delta as a few
+        // copied chunks over a large shared remainder.
+        let cow = graph.cow_diff(&snap.graph).merge(index.cow_diff(&snap.index));
+        self.counters.record_cow(cow.chunks_copied as u64, cow.chunks_shared as u64);
         let ratio = index.fragmentation_ratio();
         let epoch = self.install(graph, index);
         (out, epoch, rebuilt, ratio)

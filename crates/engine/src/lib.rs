@@ -55,4 +55,4 @@ pub use build::{build_sharded, build_sharded_with_report, BuildOptions, BuildRep
 pub use cache::LruCache;
 pub use delta::{Delta, DeltaError, DeltaOp, DeltaReport, OpOutcome};
 pub use engine::{Engine, EngineOptions, PlannedQuery, Snapshot};
-pub use stats::StatsReport;
+pub use stats::{nearest_rank_quantile, StatsReport};

@@ -11,6 +11,25 @@ use std::time::Duration;
 /// Size of the rolling latency window backing percentile estimates.
 const LATENCY_WINDOW: usize = 8192;
 
+/// The nearest-rank `p`-quantile of an ascending-sorted sample slice —
+/// the **single** quantile definition the engine uses (query-latency
+/// percentiles in [`EngineCounters::report`] and per-batch latency
+/// quantiles in `BatchOutcome::latency_quantile` both route here, so the
+/// two can never diverge again).
+///
+/// Semantics: `p` is clamped to `[0.0, 1.0]` (a non-finite `p` reads as
+/// `0.0`); the returned sample is `sorted[round((len - 1) · p)]`, i.e.
+/// `p = 0.0` is the minimum, `p = 1.0` the maximum, and `p = 0.5` the
+/// (upper-biased) median. Returns `None` for an empty slice.
+pub fn nearest_rank_quantile<T: Copy>(sorted: &[T], p: f64) -> Option<T> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let p = if p.is_finite() { p.clamp(0.0, 1.0) } else { 0.0 };
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    Some(sorted[idx])
+}
+
 /// Live counters owned by the engine. Cheap to bump concurrently; read
 /// them through [`EngineCounters::report`].
 #[derive(Default)]
@@ -27,6 +46,8 @@ pub struct EngineCounters {
     lazy_update_ops: AtomicU64,
     rebuilds: AtomicU64,
     auto_rebuilds: AtomicU64,
+    cow_chunks_copied: AtomicU64,
+    cow_chunks_shared: AtomicU64,
     latencies_us: Mutex<LatencyWindow>,
 }
 
@@ -84,16 +105,17 @@ impl EngineCounters {
         }
     }
 
+    pub(crate) fn record_cow(&self, copied: u64, shared: u64) {
+        self.cow_chunks_copied.fetch_add(copied, Ordering::Relaxed);
+        self.cow_chunks_shared.fetch_add(shared, Ordering::Relaxed);
+    }
+
     /// A consistent-enough point-in-time view of the counters.
     pub fn report(&self) -> StatsReport {
         let mut latencies = self.latencies_us.lock().unwrap().samples.clone();
         latencies.sort_unstable();
         let pct = |p: f64| -> Duration {
-            if latencies.is_empty() {
-                return Duration::ZERO;
-            }
-            let idx = ((latencies.len() as f64 - 1.0) * p).round() as usize;
-            Duration::from_micros(latencies[idx])
+            nearest_rank_quantile(&latencies, p).map_or(Duration::ZERO, Duration::from_micros)
         };
         let queries = self.queries.load(Ordering::Relaxed);
         let result_hits = self.result_hits.load(Ordering::Relaxed);
@@ -115,6 +137,8 @@ impl EngineCounters {
             lazy_update_ops: self.lazy_update_ops.load(Ordering::Relaxed),
             rebuilds: self.rebuilds.load(Ordering::Relaxed),
             auto_rebuilds: self.auto_rebuilds.load(Ordering::Relaxed),
+            cow_chunks_copied: self.cow_chunks_copied.load(Ordering::Relaxed),
+            cow_chunks_shared: self.cow_chunks_shared.load(Ordering::Relaxed),
             fragmentation_ratio: 0.0,
             class_slots: 0,
             baseline_classes: 0,
@@ -169,6 +193,15 @@ pub struct StatsReport {
     pub rebuilds: u64,
     /// Rebuilds triggered by `EngineOptions::auto_rebuild_ratio`.
     pub auto_rebuilds: u64,
+    /// Copy-on-write chunks/shards physically copied by write
+    /// transactions (cumulative, graph + index; rebuilds count all-new
+    /// storage as copied). Together with [`StatsReport::cow_chunks_shared`]
+    /// this shows whether writes stay O(changed): healthy small deltas
+    /// copy a handful of chunks against a large shared remainder.
+    pub cow_chunks_copied: u64,
+    /// Copy-on-write chunks/shards still structurally shared with the
+    /// replaced snapshot after each write transaction (cumulative).
+    pub cow_chunks_shared: u64,
     /// Current `class_slots / baseline_classes` of the serving index
     /// (1.0 right after a build; grows under lazy maintenance). Filled
     /// by `Engine::stats` from the live snapshot; 0.0 when the report
@@ -191,7 +224,7 @@ impl std::fmt::Display for StatsReport {
         write!(
             f,
             "queries={} hit_rate={:.1}% plan_hit_rate={:.1}% swaps={} deltas={} lazy_ops={} \
-             rebuilds={} frag={:.2} p50={:?} p99={:?}",
+             rebuilds={} frag={:.2} cow={}/{} p50={:?} p99={:?}",
             self.queries,
             self.result_hit_rate * 100.0,
             self.plan_hit_rate * 100.0,
@@ -200,6 +233,8 @@ impl std::fmt::Display for StatsReport {
             self.lazy_update_ops,
             self.rebuilds,
             self.fragmentation_ratio,
+            self.cow_chunks_copied,
+            self.cow_chunks_shared,
             self.p50,
             self.p99,
         )
@@ -240,6 +275,39 @@ mod tests {
         assert_eq!(r.queries, 0);
         assert_eq!(r.result_hit_rate, 0.0);
         assert_eq!(r.p50, Duration::ZERO);
+    }
+
+    #[test]
+    fn nearest_rank_edge_cases() {
+        // Empty: no quantile.
+        assert_eq!(nearest_rank_quantile::<u64>(&[], 0.5), None);
+        // Single sample: every p returns it.
+        for p in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(nearest_rank_quantile(&[7u64], p), Some(7));
+        }
+        let sorted: Vec<u64> = (1..=100).collect();
+        // Extremes hit the ends exactly.
+        assert_eq!(nearest_rank_quantile(&sorted, 0.0), Some(1));
+        assert_eq!(nearest_rank_quantile(&sorted, 1.0), Some(100));
+        // Out-of-range p clamps instead of indexing out of bounds (this
+        // was the divergence between the two pre-unification copies).
+        assert_eq!(nearest_rank_quantile(&sorted, -3.0), Some(1));
+        assert_eq!(nearest_rank_quantile(&sorted, 17.0), Some(100));
+        assert_eq!(nearest_rank_quantile(&sorted, f64::NAN), Some(1));
+        // Median and p99 are the nearest ranks.
+        assert_eq!(nearest_rank_quantile(&sorted, 0.5), Some(51));
+        assert_eq!(nearest_rank_quantile(&sorted, 0.99), Some(99));
+    }
+
+    #[test]
+    fn cow_counters_accumulate() {
+        let c = EngineCounters::default();
+        c.record_cow(3, 17);
+        c.record_cow(1, 19);
+        let r = c.report();
+        assert_eq!(r.cow_chunks_copied, 4);
+        assert_eq!(r.cow_chunks_shared, 36);
+        assert!(r.to_string().contains("cow=4/36"));
     }
 
     #[test]

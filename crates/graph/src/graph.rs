@@ -3,9 +3,192 @@
 use crate::label::{ExtLabel, Label};
 use crate::pair::Pair;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Dense vertex identifier (`u32`, per the small-integer-id guideline).
 pub type VertexId = u32;
+
+/// Target total adjacency entries per copy-on-write chunk. Chunk
+/// boundaries are computed with [`crate::view::balanced_ranges_by_weight`]
+/// over the extended degrees, so every chunk carries roughly this much
+/// data regardless of degree skew — the unit a write transaction copies.
+/// Deliberately fine-grained: an edge op touches exactly two chunks, so
+/// sharing quality is `1 − touched/total`, and cloning even hundreds of
+/// thousands of `Arc`s is still orders of magnitude cheaper than one
+/// deep copy.
+const TARGET_CHUNK_WEIGHT: usize = 1 << 9;
+
+/// Row count past which [`Graph::add_vertex`] opens a fresh chunk instead
+/// of growing the last one (keeps append-heavy workloads from
+/// concentrating all new vertices in one ever-growing chunk).
+const CHUNK_SPLIT_ROWS: usize = 4096;
+
+/// One contiguous vertex range of the graph's topology storage: the
+/// adjacency rows and per-extended-label pair segments of the vertices in
+/// `start..start + adj.len()`.
+///
+/// Chunks are the copy-on-write unit: [`Graph`] holds them behind [`Arc`]
+/// and mutates through [`Arc::make_mut`], so cloning a graph is
+/// O(#chunks) and an edge mutation copies only the chunks of the touched
+/// endpoints — everything else stays structurally shared with the
+/// original (see [`Graph::cow_diff`]). Display names live in a parallel
+/// per-range store ([`Graph::names`]) so that edge churn never pays for
+/// copying `String`s: name chunks are only touched by
+/// [`Graph::add_vertex`] appends.
+#[derive(Clone)]
+pub(crate) struct VertexChunk {
+    /// First vertex id of this chunk's range.
+    pub(crate) start: VertexId,
+    /// Adjacency rows sorted by `(label, target)`, indexed by `v - start`.
+    pub(crate) adj: Vec<Vec<(u16, VertexId)>>,
+    /// Per extended label: the sorted pairs of `⟦ℓ⟧` whose *source* lies
+    /// in this chunk's range (a source-contiguous segment of the global
+    /// relation).
+    pub(crate) pairs: Vec<Vec<Pair>>,
+}
+
+impl VertexChunk {
+    fn row_count(&self) -> usize {
+        self.adj.len()
+    }
+}
+
+/// Structural-sharing report of [`Graph::cow_diff`] /
+/// `CpqxIndex::cow_diff` (in `cpqx-core`): how many copy-on-write chunks
+/// of a descendant state were freshly copied versus still shared with the
+/// state it was cloned from.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CowDiff {
+    /// Chunks not shared with the predecessor (copied or newly created).
+    pub chunks_copied: usize,
+    /// Chunks physically shared (`Arc::ptr_eq`) with the predecessor.
+    pub chunks_shared: usize,
+}
+
+impl CowDiff {
+    /// Accumulates another diff into this one.
+    pub fn merge(self, other: CowDiff) -> CowDiff {
+        CowDiff {
+            chunks_copied: self.chunks_copied + other.chunks_copied,
+            chunks_shared: self.chunks_shared + other.chunks_shared,
+        }
+    }
+
+    /// Classifies one chunked store positionally against its predecessor:
+    /// an `Arc` at the same index that is `ptr_eq` counts as shared,
+    /// anything else (copied by `Arc::make_mut`, newly created, or absent
+    /// before) as copied. The single classification rule behind every
+    /// `cow_diff` implementation.
+    pub fn record_arcs<T>(&mut self, now: &[Arc<T>], before: &[Arc<T>]) {
+        for (i, c) in now.iter().enumerate() {
+            match before.get(i) {
+                Some(b) if Arc::ptr_eq(b, c) => self.chunks_shared += 1,
+                _ => self.chunks_copied += 1,
+            }
+        }
+    }
+}
+
+/// A borrowed view of a (possibly source-restricted) per-label pair
+/// relation `⟦ℓ⟧`, stored as source-contiguous segments — one per
+/// copy-on-write chunk of the graph.
+///
+/// The concatenation of [`PairList::segments`] is globally sorted (pair
+/// order is source-major and segments follow ascending vertex ranges), so
+/// sorted-merge consumers can process segments in order; point and bulk
+/// access goes through [`PairList::iter`] / [`PairList::to_vec`] /
+/// [`PairList::contains`].
+#[derive(Clone, Copy)]
+pub struct PairList<'g> {
+    chunks: &'g [Arc<VertexChunk>],
+    label: u16,
+    /// Source-vertex bounds `[lo, hi)` of the view.
+    lo: VertexId,
+    hi: VertexId,
+    len: usize,
+}
+
+impl<'g> PairList<'g> {
+    /// Number of pairs in the view.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the view holds no pairs.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The non-empty sorted segments of the view, in ascending source
+    /// order. Their concatenation is the whole (restricted) relation.
+    /// Restricted views probe only the chunks whose vertex range
+    /// intersects `[lo, hi)` (two partition points over the chunk
+    /// starts), so narrow restrictions stay cheap on many-chunk graphs.
+    pub fn segments(self) -> impl Iterator<Item = &'g [Pair]> {
+        let label = self.label as usize;
+        let (lo, hi) = (self.lo, self.hi);
+        let unrestricted = lo == 0 && hi == VertexId::MAX;
+        let chunks = if unrestricted {
+            self.chunks
+        } else {
+            // First chunk whose range can reach lo … last whose start is
+            // below hi (chunk i covers [start_i, start_{i+1})).
+            let begin = self.chunks.partition_point(|c| c.start <= lo).saturating_sub(1);
+            let end = self.chunks.partition_point(|c| c.start < hi);
+            &self.chunks[begin..end.max(begin)]
+        };
+        chunks.iter().filter_map(move |c| {
+            let seg = c.pairs[label].as_slice();
+            let seg = if unrestricted { seg } else { crate::view::slice_by_src(seg, lo, hi) };
+            (!seg.is_empty()).then_some(seg)
+        })
+    }
+
+    /// Iterates the pairs in ascending order.
+    pub fn iter(self) -> impl Iterator<Item = Pair> + 'g {
+        self.segments().flat_map(|s| s.iter().copied())
+    }
+
+    /// Collects the view into an owned sorted vector.
+    pub fn to_vec(self) -> Vec<Pair> {
+        let mut out = Vec::with_capacity(self.len);
+        for s in self.segments() {
+            out.extend_from_slice(s);
+        }
+        out
+    }
+
+    /// Whether the view contains `p` (binary search per candidate
+    /// segment).
+    pub fn contains(self, p: Pair) -> bool {
+        self.segments().any(|s| s.binary_search(&p).is_ok())
+    }
+
+    /// The view restricted to pairs with source in `[lo, hi)`.
+    pub fn restrict_src(self, lo: VertexId, hi: VertexId) -> PairList<'g> {
+        let lo = lo.max(self.lo);
+        let hi = hi.min(self.hi);
+        let mut out = PairList { chunks: self.chunks, label: self.label, lo, hi, len: 0 };
+        out.len = out.segments().map(<[Pair]>::len).sum();
+        out
+    }
+}
+
+impl<'g> IntoIterator for PairList<'g> {
+    type Item = Pair;
+    type IntoIter = Box<dyn Iterator<Item = Pair> + 'g>;
+    fn into_iter(self) -> Self::IntoIter {
+        Box::new(self.iter())
+    }
+}
+
+impl std::fmt::Debug for PairList<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
 
 /// A directed edge-labeled graph `G = (V, E, L)` in its *extended* form.
 ///
@@ -15,21 +198,42 @@ pub type VertexId = u32;
 ///
 /// * **adjacency**: per vertex, a vector of `(ext label, target)` entries
 ///   sorted by `(label, target)` — O(log d) membership, O(d) updates;
-/// * **label-grouped pairs**: per extended label, a sorted vector of
-///   [`Pair`]s — the relation `⟦ℓ⟧` used by index construction, LOOKUP
-///   leaves of the baseline engines, and the matchers.
+/// * **label-grouped pairs**: per extended label, the sorted relation
+///   `⟦ℓ⟧` used by index construction, LOOKUP leaves of the baseline
+///   engines, and the matchers, exposed as a segmented [`PairList`].
 ///
 /// Both views are kept consistent under [`Graph::insert_edge`] /
 /// [`Graph::remove_edge`], which the maintenance experiments
 /// (Tables V–VII, Fig. 13) rely on. Multi-edges collapse (`E` is a set).
+///
+/// # Copy-on-write storage
+///
+/// All vertex-indexed state lives in contiguous-range chunks behind
+/// `Arc`, with boundaries balanced by extended degree
+/// ([`crate::view::balanced_ranges_by_weight`]): topology (adjacency +
+/// pair segments) in [`VertexChunk`]s, display names in a parallel
+/// per-range store so edge churn never copies `String`s. `Graph::clone`
+/// is therefore O(#chunks) — pointer bumps — and an edge mutation copies
+/// only the two endpoint topology chunks via `Arc::make_mut`. This is
+/// what makes the engine's snapshot-per-write transaction O(changed)
+/// instead of O(graph); [`Graph::cow_diff`] reports the sharing between
+/// two snapshots.
 #[derive(Clone)]
 pub struct Graph {
-    vertex_names: Vec<String>,
     label_names: Vec<String>,
-    /// Per-vertex adjacency of extended edges, sorted by `(label, target)`.
-    adj: Vec<Vec<(u16, VertexId)>>,
-    /// Per-extended-label sorted pair lists.
-    label_pairs: Vec<Vec<Pair>>,
+    chunks: Vec<Arc<VertexChunk>>,
+    /// Display names in ranges parallel to `chunks` (same boundaries,
+    /// same routing). Kept outside [`VertexChunk`] so edge mutations
+    /// never copy `String`s — only [`Graph::add_vertex`] touches the
+    /// last name chunk.
+    names: Vec<Arc<Vec<String>>>,
+    /// Ascending chunk start ids (`chunk_starts[i] == chunks[i].start`);
+    /// vertex → chunk routing is a partition point over this.
+    chunk_starts: Vec<VertexId>,
+    /// Per extended label: total pairs across all chunk segments (keeps
+    /// [`PairList::len`] O(1) for unrestricted views).
+    pair_counts: Vec<usize>,
+    vertex_count: u32,
     base_edge_count: usize,
 }
 
@@ -37,7 +241,7 @@ impl Graph {
     /// Number of vertices `|V|`.
     #[inline]
     pub fn vertex_count(&self) -> u32 {
-        self.adj.len() as u32
+        self.vertex_count
     }
 
     /// Number of *base* edges (the paper's Table II counts `|E|` with
@@ -74,27 +278,42 @@ impl Graph {
         (0..self.base_label_count()).map(Label)
     }
 
-    /// The sorted relation `⟦ℓ⟧ = {(v, u) | (v, u, ℓ) ∈ E}` for an extended
-    /// label.
+    /// The chunk index and in-chunk offset of a vertex.
     #[inline]
-    pub fn edge_pairs(&self, l: ExtLabel) -> &[Pair] {
-        &self.label_pairs[l.0 as usize]
+    fn locate(&self, v: VertexId) -> (usize, usize) {
+        debug_assert!(v < self.vertex_count, "vertex {v} out of range");
+        let ci = self.chunk_starts.partition_point(|&s| s <= v) - 1;
+        (ci, (v - self.chunks[ci].start) as usize)
+    }
+
+    /// The sorted relation `⟦ℓ⟧ = {(v, u) | (v, u, ℓ) ∈ E}` for an extended
+    /// label, as a segmented view.
+    #[inline]
+    pub fn edge_pairs(&self, l: ExtLabel) -> PairList<'_> {
+        PairList {
+            chunks: &self.chunks,
+            label: l.0,
+            lo: 0,
+            hi: VertexId::MAX,
+            len: self.pair_counts[l.0 as usize],
+        }
     }
 
     /// Whether the extended edge `(v, u, ℓ)` exists.
     pub fn has_edge(&self, v: VertexId, u: VertexId, l: ExtLabel) -> bool {
-        self.adj[v as usize].binary_search(&(l.0, u)).is_ok()
+        self.adjacency(v).binary_search(&(l.0, u)).is_ok()
     }
 
     /// The full extended adjacency of `v`, sorted by `(label, target)`.
     #[inline]
     pub fn adjacency(&self, v: VertexId) -> &[(u16, VertexId)] {
-        &self.adj[v as usize]
+        let (ci, off) = self.locate(v);
+        &self.chunks[ci].adj[off]
     }
 
     /// Sorted targets reachable from `v` via one extended edge labeled `l`.
     pub fn neighbors(&self, v: VertexId, l: ExtLabel) -> &[(u16, VertexId)] {
-        let a = &self.adj[v as usize];
+        let a = self.adjacency(v);
         let lo = a.partition_point(|&(x, _)| x < l.0);
         let hi = a.partition_point(|&(x, _)| x <= l.0);
         &a[lo..hi]
@@ -108,19 +327,35 @@ impl Graph {
     /// Total extended degree of `v` (forward + inverse edges).
     #[inline]
     pub fn ext_degree(&self, v: VertexId) -> usize {
-        self.adj[v as usize].len()
+        self.adjacency(v).len()
     }
 
     /// Maximum extended degree `d` over all vertices (Thm. 4.3's `d`).
     pub fn max_degree(&self) -> usize {
-        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+        self.chunks.iter().flat_map(|c| c.adj.iter().map(Vec::len)).max().unwrap_or(0)
     }
 
     /// Adds an isolated vertex, returning its id.
     pub fn add_vertex(&mut self, name: impl Into<String>) -> VertexId {
-        let id = self.vertex_count();
-        self.vertex_names.push(name.into());
-        self.adj.push(Vec::new());
+        let id = self.vertex_count;
+        let open_new = match self.chunks.last() {
+            None => true,
+            Some(c) => c.row_count() >= CHUNK_SPLIT_ROWS,
+        };
+        if open_new {
+            self.chunks.push(Arc::new(VertexChunk {
+                start: id,
+                adj: vec![Vec::new()],
+                pairs: vec![Vec::new(); self.label_names.len() * 2],
+            }));
+            self.names.push(Arc::new(vec![name.into()]));
+            self.chunk_starts.push(id);
+        } else {
+            let c = Arc::make_mut(self.chunks.last_mut().unwrap());
+            c.adj.push(Vec::new());
+            Arc::make_mut(self.names.last_mut().unwrap()).push(name.into());
+        }
+        self.vertex_count += 1;
         id
     }
 
@@ -132,19 +367,19 @@ impl Graph {
     pub fn insert_edge(&mut self, v: VertexId, u: VertexId, l: Label) -> bool {
         assert!(v < self.vertex_count() && u < self.vertex_count(), "vertex out of range");
         assert!(l.0 < self.base_label_count(), "label out of range");
-        let fwd = (l.fwd().0, u);
-        let idx = match self.adj[v as usize].binary_search(&fwd) {
-            Ok(_) => return false,
-            Err(i) => i,
-        };
-        self.adj[v as usize].insert(idx, fwd);
-        let inv = (l.inv().0, v);
-        let idx = self.adj[u as usize]
-            .binary_search(&inv)
-            .expect_err("forward edge absent but inverse present");
-        self.adj[u as usize].insert(idx, inv);
-        Self::insert_pair(&mut self.label_pairs[l.fwd().0 as usize], Pair::new(v, u));
-        Self::insert_pair(&mut self.label_pairs[l.inv().0 as usize], Pair::new(u, v));
+        // Existence check before `make_mut`: a duplicate insert must not
+        // copy any chunk.
+        if self.has_edge(v, u, l.fwd()) {
+            return false;
+        }
+        self.edge_halves(v, u, l, |row, entry, seg, pair| {
+            let i = row.binary_search(&entry).expect_err("edge half already present");
+            row.insert(i, entry);
+            let i = seg.binary_search(&pair).expect_err("pair half already present");
+            seg.insert(i, pair);
+        });
+        self.pair_counts[l.fwd().0 as usize] += 1;
+        self.pair_counts[l.inv().0 as usize] += 1;
         self.base_edge_count += 1;
         true
     }
@@ -152,21 +387,42 @@ impl Graph {
     /// Removes the base edge `(v, u, ℓ)` and its inverse extended edge.
     /// Returns `false` if it did not exist.
     pub fn remove_edge(&mut self, v: VertexId, u: VertexId, l: Label) -> bool {
-        let fwd = (l.fwd().0, u);
-        let idx = match self.adj[v as usize].binary_search(&fwd) {
-            Ok(i) => i,
-            Err(_) => return false,
-        };
-        self.adj[v as usize].remove(idx);
-        let inv = (l.inv().0, v);
-        let idx = self.adj[u as usize]
-            .binary_search(&inv)
-            .expect("forward edge present but inverse absent");
-        self.adj[u as usize].remove(idx);
-        Self::remove_pair(&mut self.label_pairs[l.fwd().0 as usize], Pair::new(v, u));
-        Self::remove_pair(&mut self.label_pairs[l.inv().0 as usize], Pair::new(u, v));
+        if v >= self.vertex_count() || l.0 >= self.base_label_count() {
+            return false;
+        }
+        if !self.has_edge(v, u, l.fwd()) {
+            return false;
+        }
+        self.edge_halves(v, u, l, |row, entry, seg, pair| {
+            let i = row.binary_search(&entry).expect("edge half present");
+            row.remove(i);
+            let i = seg.binary_search(&pair).expect("pair half present");
+            seg.remove(i);
+        });
+        self.pair_counts[l.fwd().0 as usize] -= 1;
+        self.pair_counts[l.inv().0 as usize] -= 1;
         self.base_edge_count -= 1;
         true
+    }
+
+    /// Applies `apply` to both halves of the base edge `(v, u, ℓ)`: the
+    /// forward half in `v`'s chunk and the inverse half in `u`'s chunk —
+    /// the only chunks an edge mutation copies.
+    fn edge_halves(
+        &mut self,
+        v: VertexId,
+        u: VertexId,
+        l: Label,
+        mut apply: impl FnMut(&mut Vec<(u16, VertexId)>, (u16, VertexId), &mut Vec<Pair>, Pair),
+    ) {
+        for (x, y, el) in [(v, u, l.fwd()), (u, v, l.inv())] {
+            let (ci, off) = self.locate(x);
+            let c = Arc::make_mut(&mut self.chunks[ci]);
+            // Split borrows: the adjacency row and the pair segment live in
+            // different fields of the same chunk.
+            let (row, seg) = (&mut c.adj[off], &mut c.pairs[el.0 as usize]);
+            apply(row, (el.0, y), seg, Pair::new(x, y));
+        }
     }
 
     /// Removes every edge incident to `v` (the paper's vertex-deletion
@@ -174,7 +430,7 @@ impl Graph {
     /// edges as `(src, dst, label)` triples. The vertex id itself remains
     /// allocated but isolated.
     pub fn isolate_vertex(&mut self, v: VertexId) -> Vec<(VertexId, VertexId, Label)> {
-        let incident: Vec<(u16, VertexId)> = self.adj[v as usize].clone();
+        let incident: Vec<(u16, VertexId)> = self.adjacency(v).to_vec();
         let mut removed = Vec::with_capacity(incident.len());
         for (el, t) in incident {
             let el = ExtLabel(el);
@@ -194,7 +450,8 @@ impl Graph {
 
     /// The display name of a vertex.
     pub fn vertex_name(&self, v: VertexId) -> &str {
-        &self.vertex_names[v as usize]
+        let (ci, off) = self.locate(v);
+        &self.names[ci][off]
     }
 
     /// The display name of a base label.
@@ -213,7 +470,10 @@ impl Graph {
 
     /// Looks up a vertex by name (linear scan; intended for examples/tests).
     pub fn vertex_named(&self, name: &str) -> Option<VertexId> {
-        self.vertex_names.iter().position(|n| n == name).map(|i| i as u32)
+        self.chunks
+            .iter()
+            .zip(&self.names)
+            .find_map(|(c, names)| names.iter().position(|n| n == name).map(|i| c.start + i as u32))
     }
 
     /// Looks up a base label by name (linear scan over the small alphabet).
@@ -232,18 +492,58 @@ impl Graph {
         self.tag_label(tag).is_some_and(|l| self.has_edge(v, v, l.fwd()))
     }
 
+    /// Number of copy-on-write units backing this graph (topology chunks
+    /// plus the parallel name chunks).
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.len() + self.names.len()
+    }
+
+    /// Structural-sharing report against the graph this one was cloned
+    /// from: per chunk position (topology chunks and name chunks),
+    /// whether the `Arc` is still shared with `before` or was copied (by
+    /// `Arc::make_mut`) / newly created.
+    pub fn cow_diff(&self, before: &Graph) -> CowDiff {
+        let mut diff = CowDiff::default();
+        diff.record_arcs(&self.chunks, &before.chunks);
+        diff.record_arcs(&self.names, &before.names);
+        diff
+    }
+
+    /// A clone that shares **no** chunk with `self` — every chunk's
+    /// contents (topology and names) are copied up front. This reproduces
+    /// the cost of the pre-COW full-copy write path and exists for
+    /// benchmarking and regression comparison (see the engine's
+    /// `deep_clone_writes` option); ordinary code should use the
+    /// O(#chunks) `Clone`.
+    pub fn deep_clone(&self) -> Graph {
+        let mut g = self.clone();
+        for c in &mut g.chunks {
+            *c = Arc::new(VertexChunk::clone(c));
+        }
+        for n in &mut g.names {
+            *n = Arc::new(Vec::clone(n));
+        }
+        g
+    }
+
     /// Approximate deep memory footprint in bytes (graph accounting used by
     /// the experiment harness).
     pub fn size_bytes(&self) -> usize {
-        let adj: usize = self.adj.iter().map(|a| a.capacity() * 8 + 24).sum();
-        let pairs: usize = self.label_pairs.iter().map(|p| p.capacity() * 8 + 24).sum();
-        adj + pairs
+        self.chunks
+            .iter()
+            .map(|c| {
+                let adj: usize = c.adj.iter().map(|a| a.capacity() * 8 + 24).sum();
+                let pairs: usize = c.pairs.iter().map(|p| p.capacity() * 8 + 24).sum();
+                adj + pairs
+            })
+            .sum()
     }
 
     /// Summary statistics of the graph (degree distribution, label skew).
     pub fn stats(&self) -> GraphStats {
         let n = self.vertex_count() as usize;
-        let mut degrees: Vec<usize> = self.adj.iter().map(Vec::len).collect();
+        let mut degrees: Vec<usize> =
+            self.chunks.iter().flat_map(|c| c.adj.iter().map(Vec::len)).collect();
         degrees.sort_unstable();
         let max_degree = degrees.last().copied().unwrap_or(0);
         let median_degree = if n == 0 { 0 } else { degrees[n / 2] };
@@ -263,18 +563,6 @@ impl Graph {
             median_degree,
             avg_degree,
             label_skew,
-        }
-    }
-
-    fn insert_pair(v: &mut Vec<Pair>, p: Pair) {
-        if let Err(i) = v.binary_search(&p) {
-            v.insert(i, p);
-        }
-    }
-
-    fn remove_pair(v: &mut Vec<Pair>, p: Pair) {
-        if let Ok(i) = v.binary_search(&p) {
-            v.remove(i);
         }
     }
 }
@@ -305,6 +593,7 @@ impl std::fmt::Debug for Graph {
             .field("vertices", &self.vertex_count())
             .field("base_edges", &self.edge_count())
             .field("base_labels", &self.base_label_count())
+            .field("chunks", &self.chunks.len())
             .finish()
     }
 }
@@ -395,37 +684,83 @@ impl GraphBuilder {
         self.add_edge(v, v, l);
     }
 
-    /// Finalizes the graph: sorts adjacency, collapses multi-edges, builds
-    /// the per-label pair lists.
+    /// Finalizes the graph with the default copy-on-write chunk
+    /// granularity: sorts adjacency, collapses multi-edges, builds the
+    /// per-label pair segments, and tiles the vertices into degree-balanced
+    /// chunks.
     pub fn build(self) -> Graph {
+        self.build_with_chunk_weight(TARGET_CHUNK_WEIGHT)
+    }
+
+    /// Like [`GraphBuilder::build`] with an explicit target adjacency
+    /// weight per copy-on-write chunk — smaller targets mean more, finer
+    /// chunks (more sharing under mutation, more `Arc`s to clone). Exposed
+    /// for tests and benchmarks that need multi-chunk graphs at small
+    /// sizes.
+    pub fn build_with_chunk_weight(self, target_weight: usize) -> Graph {
         let n = self.vertex_names.len();
         let nl = self.label_names.len();
-        let mut adj: Vec<Vec<(u16, VertexId)>> = vec![Vec::new(); n];
-        let mut label_pairs: Vec<Vec<Pair>> = vec![Vec::new(); nl * 2];
         let mut edges = self.edges;
         edges.sort_unstable();
         edges.dedup();
+        let mut deg = vec![0usize; n];
         for &(v, u, l) in &edges {
             assert!((v as usize) < n && (u as usize) < n, "edge endpoint out of range");
             assert!((l.0 as usize) < nl, "edge label out of range");
-            adj[v as usize].push((l.fwd().0, u));
-            adj[u as usize].push((l.inv().0, v));
-            label_pairs[l.fwd().0 as usize].push(Pair::new(v, u));
-            label_pairs[l.inv().0 as usize].push(Pair::new(u, v));
+            deg[v as usize] += 1;
+            deg[u as usize] += 1;
         }
-        for a in &mut adj {
-            a.sort_unstable();
-            a.dedup();
+        // Degree-balanced chunk boundaries, reusing the shard-range
+        // balancer geometry (each vertex weighs at least 1 there, so the
+        // target is honored against Σ max(deg, 1)).
+        let total: usize = deg.iter().map(|&d| d.max(1)).sum();
+        let shards = total.div_ceil(target_weight.max(1)).max(1);
+        let ranges = crate::view::balanced_ranges_by_weight(n as u32, shards, |v| deg[v as usize]);
+
+        let mut name_iter = self.vertex_names.into_iter();
+        let mut chunks: Vec<Arc<VertexChunk>> = Vec::with_capacity(ranges.len());
+        let mut names: Vec<Arc<Vec<String>>> = Vec::with_capacity(ranges.len());
+        let mut chunk_starts: Vec<VertexId> = Vec::with_capacity(ranges.len());
+        for r in &ranges {
+            let rows = (r.end - r.start) as usize;
+            chunks.push(Arc::new(VertexChunk {
+                start: r.start,
+                adj: vec![Vec::new(); rows],
+                pairs: vec![Vec::new(); nl * 2],
+            }));
+            names.push(Arc::new(name_iter.by_ref().take(rows).collect()));
+            chunk_starts.push(r.start);
         }
-        for p in &mut label_pairs {
-            p.sort_unstable();
-            p.dedup();
+
+        let locate = |v: VertexId| chunk_starts.partition_point(|&s| s <= v) - 1;
+        for &(v, u, l) in &edges {
+            let c = Arc::get_mut(&mut chunks[locate(v)]).expect("freshly built chunk is unique");
+            c.adj[(v - c.start) as usize].push((l.fwd().0, u));
+            c.pairs[l.fwd().0 as usize].push(Pair::new(v, u));
+            let c = Arc::get_mut(&mut chunks[locate(u)]).expect("freshly built chunk is unique");
+            c.adj[(u - c.start) as usize].push((l.inv().0, v));
+            c.pairs[l.inv().0 as usize].push(Pair::new(u, v));
+        }
+        let mut pair_counts = vec![0usize; nl * 2];
+        for chunk in &mut chunks {
+            let c = Arc::get_mut(chunk).expect("freshly built chunk is unique");
+            for a in &mut c.adj {
+                a.sort_unstable();
+                a.dedup();
+            }
+            for (l, p) in c.pairs.iter_mut().enumerate() {
+                p.sort_unstable();
+                p.dedup();
+                pair_counts[l] += p.len();
+            }
         }
         Graph {
-            vertex_names: self.vertex_names,
             label_names: self.label_names,
-            adj,
-            label_pairs,
+            chunks,
+            names,
+            chunk_starts,
+            pair_counts,
+            vertex_count: n as u32,
             base_edge_count: edges.len(),
         }
     }
@@ -510,9 +845,11 @@ mod tests {
         let f = g.label_named("f").unwrap();
         let (a, c) = (g.vertex_named("a").unwrap(), g.vertex_named("c").unwrap());
         g.insert_edge(a, c, f);
-        assert!(g.edge_pairs(f.fwd()).windows(2).all(|w| w[0] < w[1]), "pair list stays sorted");
-        assert!(g.edge_pairs(f.fwd()).contains(&Pair::new(a, c)));
-        assert!(g.edge_pairs(f.inv()).contains(&Pair::new(c, a)));
+        let fwd = g.edge_pairs(f.fwd()).to_vec();
+        assert!(fwd.windows(2).all(|w| w[0] < w[1]), "pair list stays sorted");
+        assert!(g.edge_pairs(f.fwd()).contains(Pair::new(a, c)));
+        assert!(g.edge_pairs(f.inv()).contains(Pair::new(c, a)));
+        assert_eq!(g.edge_pairs(f.fwd()).len(), fwd.len());
     }
 
     #[test]
@@ -532,7 +869,7 @@ mod tests {
         let c = g.vertex_named("c").unwrap();
         assert!(g.has_edge(c, c, f.fwd()));
         assert!(g.has_edge(c, c, f.inv()));
-        assert!(g.edge_pairs(f.fwd()).contains(&Pair::new(c, c)));
+        assert!(g.edge_pairs(f.fwd()).contains(Pair::new(c, c)));
     }
 
     #[test]
@@ -586,5 +923,111 @@ mod tests {
         let s = empty.stats();
         assert_eq!(s.vertices, 0);
         assert_eq!(s.max_degree, 0);
+    }
+
+    /// A multi-chunk graph built with a tiny chunk weight so chunk
+    /// boundaries fall inside the data.
+    fn chunky(n: u32, weight: usize) -> Graph {
+        let mut b = GraphBuilder::new();
+        b.ensure_vertices(n);
+        let l = b.label("f");
+        for v in 0..n {
+            b.add_edge(v, (v + 1) % n, l);
+            b.add_edge(v, (v + 7) % n, l);
+        }
+        b.build_with_chunk_weight(weight)
+    }
+
+    #[test]
+    fn chunked_build_matches_monolithic() {
+        let mono = chunky(64, usize::MAX);
+        let multi = chunky(64, 8);
+        assert_eq!(mono.chunk_count(), 2, "one topology chunk + one name chunk");
+        assert!(multi.chunk_count() > 8, "weight 8 must split 64 vertices");
+        assert_eq!(mono.edge_count(), multi.edge_count());
+        for v in mono.vertices() {
+            assert_eq!(mono.adjacency(v), multi.adjacency(v), "adjacency of {v}");
+            assert_eq!(mono.vertex_name(v), multi.vertex_name(v));
+        }
+        for l in mono.ext_labels() {
+            assert_eq!(mono.edge_pairs(l).to_vec(), multi.edge_pairs(l).to_vec());
+            assert_eq!(mono.edge_pairs(l).len(), multi.edge_pairs(l).len());
+        }
+    }
+
+    #[test]
+    fn clone_shares_chunks_and_mutation_copies_only_touched() {
+        let base = chunky(64, 8);
+        let mut g = base.clone();
+        let d0 = g.cow_diff(&base);
+        assert_eq!(d0.chunks_copied, 0, "a fresh clone shares everything");
+        assert_eq!(d0.chunks_shared, base.chunk_count());
+        let f = g.label_named("f").unwrap();
+        assert!(g.insert_edge(3, 40, f));
+        let d1 = g.cow_diff(&base);
+        assert!(d1.chunks_copied >= 1 && d1.chunks_copied <= 2, "endpoint chunks only: {d1:?}");
+        assert_eq!(d1.chunks_copied + d1.chunks_shared, g.chunk_count());
+        // The original is untouched.
+        assert!(!base.has_edge(3, 40, f.fwd()));
+        assert_eq!(base.edge_count() + 1, g.edge_count());
+    }
+
+    #[test]
+    fn noop_mutations_copy_nothing() {
+        let base = chunky(64, 8);
+        let mut g = base.clone();
+        let f = g.label_named("f").unwrap();
+        assert!(!g.insert_edge(0, 1, f), "edge exists");
+        assert!(!g.remove_edge(0, 2, f), "edge absent");
+        let d = g.cow_diff(&base);
+        assert_eq!(d.chunks_copied, 0, "no-ops must not break sharing");
+    }
+
+    #[test]
+    fn deep_clone_shares_nothing() {
+        let base = chunky(64, 8);
+        let g = base.deep_clone();
+        let d = g.cow_diff(&base);
+        assert_eq!(d.chunks_shared, 0);
+        assert_eq!(d.chunks_copied, base.chunk_count());
+        for l in base.ext_labels() {
+            assert_eq!(base.edge_pairs(l).to_vec(), g.edge_pairs(l).to_vec());
+        }
+    }
+
+    #[test]
+    fn pair_list_views() {
+        let g = chunky(64, 8);
+        let f = g.label_named("f").unwrap();
+        let all = g.edge_pairs(f.fwd());
+        assert_eq!(all.len(), 128);
+        assert_eq!(all.iter().count(), all.len());
+        let flat = all.to_vec();
+        assert!(flat.windows(2).all(|w| w[0] < w[1]), "segment concat stays sorted");
+        // Segmented restriction agrees with filtering.
+        let sub = all.restrict_src(10, 30);
+        let expect: Vec<Pair> =
+            flat.iter().copied().filter(|p| (10..30).contains(&p.src())).collect();
+        assert_eq!(sub.to_vec(), expect);
+        assert_eq!(sub.len(), expect.len());
+        for &p in &expect {
+            assert!(sub.contains(p));
+        }
+        assert!(!sub.contains(Pair::new(40, 41)));
+    }
+
+    #[test]
+    fn add_vertex_opens_chunks_past_split() {
+        let mut g = GraphBuilder::new().build();
+        assert_eq!(g.chunk_count(), 0);
+        for i in 0..(CHUNK_SPLIT_ROWS + 10) {
+            g.add_vertex(format!("v{i}"));
+        }
+        assert_eq!(g.vertex_count() as usize, CHUNK_SPLIT_ROWS + 10);
+        assert_eq!(g.chunk_count(), 4, "split threshold opens a second chunk pair");
+        assert_eq!(g.vertex_name(0), "v0");
+        let last = g.vertex_count() - 1;
+        assert_eq!(g.vertex_name(last), format!("v{}", last));
+        assert_eq!(g.ext_degree(last), 0);
     }
 }

@@ -12,7 +12,7 @@
 //! so per-shard refinements are independent, and concatenating shard
 //! results in range order preserves global pair order without re-sorting.
 
-use crate::graph::{Graph, VertexId};
+use crate::graph::{Graph, PairList, VertexId};
 use crate::label::ExtLabel;
 use crate::pair::Pair;
 use std::ops::Range;
@@ -39,9 +39,10 @@ impl<'g> SrcRangeView<'g> {
     }
 
     /// The restriction of `⟦ℓ⟧` to pairs with source in this shard's range
-    /// — a contiguous subslice of the graph's sorted relation.
-    pub fn edge_pairs(&self, l: ExtLabel) -> &'g [Pair] {
-        slice_by_src(self.graph.edge_pairs(l), self.range.0, self.range.1)
+    /// — a source-contiguous sub-view of the graph's sorted relation
+    /// (zero-copy: the view only narrows the per-chunk segments).
+    pub fn edge_pairs(&self, l: ExtLabel) -> PairList<'g> {
+        self.graph.edge_pairs(l).restrict_src(self.range.0, self.range.1)
     }
 
     /// Total restricted edge-pair entries across all extended labels (the
@@ -131,13 +132,10 @@ mod tests {
             for hi in lo..=n {
                 let view = g.src_range_view(lo..hi);
                 for l in g.ext_labels() {
-                    let expected: Vec<Pair> = g
-                        .edge_pairs(l)
-                        .iter()
-                        .copied()
-                        .filter(|p| (lo..hi).contains(&p.src()))
-                        .collect();
-                    assert_eq!(view.edge_pairs(l), expected.as_slice(), "label {l:?} [{lo},{hi})");
+                    let expected: Vec<Pair> =
+                        g.edge_pairs(l).iter().filter(|p| (lo..hi).contains(&p.src())).collect();
+                    assert_eq!(view.edge_pairs(l).to_vec(), expected, "label {l:?} [{lo},{hi})");
+                    assert_eq!(view.edge_pairs(l).len(), expected.len());
                 }
             }
         }
@@ -190,7 +188,7 @@ mod tests {
         let g = generate::random_graph(&generate::RandomGraphConfig::uniform(40, 200, 3, 9));
         let view = g.src_range_view(0..g.vertex_count());
         for l in g.ext_labels() {
-            assert_eq!(view.edge_pairs(l), g.edge_pairs(l));
+            assert_eq!(view.edge_pairs(l).to_vec(), g.edge_pairs(l).to_vec());
         }
     }
 }

@@ -40,8 +40,10 @@ pub const MAGIC: [u8; 4] = *b"CPQX";
 /// The protocol version this build speaks. The handshake requires an
 /// exact match (pre-release protocol: no cross-version compatibility
 /// promise). Version 2 added the typed DELTA/DELTA_ACK frames and
-/// extended the STATS report with maintenance counters.
-pub const PROTOCOL_VERSION: u16 = 2;
+/// extended the STATS report with maintenance counters; version 3
+/// extended STATS again with the copy-on-write sharing gauges
+/// (`cow_chunks_copied` / `cow_chunks_shared`).
+pub const PROTOCOL_VERSION: u16 = 3;
 
 /// Default bound on accepted payload sizes (16 MiB). Servers apply it to
 /// requests, clients to responses; both sides make it configurable.
@@ -368,6 +370,13 @@ pub struct WireStats {
     pub rebuilds: u64,
     /// Rebuilds triggered by the fragmentation threshold.
     pub auto_rebuilds: u64,
+    /// Copy-on-write chunks copied by write transactions (cumulative,
+    /// graph + index): the O(changed) work the snapshot-per-write path
+    /// actually paid.
+    pub cow_chunks_copied: u64,
+    /// Copy-on-write chunks still shared with the replaced snapshot
+    /// after each write transaction (cumulative).
+    pub cow_chunks_shared: u64,
     /// Allocated class slots of the serving index (tombstones included).
     pub class_slots: u64,
     /// Class count of the full build the serving index descends from.
@@ -882,7 +891,7 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, DecodeError> {
     Ok(resp)
 }
 
-const STATS_FIELDS: usize = 25;
+const STATS_FIELDS: usize = 27;
 
 fn stats_fields(s: &WireStats) -> [u64; STATS_FIELDS] {
     [
@@ -899,6 +908,8 @@ fn stats_fields(s: &WireStats) -> [u64; STATS_FIELDS] {
         s.lazy_update_ops,
         s.rebuilds,
         s.auto_rebuilds,
+        s.cow_chunks_copied,
+        s.cow_chunks_shared,
         s.class_slots,
         s.baseline_classes,
         s.p50_us,
@@ -929,18 +940,20 @@ fn stats_from_fields(f: [u64; STATS_FIELDS]) -> WireStats {
         lazy_update_ops: f[10],
         rebuilds: f[11],
         auto_rebuilds: f[12],
-        class_slots: f[13],
-        baseline_classes: f[14],
-        p50_us: f[15],
-        p99_us: f[16],
-        ping_requests: f[17],
-        query_requests: f[18],
-        batch_requests: f[19],
-        update_requests: f[20],
-        delta_requests: f[21],
-        stats_requests: f[22],
-        error_responses: f[23],
-        connections: f[24],
+        cow_chunks_copied: f[13],
+        cow_chunks_shared: f[14],
+        class_slots: f[15],
+        baseline_classes: f[16],
+        p50_us: f[17],
+        p99_us: f[18],
+        ping_requests: f[19],
+        query_requests: f[20],
+        batch_requests: f[21],
+        update_requests: f[22],
+        delta_requests: f[23],
+        stats_requests: f[24],
+        error_responses: f[25],
+        connections: f[26],
     }
 }
 

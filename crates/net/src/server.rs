@@ -574,6 +574,8 @@ fn wire_stats(s: &Shared) -> WireStats {
         lazy_update_ops: engine.lazy_update_ops,
         rebuilds: engine.rebuilds,
         auto_rebuilds: engine.auto_rebuilds,
+        cow_chunks_copied: engine.cow_chunks_copied,
+        cow_chunks_shared: engine.cow_chunks_shared,
         class_slots: engine.class_slots,
         baseline_classes: engine.baseline_classes,
         p50_us: engine.p50.as_micros().min(u64::MAX as u128) as u64,

@@ -336,6 +336,16 @@ fn typed_deltas_with_pinned_readers_and_auto_rebuild() {
     assert!(wire_stats.rebuilds >= 1);
     assert!(wire_stats.fragmentation_ratio() > 0.0);
     server.shutdown();
+    // The STATS frame must round-trip the engine's fragmentation and
+    // copy-on-write gauges exactly — the server is quiescent now, so a
+    // fresh engine report and the last wire report describe the same
+    // counters.
+    let end = engine.stats();
+    assert_eq!(wire_stats.class_slots, end.class_slots);
+    assert_eq!(wire_stats.baseline_classes, end.baseline_classes);
+    assert_eq!(wire_stats.cow_chunks_copied, end.cow_chunks_copied);
+    assert_eq!(wire_stats.cow_chunks_shared, end.cow_chunks_shared);
+    assert!(end.cow_chunks_copied > 0, "write transactions must have copied chunks: {end}");
 }
 
 /// The CI smoke scenario: benchmark-query batches plus one UPDATE over
@@ -382,6 +392,12 @@ fn loopback_smoke_benchqueries() {
     assert_eq!(stats.ping_requests, 1);
     assert_eq!(stats.stats_requests, 1);
     assert!(stats.queries >= 2 * texts.len() as u64);
+    // COW gauges round-trip the engine's report: one small delta copied a
+    // few chunks and left the rest of the snapshot shared.
+    let engine_stats = engine.stats();
+    assert_eq!(stats.cow_chunks_copied, engine_stats.cow_chunks_copied);
+    assert_eq!(stats.cow_chunks_shared, engine_stats.cow_chunks_shared);
+    assert!(stats.cow_chunks_copied > 0, "the UPDATE delta copied chunks");
     server.shutdown();
 }
 

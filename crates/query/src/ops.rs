@@ -133,7 +133,7 @@ mod tests {
         let v = g.label_named("v").unwrap().fwd();
         let base = g.edge_pairs(f).to_vec();
         let a = expand_adjacency(&g, &base, v);
-        let b = join_pairs(&base, g.edge_pairs(v));
+        let b = join_pairs(&base, &g.edge_pairs(v).to_vec());
         assert_eq!(a, b);
         assert!(!a.is_empty());
     }
