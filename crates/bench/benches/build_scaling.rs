@@ -1,0 +1,198 @@
+//! Build-pipeline scaling: sequential vs. fully parallel construction,
+//! phase by phase — the engine-level form of the ROADMAP's "parallelize
+//! the level-1 prefix" and "shard the interest-aware build" items.
+//!
+//! Two tables:
+//!
+//! * **level1_scaling** (at the full `CPQX_EDGE_BUDGET`):
+//!   `RefinementBase::new` (sequential) vs.
+//!   `RefinementBase::with_threads` at the probe thread count — the pass
+//!   that used to be the serial prefix of every sharded build. This is
+//!   the row CI gates on.
+//! * **build_pipelines** (at `CPQX_BUILD_FULL_BUDGET`, default the edge
+//!   budget capped at 20 000 — the end-to-end sequential builds get slow
+//!   far earlier than level 1 does): `CpqxIndex::build` vs.
+//!   `build_sharded`, and `CpqxIndex::build_interest_aware` vs.
+//!   `build_interest_sharded` over label-weighted source ranges, using a
+//!   small interest set drawn from the graph's alphabet.
+//!
+//! Knobs: the usual `CPQX_*` variables plus `CPQX_BUILD_THREADS` (probe
+//! thread count, default `max(4, available_parallelism)`) and
+//! `CPQX_BUILD_ASSERT_PARALLEL` (minimum accepted level-1 speedup at the
+//! probe thread count on the uniform row; unset = report only). CI sets
+//! the assertion at the 100k-edge budget so a regression back to a
+//! serial level-1 prefix fails the job visibly. The assertion is skipped
+//! (with a note) when the host has a single hardware thread — there is
+//! no parallelism to measure.
+
+use cpqx_bench::{env_parse, BenchConfig, Table};
+use cpqx_core::{CpqxIndex, RefinementBase};
+use cpqx_engine::{build_interest_sharded, build_sharded, BuildOptions};
+use cpqx_graph::{Graph, LabelSeq};
+use std::time::Instant;
+
+fn secs(f: impl FnOnce()) -> f64 {
+    let t0 = Instant::now();
+    f();
+    t0.elapsed().as_secs_f64()
+}
+
+/// Level-1 sequential vs parallel wall-clock (best of `reps` each).
+fn level1_pair(g: &Graph, threads: usize, reps: usize) -> (f64, f64) {
+    let mut seq = f64::INFINITY;
+    let mut par = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        seq = seq.min(secs(|| {
+            std::hint::black_box(RefinementBase::new(g));
+        }));
+        par = par.min(secs(|| {
+            std::hint::black_box(RefinementBase::with_threads(g, threads));
+        }));
+    }
+    (seq, par)
+}
+
+fn uniform(edges: usize, seed: u64) -> Graph {
+    cpqx_graph::generate::random_graph(&cpqx_graph::generate::RandomGraphConfig::uniform(
+        edges.max(64) as u32,
+        edges,
+        4,
+        seed,
+    ))
+}
+
+fn social(edges: usize, seed: u64) -> Graph {
+    cpqx_graph::generate::random_graph(&cpqx_graph::generate::RandomGraphConfig::social(
+        (edges / 4).max(64) as u32,
+        edges,
+        4,
+        seed,
+    ))
+}
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let available = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads: usize = env_parse("CPQX_BUILD_THREADS", available.max(4));
+    let assert_parallel: Option<f64> =
+        std::env::var("CPQX_BUILD_ASSERT_PARALLEL").ok().and_then(|v| v.parse().ok());
+    let full_budget: usize = env_parse("CPQX_BUILD_FULL_BUDGET", cfg.edge_budget.min(20_000));
+    let opts = BuildOptions { shards: Some(threads), threads: Some(threads) };
+
+    // -- table 1: the level-1 phase at full budget (the CI gate) ---------
+    let l1_col = format!("level1 @{threads}T [ms]");
+    let mut table = Table::new(
+        "level1_scaling",
+        &["dataset", "|V|", "|E|", "level1 seq [ms]", &l1_col, "l1 speedup"],
+    );
+    let mut uniform_l1_speedup = 0.0f64;
+    for (name, g, asserted) in [
+        ("uniform", uniform(cfg.edge_budget, cfg.seed), true),
+        ("social", social(cfg.edge_budget, cfg.seed), false),
+    ] {
+        let (l1_seq, l1_par) = level1_pair(&g, threads, cfg.reps);
+        let l1_speedup = l1_seq / l1_par.max(1e-9);
+        if asserted {
+            uniform_l1_speedup = l1_speedup;
+        }
+        table.row(vec![
+            name.to_string(),
+            g.vertex_count().to_string(),
+            g.edge_count().to_string(),
+            format!("{:.1}", l1_seq * 1e3),
+            format!("{:.1}", l1_par * 1e3),
+            format!("{l1_speedup:.2}x"),
+        ]);
+    }
+    table.finish();
+
+    // -- table 2: end-to-end pipelines at the (capped) full budget -------
+    let full_col = format!("sharded @{threads}T [s]");
+    let ia_col = format!("ia sharded @{threads}T [s]");
+    let mut table = Table::new(
+        "build_pipelines",
+        &[
+            "dataset",
+            "|V|",
+            "|E|",
+            "seq build [s]",
+            &full_col,
+            "build speedup",
+            "ia seq [s]",
+            &ia_col,
+            "ia speedup",
+        ],
+    );
+    for (name, g) in
+        [("uniform", uniform(full_budget, cfg.seed)), ("social", social(full_budget, cfg.seed))]
+    {
+        // A small interest set over the alphabet: each label chained with
+        // its successor (enough to make the interest phase non-trivial).
+        let labels: Vec<_> = g.ext_labels().collect();
+        let interests: Vec<LabelSeq> =
+            labels.windows(2).map(|w| LabelSeq::from_slice(&[w[0], w[1]])).collect();
+
+        let full_seq = secs(|| {
+            std::hint::black_box(CpqxIndex::build(&g, cfg.k));
+        });
+        let full_par = secs(|| {
+            std::hint::black_box(build_sharded(&g, cfg.k, opts));
+        });
+        let ia_seq = secs(|| {
+            std::hint::black_box(CpqxIndex::build_interest_aware(&g, cfg.k, interests.clone()));
+        });
+        let ia_par = secs(|| {
+            std::hint::black_box(build_interest_sharded(&g, cfg.k, interests.clone(), opts));
+        });
+
+        table.row(vec![
+            name.to_string(),
+            g.vertex_count().to_string(),
+            g.edge_count().to_string(),
+            format!("{full_seq:.3}"),
+            format!("{full_par:.3}"),
+            format!("{:.2}x", full_seq / full_par.max(1e-9)),
+            format!("{ia_seq:.3}"),
+            format!("{ia_par:.3}"),
+            format!("{:.2}x", ia_seq / ia_par.max(1e-9)),
+        ]);
+    }
+    table.finish();
+
+    println!(
+        "\nInvariant check: all three parallel pipelines are verified query-equivalent to their \
+         sequential counterparts by crates/engine/tests/build_differential.rs; this bench only \
+         measures wall-clock. 'l1 speedup' is sequential/parallel level-1 time at {threads} \
+         threads — the pass that was the serial prefix of every sharded build before the \
+         parallel rewrite."
+    );
+
+    if let Some(min) = assert_parallel {
+        if available < 2 {
+            println!(
+                "CPQX_BUILD_ASSERT_PARALLEL={min} skipped: single hardware thread, nothing to \
+                 measure (speedup observed: {uniform_l1_speedup:.2}x)"
+            );
+            return;
+        }
+        // Wall-clock gates at smoke budgets are noise-prone: take the best
+        // of up to three fresh measurements before failing — a real
+        // regression to a serial level-1 fails all of them.
+        let mut best = uniform_l1_speedup;
+        for _ in 0..2 {
+            if best >= min {
+                break;
+            }
+            let g = uniform(cfg.edge_budget, cfg.seed);
+            let (l1_seq, l1_par) = level1_pair(&g, threads, cfg.reps);
+            best = best.max(l1_seq / l1_par.max(1e-9));
+            println!("level1-speedup re-measurement: {best:.2}x");
+        }
+        assert!(
+            best >= min,
+            "parallel level-1 regressed: uniform-row speedup {best:.2}x < required {min}x at \
+             {threads} threads (best of 3) — the level-1 pass is serial again"
+        );
+        println!("level1-speedup assertion passed: {best:.2}x >= {min}x");
+    }
+}

@@ -25,7 +25,8 @@
 //! exact-length-i sequence set *per block id* instead of per pair, which is
 //! how `Il2c` is materialized without ever enumerating paths.
 
-use cpqx_graph::{Graph, LabelSeq, Pair};
+use cpqx_graph::{ExtLabel, Graph, LabelSeq, Pair};
+use std::time::{Duration, Instant};
 
 /// Identifier of a CPQk-equivalence class.
 pub type ClassId = u32;
@@ -104,6 +105,14 @@ struct LevelView<'a> {
 /// parallel: all pairs `(v, ·)` of a source vertex `v` are produced by
 /// level-sequences that start at `v`, so a shard owning a source range owns
 /// its pairs outright (see [`RefinementBase::partition_range`]).
+///
+/// The level-1 pass itself is parallel too (see
+/// [`RefinementBase::with_threads`]): per-range extraction, sorting and
+/// signature collection run on a scoped pool, and block ids are assigned by
+/// each distinct signature's rank in the globally sorted signature set —
+/// which is exactly the id the sequential pass hands out, so the parallel
+/// result is *structurally identical* (same `pair_blocks`, same
+/// `block_seqs`), not merely query-equivalent.
 pub struct RefinementBase {
     level1: Level,
     /// For each vertex `m`, the `(target, b₁(m,u))` list of its outgoing
@@ -113,20 +122,52 @@ pub struct RefinementBase {
 }
 
 impl RefinementBase {
-    /// Builds the global level-1 state of `g` (the sequential prefix of
-    /// every sharded build).
+    /// Builds the global level-1 state of `g` sequentially (equivalent to
+    /// [`RefinementBase::with_threads`] at one thread).
     pub fn new(g: &Graph) -> Self {
-        let level1 = build_level1(g);
+        Self::with_threads(g, 1)
+    }
+
+    /// Builds the global level-1 state of `g`, running the per-range
+    /// extraction + sort + block-id assignment on up to `threads` workers.
+    /// The result is structurally identical to [`RefinementBase::new`] at
+    /// any thread count (asserted by the level-1 property tests).
+    pub fn with_threads(g: &Graph, threads: usize) -> Self {
+        Self::with_threads_timed(g, threads).0
+    }
+
+    /// [`RefinementBase::with_threads`], also returning the wall-clock
+    /// spent inside the parallel sections of the level-1 pass (zero when
+    /// the build degenerates to the sequential pipeline).
+    pub fn with_threads_timed(g: &Graph, threads: usize) -> (Self, Duration) {
+        let (level1, parallel) = if threads <= 1 {
+            (build_level1(g), Duration::ZERO)
+        } else {
+            build_level1_parallel(g, threads)
+        };
         let mut adj1: Vec<Vec<(u32, u32)>> = vec![Vec::new(); g.vertex_count() as usize];
         for &(p, b) in &level1.pair_blocks {
             adj1[p.src() as usize].push((p.dst(), b));
         }
-        RefinementBase { level1, adj1, vertex_count: g.vertex_count() }
+        (RefinementBase { level1, adj1, vertex_count: g.vertex_count() }, parallel)
     }
 
     /// Number of vertices of the underlying graph.
     pub fn vertex_count(&self) -> u32 {
         self.vertex_count
+    }
+
+    /// The level-1 `(pair, b₁)` assignment, sorted by pair — exposed so
+    /// equivalence harnesses can assert the parallel level-1 pass is
+    /// structurally identical to the sequential one.
+    pub fn level1_pair_blocks(&self) -> &[(Pair, u32)] {
+        &self.level1.pair_blocks
+    }
+
+    /// Per level-1 block: its sorted exact-length-1 label-sequence set
+    /// (companion accessor to [`RefinementBase::level1_pair_blocks`]).
+    pub fn level1_block_seqs(&self) -> &[Vec<LabelSeq>] {
+        &self.level1.block_seqs
     }
 
     /// Number of level-1 (edge-connected) pairs — the work measure used to
@@ -247,12 +288,31 @@ pub fn merge_partitions(shards: Vec<Partition>) -> Partition {
     Partition { pair_classes, class_loop, class_seqs }
 }
 
-/// Level 1: group edge-connected pairs by `(is-loop, sorted label set)`.
-fn build_level1(g: &Graph) -> Level {
-    // (pair, label) for every extended edge, sorted by (pair, label).
+/// A level-1 block signature: `(is-loop, sorted extended-label set)`.
+/// Tuple `Ord` is the level-1 comparator (loop flag first, then
+/// lexicographic labels), so a signature's rank in a sorted distinct
+/// list is its block id.
+type Level1Sig = (bool, Vec<u16>);
+
+/// One source range's share of the level-1 pass: its sorted
+/// `(pair, label)` entries, the grouped pairs (each referencing its
+/// label slice in `entries`), and the range's *distinct* `(is-loop,
+/// label set)` signatures, sorted. Only distinct signatures own their
+/// label vectors; per-pair signatures stay slices into `entries`.
+struct Level1Part {
+    entries: Vec<(Pair, u16)>,
+    pairs: Vec<(Pair, std::ops::Range<usize>)>,
+    sigs: Vec<Level1Sig>,
+}
+
+/// Extracts one source range's level-1 state: per-label entry extraction,
+/// sort, pair grouping, and local distinct-signature collection. The
+/// per-worker unit of the parallel pass; the sequential pass is the
+/// single-range instance of the same code, so the two cannot diverge.
+fn level1_part(g: &Graph, r: std::ops::Range<u32>) -> Level1Part {
     let mut entries: Vec<(Pair, u16)> = Vec::new();
     for l in g.ext_labels() {
-        for p in g.edge_pairs(l).iter() {
+        for p in g.edge_pairs(l).restrict_src(r.start, r.end).iter() {
             entries.push((p, l.0));
         }
     }
@@ -268,33 +328,100 @@ fn build_level1(g: &Graph) -> Level {
         i = j;
     }
 
-    // Assign block ids by sorting pair indexes on (is-loop, label slice).
+    // Collect the distinct signatures in (is-loop, label slice) order.
     let labels_of = |idx: usize| entries[pairs[idx].1.clone()].iter().map(|&(_, l)| l);
     let mut order: Vec<usize> = (0..pairs.len()).collect();
     order.sort_unstable_by(|&a, &b| {
         pairs[a].0.is_loop().cmp(&pairs[b].0.is_loop()).then_with(|| labels_of(a).cmp(labels_of(b)))
     });
-
-    let mut pair_blocks: Vec<(Pair, u32)> = vec![(Pair(0), 0); pairs.len()];
-    let mut block_seqs: Vec<Vec<LabelSeq>> = Vec::new();
-    let mut prev: Option<usize> = None;
+    let mut sigs: Vec<Level1Sig> = Vec::new();
     for &idx in &order {
-        let same = prev.is_some_and(|p| {
-            pairs[p].0.is_loop() == pairs[idx].0.is_loop() && labels_of(p).eq(labels_of(idx))
-        });
+        let lp = pairs[idx].0.is_loop();
+        let same = sigs
+            .last()
+            .is_some_and(|(plp, pls)| *plp == lp && pls.iter().copied().eq(labels_of(idx)));
         if !same {
-            let seqs: Vec<LabelSeq> = entries[pairs[idx].1.clone()]
-                .iter()
-                .map(|&(_, l)| LabelSeq::single(cpqx_graph::ExtLabel(l)))
-                .collect();
-            block_seqs.push(seqs);
+            sigs.push((lp, labels_of(idx).collect()));
         }
-        let b = (block_seqs.len() - 1) as u32;
-        pair_blocks[idx] = (pairs[idx].0, b);
-        prev = Some(idx);
     }
-    // `pairs` was built in pair order, so pair_blocks is sorted by pair.
+    Level1Part { entries, pairs, sigs }
+}
+
+/// Merges per-range distinct-signature sets into the globally sorted
+/// signature list and its per-block sequence sets. `(bool, Vec<u16>)`
+/// ordering is the level-1 comparator — loop flag first, then
+/// lexicographic labels — so a signature's **rank** in the merged list is
+/// its block id: the classic one-walk assignment bumps the id at every
+/// new signature while walking pairs in exactly this order.
+fn level1_sig_merge(parts: &[Level1Part]) -> (Vec<Level1Sig>, Vec<Vec<LabelSeq>>) {
+    let mut sigs: Vec<Level1Sig> = parts.iter().flat_map(|p| p.sigs.iter().cloned()).collect();
+    sigs.sort_unstable();
+    sigs.dedup();
+    let block_seqs: Vec<Vec<LabelSeq>> = sigs
+        .iter()
+        .map(|(_, ls)| ls.iter().map(|&l| LabelSeq::single(ExtLabel(l))).collect())
+        .collect();
+    (sigs, block_seqs)
+}
+
+/// Maps one range's pairs to their signatures' global ranks. The output
+/// inherits the part's (ascending) pair order.
+fn level1_map_part(part: Level1Part, sigs: &[Level1Sig]) -> Vec<(Pair, u32)> {
+    let Level1Part { entries, pairs, .. } = part;
+    pairs
+        .into_iter()
+        .map(|(p, range)| {
+            let labels = entries[range].iter().map(|&(_, l)| l);
+            let b = sigs
+                .binary_search_by(|s| {
+                    s.0.cmp(&p.is_loop()).then_with(|| s.1.iter().copied().cmp(labels.clone()))
+                })
+                .expect("every signature was registered in the merge");
+            (p, b as u32)
+        })
+        .collect()
+}
+
+/// Level 1: group edge-connected pairs by `(is-loop, sorted label set)` —
+/// the single-range instance of the shared range pipeline above.
+fn build_level1(g: &Graph) -> Level {
+    let part = level1_part(g, 0..g.vertex_count());
+    let (sigs, block_seqs) = level1_sig_merge(std::slice::from_ref(&part));
+    let pair_blocks = level1_map_part(part, &sigs);
     Level { pair_blocks, block_seqs }
+}
+
+/// Parallel level 1, structurally identical to [`build_level1`]: the same
+/// per-range pipeline fanned over balanced source ranges. Pair groups
+/// never straddle ranges (grouping is by pair; ranges partition sources),
+/// the signature merge gives globally consistent ranks, and concatenating
+/// per-range outputs in range order preserves global pair order (`Pair`
+/// packs source-major) — so `pair_blocks` and `block_seqs` come out
+/// byte-identical at any range count. Returns the level plus the
+/// wall-clock spent in the two parallel sections.
+fn build_level1_parallel(g: &Graph, threads: usize) -> (Level, Duration) {
+    let ranges = g.balanced_src_ranges(threads);
+    if ranges.len() <= 1 {
+        return (build_level1(g), Duration::ZERO);
+    }
+
+    let t0 = Instant::now();
+    let parts: Vec<Level1Part> = crate::pool::parallel_map(ranges, threads, |r| level1_part(g, r));
+    let mut parallel = t0.elapsed();
+
+    let (sigs, block_seqs) = level1_sig_merge(&parts);
+
+    let t0 = Instant::now();
+    let sigs = &sigs;
+    let mapped: Vec<Vec<(Pair, u32)>> =
+        crate::pool::parallel_map(parts, threads, |part| level1_map_part(part, sigs));
+    parallel += t0.elapsed();
+
+    let mut pair_blocks: Vec<(Pair, u32)> = Vec::with_capacity(mapped.iter().map(Vec::len).sum());
+    for m in mapped {
+        pair_blocks.extend(m);
+    }
+    (Level { pair_blocks, block_seqs }, parallel)
 }
 
 /// Level i from level i−1: join exact-(i−1) pairs with edges, group by
@@ -654,6 +781,34 @@ mod tests {
             }
             for r in &ranges {
                 assert!(r.start < r.end, "empty range {r:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_level1_is_structurally_identical() {
+        // Not just query-equivalent: the parallel pass must reproduce the
+        // sequential pair_blocks/block_seqs byte for byte.
+        let graphs = vec![
+            generate::gex(),
+            generate::cycle(6, "f"),
+            generate::random_graph(&generate::RandomGraphConfig::social(50, 220, 3, 7)),
+            cpqx_graph::GraphBuilder::new().build(),
+        ];
+        for g in &graphs {
+            let seq = RefinementBase::new(g);
+            for threads in [2, 3, 8, 16] {
+                let (par, _) = RefinementBase::with_threads_timed(g, threads);
+                assert_eq!(
+                    seq.level1_pair_blocks(),
+                    par.level1_pair_blocks(),
+                    "pair_blocks diverge at {threads} threads"
+                );
+                assert_eq!(
+                    seq.level1_block_seqs(),
+                    par.level1_block_seqs(),
+                    "block_seqs diverge at {threads} threads"
+                );
             }
         }
     }

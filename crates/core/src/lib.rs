@@ -38,10 +38,11 @@ pub mod interest;
 pub mod maintain;
 pub mod optimize;
 pub mod paths;
+pub mod pool;
 pub mod serialize;
 
 pub use bisim::{cpq_path_partition, merge_partitions, ClassId, Partition, RefinementBase};
 pub use exec::{ExecOptions, Executor, Intermediate};
 pub use index::{CpqxIndex, Fragmentation, IndexStats};
-pub use interest::normalize_interests;
+pub use interest::{interest_partition, interest_partition_range, normalize_interests};
 pub use optimize::{estimate_plan_cost, optimize_query, optimize_query_costed};

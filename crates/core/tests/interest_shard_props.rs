@@ -1,0 +1,137 @@
+//! Property tests for the sharded interest-aware build: merging
+//! `interest_partition_range` shards over any tiling of source ranges is
+//! query-equivalent to the sequential `interest_partition` — identical
+//! pair universe, identical per-pair `(cyclicity, L≤k ∩ Lq)` class data,
+//! identical class counts — across random graphs and random interest
+//! subsets, including the **empty** interest set (length-1 sequences
+//! only) and **full-coverage** sets (every length-2 sequence, making
+//! iaCPQx as fine as CPQx at k = 2). The shard maps run on the real
+//! thread pool, so the concurrency path itself is exercised.
+
+use cpqx_core::{interest_partition, interest_partition_range, merge_partitions, Partition};
+use cpqx_core::{normalize_interests, pool, CpqxIndex};
+use cpqx_graph::generate::{random_graph, RandomGraphConfig};
+use cpqx_graph::{Graph, LabelSeq, Pair};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+const K: usize = 2;
+const SHARD_COUNTS: [usize; 5] = [1, 2, 4, 8, 16];
+
+/// Builds the sharded partition at `shards` ranges on `shards` workers.
+fn sharded(g: &Graph, lq: &BTreeSet<LabelSeq>, shards: usize) -> Partition {
+    let ranges = g.balanced_src_ranges(shards);
+    let parts = pool::parallel_map(ranges, shards, |r| interest_partition_range(g, K, lq, r));
+    merge_partitions(parts)
+}
+
+fn assert_query_equivalent(g: &Graph, lq: &BTreeSet<LabelSeq>, ctx: &str) {
+    let seq = interest_partition(g, K, lq);
+    let lookup: std::collections::HashMap<Pair, u32> = seq.pair_classes.iter().copied().collect();
+    let ia_seq = CpqxIndex::from_partition(K, Some(lq.clone()), interest_partition(g, K, lq));
+    for &shards in &SHARD_COUNTS {
+        let merged = sharded(g, lq, shards);
+        assert_eq!(merged.pair_count(), seq.pair_count(), "{shards} shards ({ctx})");
+        assert_eq!(merged.class_count(), seq.class_count(), "{shards} shards ({ctx})");
+        for &(p, c) in &merged.pair_classes {
+            let sc = *lookup.get(&p).unwrap_or_else(|| panic!("extra pair {p:?} ({ctx})"));
+            assert_eq!(
+                merged.class_seqs[c as usize], seq.class_seqs[sc as usize],
+                "pair {p:?} carries different interest intersection ({ctx})"
+            );
+            assert_eq!(merged.class_loop[c as usize], seq.class_loop[sc as usize]);
+        }
+        // The materialized indexes answer identically — the property the
+        // planner/executor actually rely on.
+        let ia_par = CpqxIndex::from_partition(K, Some(lq.clone()), merged);
+        for l in g.ext_labels() {
+            let q = cpqx_query::Cpq::Label(l);
+            assert_eq!(ia_par.evaluate(g, &q), ia_seq.evaluate(g, &q), "label {l:?} ({ctx})");
+        }
+        for s in lq {
+            let mut q = cpqx_query::Cpq::Label(s.get(0));
+            for i in 1..s.len() {
+                q = q.join(cpqx_query::Cpq::Label(s.get(i)));
+            }
+            assert_eq!(ia_par.evaluate(g, &q), ia_seq.evaluate(g, &q), "seq {s:?} ({ctx})");
+        }
+    }
+}
+
+/// A deterministic interest set over the graph's alphabet from raw index
+/// picks (normalized, possibly empty).
+fn interests_from_picks(g: &Graph, picks: &[(u16, u16)]) -> BTreeSet<LabelSeq> {
+    let labels: Vec<_> = g.ext_labels().collect();
+    if labels.is_empty() {
+        return BTreeSet::new();
+    }
+    normalize_interests(
+        picks.iter().map(|&(a, b)| {
+            LabelSeq::from_slice(&[
+                labels[a as usize % labels.len()],
+                labels[b as usize % labels.len()],
+            ])
+        }),
+        K,
+    )
+}
+
+/// All length-2 sequences over the alphabet — full coverage at k = 2.
+fn full_coverage(g: &Graph) -> BTreeSet<LabelSeq> {
+    let labels: Vec<_> = g.ext_labels().collect();
+    normalize_interests(
+        labels.iter().flat_map(|&a| labels.iter().map(move |&b| LabelSeq::from_slice(&[a, b]))),
+        K,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn random_interest_subsets(
+        seed in 0u64..100_000,
+        picks in prop::collection::vec((0u16..12, 0u16..12), 0..6),
+    ) {
+        let g = random_graph(&RandomGraphConfig::social(50, 210, 3, seed));
+        let lq = interests_from_picks(&g, &picks);
+        assert_query_equivalent(&g, &lq, &format!("seed={seed} picks={picks:?}"));
+    }
+
+    #[test]
+    fn empty_and_full_coverage_interest_sets(seed in 0u64..100_000) {
+        let g = random_graph(&RandomGraphConfig::uniform(40, 170, 3, seed));
+        // Empty: only the implicit length-1 sequences are indexed.
+        assert_query_equivalent(&g, &BTreeSet::new(), &format!("empty seed={seed}"));
+        // Full coverage: every length-2 sequence is an interest.
+        assert_query_equivalent(&g, &full_coverage(&g), &format!("full seed={seed}"));
+    }
+}
+
+#[test]
+fn degenerate_graphs_and_ranges() {
+    let empty = cpqx_graph::GraphBuilder::new().build();
+    assert_query_equivalent(&empty, &BTreeSet::new(), "empty graph");
+
+    let mut b = cpqx_graph::GraphBuilder::new();
+    b.ensure_vertices(7);
+    b.ensure_labels(2);
+    let edgeless = b.build();
+    assert_query_equivalent(&edgeless, &BTreeSet::new(), "edgeless graph");
+
+    // An empty source range yields an empty partition and merges away.
+    let g = cpqx_graph::generate::gex();
+    let lq = full_coverage(&g);
+    let p = interest_partition_range(&g, K, &lq, 3..3);
+    assert_eq!(p.pair_count(), 0);
+    assert_eq!(p.class_count(), 0);
+    assert_eq!(merge_partitions(vec![p]).pair_count(), 0);
+}
+
+#[test]
+fn gex_matches_paper_partition_under_sharding() {
+    let g = cpqx_graph::generate::gex();
+    let f = g.label_named("f").unwrap();
+    let lq = normalize_interests([LabelSeq::from_slice(&[f.fwd(), f.fwd()])], K);
+    assert_query_equivalent(&g, &lq, "gex ff");
+}

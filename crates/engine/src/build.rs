@@ -1,27 +1,45 @@
-//! Sharded parallel index construction.
+//! Sharded parallel index construction — full CPQx and interest-aware.
 //!
-//! The sequential builder ([`CpqxIndex::build`]) runs Algorithm 1 over the
-//! whole pair space. This module splits that work by *source vertex*: the
-//! set `P≤k` partitions exactly by source (every path from `v` yields only
-//! pairs `(v, ·)`), so after one shared global level-1 pass
-//! ([`cpqx_core::RefinementBase`]), refinement levels `2..=k` and class
-//! assembly run independently per source range on a scoped thread pool.
-//! Shard partitions are merged by the class invariant `(cyclicity, L≤k)`
-//! and materialized through [`CpqxIndex::from_partition`].
+//! The sequential builders ([`CpqxIndex::build`] /
+//! [`CpqxIndex::build_interest_aware`]) run over the whole pair space.
+//! This module parallelizes both ends of the pipeline:
+//!
+//! * **Full CPQx** ([`build_sharded`]): the level-1 pass of Algorithm 1
+//!   runs parallel per source range inside
+//!   [`cpqx_core::RefinementBase::with_threads`] (structurally identical
+//!   to the sequential pass — same block ids, same layout), then the set
+//!   `P≤k` partitions exactly by *source vertex* (every path from `v`
+//!   yields only pairs `(v, ·)`), so refinement levels `2..=k` and class
+//!   assembly run independently per source range on a scoped thread pool.
+//! * **Interest-aware iaCPQx** ([`build_interest_sharded`]): sequence
+//!   relations partition by source too, so
+//!   [`cpqx_core::interest_partition_range`] computes each shard's
+//!   partition over a label-weighted source range
+//!   ([`cpqx_graph::Graph::balanced_src_ranges_for_labels`] — interest
+//!   work is driven by the indexed sequences' first labels, not total
+//!   degree).
+//!
+//! Either way, shard partitions are merged by the class invariant
+//! `(cyclicity, L≤k)` (full) or `(cyclicity, L≤k ∩ Lq)` (interest) via
+//! [`cpqx_core::merge_partitions`] and materialized through
+//! [`CpqxIndex::from_partition`].
 //!
 //! The result is **query-equivalent** to the sequential build: every pair
-//! is assigned the same `(cyclicity, L≤k)` invariant, which is the only
-//! property query processing relies on (Prop. 4.1). Class *ids* may differ
-//! (merging by invariant can coarsen block-signature classes), which is
-//! observable only through diagnostics like [`CpqxIndex::stats`].
+//! is assigned the same sequence-set invariant, which is the only property
+//! query processing relies on (Prop. 4.1). Class *ids* may differ (merging
+//! by invariant can coarsen full-CPQx block-signature classes; interest
+//! classes keep identical counts, merely renumbered), which is observable
+//! only through diagnostics like [`CpqxIndex::stats`]. The
+//! `build_differential` harness replays random graphs + interest sets
+//! through all three pipelines at 1–16 threads to hold this equivalence.
 
 use cpqx_core::{merge_partitions, CpqxIndex, RefinementBase};
-use cpqx_graph::Graph;
+use cpqx_graph::{ExtLabel, Graph, LabelSeq};
 use std::time::{Duration, Instant};
 
 use crate::pool;
 
-/// Knobs for [`build_sharded`].
+/// Knobs for [`build_sharded`] and [`build_interest_sharded`].
 #[derive(Clone, Copy, Debug, Default)]
 pub struct BuildOptions {
     /// Number of source-range shards; `None` picks the available
@@ -33,16 +51,31 @@ pub struct BuildOptions {
 }
 
 /// Phase timings and shape of one sharded build (for benches and the
-/// engine's stats endpoint).
-#[derive(Clone, Copy, Debug)]
+/// engine's stats endpoint). Phases that a pipeline does not run report
+/// [`Duration::ZERO`] — full builds have no `interest_shards` phase,
+/// interest builds no `level1`/`refine`.
+#[derive(Clone, Copy, Debug, Default)]
 pub struct BuildReport {
     /// Shards actually used (≤ requested; small graphs use fewer).
     pub shards: usize,
-    /// Worker threads used.
+    /// Worker-thread cap the parallel phases ran under (each phase
+    /// additionally clamps to its own work-item count, so fewer workers
+    /// may have run where there were fewer shards than this).
     pub threads: usize,
-    /// Wall-clock of the shared global level-1 pass.
+    /// Wall-clock of the shared global level-1 pass (extraction, sorting,
+    /// block-id assignment, adjacency form). Since the parallel level-1
+    /// rewrite this pass is no longer a sequential prefix: its per-range
+    /// sections run on the worker pool, with only the signature merge
+    /// left serial (see [`BuildReport::level1_parallel`]).
     pub level1: Duration,
-    /// Wall-clock of the parallel refine+assemble phase.
+    /// Wall-clock spent inside the *parallel sections* of the level-1
+    /// pass (per-range extraction + sort, and block-id mapping). Zero
+    /// when level 1 degenerated to the single-threaded pipeline.
+    pub level1_parallel: Duration,
+    /// Wall-clock of the parallel per-shard interest partitioning phase
+    /// of [`build_interest_sharded`] (zero for full-CPQx builds).
+    pub interest_shards: Duration,
+    /// Wall-clock of the parallel refine+assemble phase (full builds).
     pub refine: Duration,
     /// Wall-clock of the merge + index materialization phase.
     pub merge: Duration,
@@ -51,8 +84,8 @@ pub struct BuildReport {
 }
 
 /// Builds the full CPQ-aware index of `g` with path parameter `k` using
-/// sharded parallel refinement. Query-equivalent to
-/// [`CpqxIndex::build`]`(g, k)` (see module docs).
+/// sharded parallel refinement over a parallel level-1 base.
+/// Query-equivalent to [`CpqxIndex::build`]`(g, k)` (see module docs).
 pub fn build_sharded(g: &Graph, k: usize, opts: BuildOptions) -> CpqxIndex {
     build_sharded_with_report(g, k, opts).0
 }
@@ -65,14 +98,18 @@ pub fn build_sharded_with_report(
 ) -> (CpqxIndex, BuildReport) {
     let t_start = Instant::now();
     let requested = opts.shards.unwrap_or_else(pool::default_threads).max(1);
+    let threads_hint = opts.threads.unwrap_or(requested).max(1);
 
     let t0 = Instant::now();
-    let base = RefinementBase::new(g);
+    let (base, level1_parallel) = RefinementBase::with_threads_timed(g, threads_hint);
     let level1 = t0.elapsed();
 
     let ranges = base.balanced_ranges(requested);
     let shards = ranges.len().max(1);
-    let threads = opts.threads.unwrap_or(shards).clamp(1, shards.max(1));
+    // The report carries the worker cap both phases ran under — level 1
+    // used it directly above; parallel_map clamps to the shard count on
+    // its own.
+    let threads = threads_hint;
 
     let t0 = Instant::now();
     let parts = pool::parallel_map(ranges, threads, |r| base.partition_range(k, r));
@@ -82,7 +119,79 @@ pub fn build_sharded_with_report(
     let index = CpqxIndex::from_partition(k, None, merge_partitions(parts));
     let merge = t0.elapsed();
 
-    let report = BuildReport { shards, threads, level1, refine, merge, total: t_start.elapsed() };
+    let report = BuildReport {
+        shards,
+        threads,
+        level1,
+        level1_parallel,
+        interest_shards: Duration::ZERO,
+        refine,
+        merge,
+        total: t_start.elapsed(),
+    };
+    (index, report)
+}
+
+/// Builds the interest-aware index (iaCPQx, Sec. V) of `g` with path
+/// parameter `k` using sharded parallel partitioning. `interests` may
+/// contain sequences longer than `k`; they are normalized by
+/// prefix-splitting exactly as in [`CpqxIndex::build_interest_aware`],
+/// to which the result is query-equivalent with identical class counts
+/// (see module docs).
+pub fn build_interest_sharded(
+    g: &Graph,
+    k: usize,
+    interests: impl IntoIterator<Item = LabelSeq>,
+    opts: BuildOptions,
+) -> CpqxIndex {
+    build_interest_sharded_with_report(g, k, interests, opts).0
+}
+
+/// [`build_interest_sharded`], also returning phase timings.
+pub fn build_interest_sharded_with_report(
+    g: &Graph,
+    k: usize,
+    interests: impl IntoIterator<Item = LabelSeq>,
+    opts: BuildOptions,
+) -> (CpqxIndex, BuildReport) {
+    let t_start = Instant::now();
+    let requested = opts.shards.unwrap_or_else(pool::default_threads).max(1);
+
+    let lq = cpqx_core::normalize_interests(interests, k);
+    // The indexed sequence list is derived once and shared by every shard
+    // (it must be identical across shards for the classes to merge).
+    let seqs = cpqx_core::interest::indexed_interest_seqs(g, k, &lq);
+    // Shard ranges balanced by the work the shards will actually do: one
+    // adjacency expansion per outgoing edge per indexed sequence starting
+    // with that edge's label (repeated first labels count once per
+    // sequence).
+    let first_labels: Vec<ExtLabel> = seqs.iter().map(|s| s.get(0)).collect();
+    let ranges = g.balanced_src_ranges_for_labels(&first_labels, requested);
+    let shards = ranges.len().max(1);
+    // Same cap semantics as build_sharded_with_report; parallel_map
+    // clamps to the shard count on its own.
+    let threads = opts.threads.unwrap_or(requested).max(1);
+
+    let t0 = Instant::now();
+    let parts = pool::parallel_map(ranges, threads, |r| {
+        cpqx_core::interest::interest_partition_range_with_seqs(g, k, &seqs, r)
+    });
+    let interest_shards = t0.elapsed();
+
+    let t0 = Instant::now();
+    let index = CpqxIndex::from_partition(k, Some(lq), merge_partitions(parts));
+    let merge = t0.elapsed();
+
+    let report = BuildReport {
+        shards,
+        threads,
+        level1: Duration::ZERO,
+        level1_parallel: Duration::ZERO,
+        interest_shards,
+        refine: Duration::ZERO,
+        merge,
+        total: t_start.elapsed(),
+    };
     (index, report)
 }
 
@@ -109,6 +218,35 @@ mod tests {
     }
 
     #[test]
+    fn interest_sharded_build_answers_like_sequential() {
+        let g = generate::gex();
+        let f = g.label_named("f").unwrap();
+        let v = g.label_named("v").unwrap();
+        let interests =
+            [LabelSeq::from_slice(&[f.fwd(), f.fwd()]), LabelSeq::from_slice(&[v.fwd(), f.inv()])];
+        let seq = CpqxIndex::build_interest_aware(&g, 2, interests.iter().copied());
+        for shards in [1, 2, 4, 16] {
+            let par = build_interest_sharded(
+                &g,
+                2,
+                interests.iter().copied(),
+                BuildOptions { shards: Some(shards), threads: Some(4) },
+            );
+            assert!(par.is_interest_aware());
+            assert_eq!(par.interests(), seq.interests());
+            assert_eq!(par.pair_count(), seq.pair_count(), "{shards} shards");
+            // Interest classes merge by their exact grouping key, so the
+            // counts agree exactly (not merely coarsen).
+            assert_eq!(par.stats().classes, seq.stats().classes, "{shards} shards");
+            for text in ["(f . f) & f^-1", "f . f", "v . f^-1", "(v . v^-1) & id"] {
+                let q = parse_cpq(text, &g).unwrap();
+                assert_eq!(par.evaluate(&g, &q), seq.evaluate(&g, &q), "{text} @ {shards}");
+                assert_eq!(par.evaluate(&g, &q), eval_reference(&g, &q), "{text} reference");
+            }
+        }
+    }
+
+    #[test]
     fn report_covers_phases() {
         let g = generate::random_graph(&generate::RandomGraphConfig::social(200, 900, 3, 11));
         let (idx, report) =
@@ -117,6 +255,23 @@ mod tests {
         assert_eq!(report.shards, 4);
         assert_eq!(report.threads, 2);
         assert!(report.total >= report.refine);
+        assert_eq!(report.interest_shards, Duration::ZERO);
+        // Multi-threaded level 1 must actually take the parallel path.
+        assert!(report.level1_parallel > Duration::ZERO);
+        assert!(report.level1 >= report.level1_parallel);
+
+        let f = g.labels().next().unwrap();
+        let (idx, report) = build_interest_sharded_with_report(
+            &g,
+            2,
+            [LabelSeq::from_slice(&[f.fwd(), f.fwd()])],
+            BuildOptions { shards: Some(4), threads: Some(2) },
+        );
+        assert!(idx.pair_count() > 0);
+        assert_eq!(report.shards, 4);
+        assert!(report.interest_shards > Duration::ZERO);
+        assert_eq!(report.level1, Duration::ZERO);
+        assert!(report.total >= report.interest_shards);
     }
 
     #[test]
@@ -124,11 +279,21 @@ mod tests {
         let empty = cpqx_graph::GraphBuilder::new().build();
         let idx = build_sharded(&empty, 2, BuildOptions::default());
         assert_eq!(idx.pair_count(), 0);
+        let idx = build_interest_sharded(&empty, 2, [], BuildOptions::default());
+        assert_eq!(idx.pair_count(), 0);
+        assert!(idx.is_interest_aware());
         let mut b = cpqx_graph::GraphBuilder::new();
         b.ensure_vertices(5);
         b.ensure_labels(1);
         let no_edges = b.build();
         let idx = build_sharded(&no_edges, 3, BuildOptions { shards: Some(8), threads: None });
+        assert_eq!(idx.pair_count(), 0);
+        let idx = build_interest_sharded(
+            &no_edges,
+            3,
+            [],
+            BuildOptions { shards: Some(8), threads: None },
+        );
         assert_eq!(idx.pair_count(), 0);
     }
 }

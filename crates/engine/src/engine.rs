@@ -35,7 +35,9 @@ use std::collections::BTreeSet;
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
-use crate::build::{build_sharded_with_report, BuildOptions, BuildReport};
+use crate::build::{
+    build_interest_sharded_with_report, build_sharded_with_report, BuildOptions, BuildReport,
+};
 use crate::cache::LruCache;
 use crate::delta::{apply_ops, Delta, DeltaError, DeltaOp, DeltaReport};
 use crate::stats::{EngineCounters, StatsReport};
@@ -63,8 +65,10 @@ pub struct EngineOptions {
     /// [`StatsReport::rejected_admissions`].
     pub result_admission_min_cost: f64,
     /// `Some(interests)` builds the interest-aware index (iaCPQx) instead
-    /// of full CPQx. Interest-aware partitions are interest-driven rather
-    /// than source-partitioned, so they build sequentially.
+    /// of full CPQx. Both variants build sharded in parallel under the
+    /// same [`BuildOptions`]: full CPQx over degree-balanced source
+    /// ranges, iaCPQx over label-weighted ones
+    /// ([`crate::build::build_interest_sharded`]).
     pub interests: Option<Vec<LabelSeq>>,
     /// Fragmentation threshold for automatic defragmentation: when a
     /// write transaction leaves the index with
@@ -183,6 +187,10 @@ pub struct Engine {
     counters: EngineCounters,
     /// Serializes writers: clone → mutate → install must not interleave.
     writer: Mutex<()>,
+    /// Phase timings of the most recent full build (initial build,
+    /// [`Engine::rebuild`], or an auto-rebuild) — surfaced through
+    /// [`Engine::stats`].
+    last_build: Mutex<BuildReport>,
     options: EngineOptions,
 }
 
@@ -194,17 +202,17 @@ impl Engine {
     }
 
     /// Builds an engine with explicit options, returning the initial
-    /// build's report (`None` for interest-aware engines, whose partition
-    /// builds sequentially).
-    pub fn with_options(graph: Graph, options: EngineOptions) -> (Engine, Option<BuildReport>) {
+    /// build's report (interest-aware engines build sharded too, through
+    /// [`crate::build::build_interest_sharded`]).
+    pub fn with_options(graph: Graph, options: EngineOptions) -> (Engine, BuildReport) {
         let (index, report) = match &options.interests {
-            None => {
-                let (index, report) = build_sharded_with_report(&graph, options.k, options.build);
-                (index, Some(report))
-            }
-            Some(lq) => {
-                (CpqxIndex::build_interest_aware(&graph, options.k, lq.iter().copied()), None)
-            }
+            None => build_sharded_with_report(&graph, options.k, options.build),
+            Some(lq) => build_interest_sharded_with_report(
+                &graph,
+                options.k,
+                lq.iter().copied(),
+                options.build,
+            ),
         };
         let snapshot = Arc::new(Snapshot::new(graph, index, 0, options.plan_cache_capacity));
         let engine = Engine {
@@ -215,6 +223,7 @@ impl Engine {
             }),
             counters: EngineCounters::default(),
             writer: Mutex::new(()),
+            last_build: Mutex::new(report),
             options,
         };
         (engine, report)
@@ -401,35 +410,42 @@ impl Engine {
     }
 
     /// Rebuilds the index from the current graph (defragmentation after
-    /// lazy maintenance), using the sharded parallel builder for full
-    /// indexes. Returns the build report (`None` when interest-aware).
-    pub fn rebuild(&self) -> Option<BuildReport> {
+    /// lazy maintenance), using the sharded parallel builder for both
+    /// index variants. Returns the build report.
+    pub fn rebuild(&self) -> BuildReport {
         let _writer = self.writer.lock().unwrap();
         let snap = self.snapshot();
         let graph = snap.graph.clone();
         let (index, report) = self.build_fresh(&graph, snap.index.interests().cloned());
         self.counters.record_rebuild(false);
         self.install(graph, index);
+        // Recorded only after the install: a concurrent stats() must never
+        // pair this build's timings with the gauges of the snapshot it is
+        // about to replace.
+        *self.last_build.lock().unwrap() = report;
         report
     }
 
-    /// Builds a fresh (minimal-partition) index over `graph`, sharded
-    /// for full CPQx and sequential for iaCPQx — shared by the initial
-    /// build path, [`Engine::rebuild`] and the auto-rebuild trigger.
+    /// Builds a fresh (minimal-partition) index over `graph`, sharded for
+    /// both variants (source-range shards for full CPQx, label-weighted
+    /// interest shards for iaCPQx) — shared by the initial build path,
+    /// [`Engine::rebuild`] and the auto-rebuild trigger. Callers record
+    /// the report into `last_build` themselves, *after* installing the
+    /// snapshot the build produced, so [`Engine::stats`] never pairs a
+    /// build's timings with the gauges of the snapshot it replaced.
     fn build_fresh(
         &self,
         graph: &Graph,
         interests: Option<BTreeSet<LabelSeq>>,
-    ) -> (CpqxIndex, Option<BuildReport>) {
+    ) -> (CpqxIndex, BuildReport) {
         match interests {
-            None => {
-                let (index, report) =
-                    build_sharded_with_report(graph, self.options.k, self.options.build);
-                (index, Some(report))
-            }
-            Some(lq) => {
-                (CpqxIndex::build_interest_aware(graph, self.options.k, lq.iter().copied()), None)
-            }
+            None => build_sharded_with_report(graph, self.options.k, self.options.build),
+            Some(lq) => build_interest_sharded_with_report(
+                graph,
+                self.options.k,
+                lq.iter().copied(),
+                self.options.build,
+            ),
         }
     }
 
@@ -451,6 +467,14 @@ impl Engine {
         report.fragmentation_ratio = snap.index().fragmentation_ratio();
         report.class_slots = snap.index().class_slots() as u64;
         report.baseline_classes = snap.index().baseline_class_count() as u64;
+        // Phase timings of the most recent full build (initial, manual
+        // rebuild, or auto-rebuild) — how the serving layer observes the
+        // parallel build pipeline.
+        let build = *self.last_build.lock().unwrap();
+        report.build_level1 = build.level1;
+        report.build_level1_parallel = build.level1_parallel;
+        report.build_interest_shards = build.interest_shards;
+        report.build_total = build.total;
         report
     }
 
@@ -493,13 +517,14 @@ impl Engine {
         if !changed {
             return (out, snap.epoch(), false, index.fragmentation_ratio());
         }
-        let rebuilt = match self.options.auto_rebuild_ratio {
+        let rebuild_report = match self.options.auto_rebuild_ratio {
             Some(threshold) if index.fragmentation_ratio() > threshold => {
-                index = self.build_fresh(&graph, index.interests().cloned()).0;
+                let (fresh, report) = self.build_fresh(&graph, index.interests().cloned());
+                index = fresh;
                 self.counters.record_rebuild(true);
-                true
+                Some(report)
             }
-            _ => false,
+            _ => None,
         };
         // Copy-on-write accounting against the snapshot being replaced: a
         // rebuild naturally reads as all-copied, a small delta as a few
@@ -508,7 +533,11 @@ impl Engine {
         self.counters.record_cow(cow.chunks_copied as u64, cow.chunks_shared as u64);
         let ratio = index.fragmentation_ratio();
         let epoch = self.install(graph, index);
-        (out, epoch, rebuilt, ratio)
+        if let Some(report) = rebuild_report {
+            // After the install, for the same reason as Engine::rebuild.
+            *self.last_build.lock().unwrap() = report;
+        }
+        (out, epoch, rebuild_report.is_some(), ratio)
     }
 
     /// Installs a new current snapshot (caller holds the writer lock).
@@ -645,7 +674,7 @@ mod tests {
         engine.delete_edge(sue, joe, f);
         engine.insert_edge(sue, joe, f);
         let fragmented = engine.snapshot().index().class_slots();
-        let report = engine.rebuild().expect("full engine reports builds");
+        let report = engine.rebuild();
         assert!(report.shards >= 1);
         let rebuilt = engine.snapshot();
         assert!(rebuilt.index().class_slots() <= fragmented);
@@ -662,7 +691,10 @@ mod tests {
             g,
             EngineOptions { k: 2, interests: Some(vec![ff]), ..EngineOptions::default() },
         );
-        assert!(report.is_none());
+        // Interest-aware engines build sharded too: the report describes
+        // the interest-shard phase instead of level-1/refine.
+        assert!(report.shards >= 1);
+        assert_eq!(report.level1, std::time::Duration::ZERO);
         let snap = engine.snapshot();
         assert!(snap.index().is_interest_aware());
         let q = parse_cpq("(f . f) & f^-1", snap.graph()).unwrap();
@@ -670,7 +702,9 @@ mod tests {
         let v = g_label_seq(&engine);
         assert!(engine.insert_interest(v));
         assert_eq!(engine.epoch(), 1);
-        assert!(engine.rebuild().is_none());
+        assert!(engine.rebuild().shards >= 1);
+        let q2 = parse_cpq("(f^-1 . f) & id", engine.snapshot().graph()).unwrap();
+        assert_eq!(*engine.query(&q2), eval_reference(engine.snapshot().graph(), &q2));
     }
 
     fn g_label_seq(engine: &Engine) -> LabelSeq {

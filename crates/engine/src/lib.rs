@@ -6,13 +6,16 @@
 //! no concurrency story, no caching. This crate adds the three layers a
 //! serving deployment needs:
 //!
-//! 1. **Sharded parallel build** ([`build`]): `P≤k` partitions exactly by
-//!    source vertex, so after one shared level-1 pass
-//!    ([`cpqx_core::RefinementBase`]) the Algorithm-1 refinement runs
-//!    independently per source-range shard on a scoped thread pool;
-//!    per-shard partitions merge by the class invariant `(cyclicity,
-//!    L≤k)` into an index that is query-equivalent to the sequential
-//!    build.
+//! 1. **Fully parallel build pipeline** ([`build`]): the shared level-1
+//!    pass itself runs parallel per source range
+//!    ([`cpqx_core::RefinementBase::with_threads`], structurally
+//!    identical to the sequential pass), then — `P≤k` partitions exactly
+//!    by source vertex — the Algorithm-1 refinement runs independently
+//!    per source-range shard on a scoped thread pool; per-shard
+//!    partitions merge by the class invariant `(cyclicity, L≤k)` into an
+//!    index that is query-equivalent to the sequential build. The
+//!    interest-aware variant shards the same way over label-weighted
+//!    source ranges ([`build_interest_sharded`]).
 //! 2. **Concurrent read path** ([`engine`]): an [`Engine`] holds the
 //!    graph + index behind an atomically swappable [`Snapshot`] `Arc`.
 //!    Maintenance (edge/vertex/interest updates, rebuilds) clones, applies
@@ -51,7 +54,10 @@ pub mod pool;
 pub mod stats;
 
 pub use batch::{BatchOptions, BatchOutcome};
-pub use build::{build_sharded, build_sharded_with_report, BuildOptions, BuildReport};
+pub use build::{
+    build_interest_sharded, build_interest_sharded_with_report, build_sharded,
+    build_sharded_with_report, BuildOptions, BuildReport,
+};
 pub use cache::LruCache;
 pub use delta::{Delta, DeltaError, DeltaOp, DeltaReport, OpOutcome};
 pub use engine::{Engine, EngineOptions, PlannedQuery, Snapshot};

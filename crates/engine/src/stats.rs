@@ -142,6 +142,10 @@ impl EngineCounters {
             fragmentation_ratio: 0.0,
             class_slots: 0,
             baseline_classes: 0,
+            build_level1: Duration::ZERO,
+            build_level1_parallel: Duration::ZERO,
+            build_interest_shards: Duration::ZERO,
+            build_total: Duration::ZERO,
             latency_window: latencies.len(),
             p50: pct(0.50),
             p99: pct(0.99),
@@ -211,6 +215,19 @@ pub struct StatsReport {
     pub class_slots: u64,
     /// Class count of the full build the serving index descends from.
     pub baseline_classes: u64,
+    /// Wall-clock of the level-1 pass of the most recent full build
+    /// (initial build, manual rebuild, or auto-rebuild; zero for
+    /// interest-aware builds, which have no level-1 phase, or when the
+    /// report comes from bare counters). Filled by `Engine::stats`.
+    pub build_level1: Duration,
+    /// Wall-clock spent inside level-1's parallel sections during the
+    /// most recent full build (zero when level 1 ran single-threaded).
+    pub build_level1_parallel: Duration,
+    /// Wall-clock of the parallel interest-shard partitioning phase of
+    /// the most recent build (interest-aware engines only).
+    pub build_interest_shards: Duration,
+    /// End-to-end wall-clock of the most recent full build.
+    pub build_total: Duration,
     /// Latency samples currently in the rolling window.
     pub latency_window: usize,
     /// Median query latency over the window.
@@ -224,7 +241,8 @@ impl std::fmt::Display for StatsReport {
         write!(
             f,
             "queries={} hit_rate={:.1}% plan_hit_rate={:.1}% swaps={} deltas={} lazy_ops={} \
-             rebuilds={} frag={:.2} cow={}/{} p50={:?} p99={:?}",
+             rebuilds={} frag={:.2} cow={}/{} \
+             build[total={:?} level1={:?} l1par={:?} ia={:?}] p50={:?} p99={:?}",
             self.queries,
             self.result_hit_rate * 100.0,
             self.plan_hit_rate * 100.0,
@@ -235,6 +253,10 @@ impl std::fmt::Display for StatsReport {
             self.fragmentation_ratio,
             self.cow_chunks_copied,
             self.cow_chunks_shared,
+            self.build_total,
+            self.build_level1,
+            self.build_level1_parallel,
+            self.build_interest_shards,
             self.p50,
             self.p99,
         )
@@ -297,6 +319,18 @@ mod tests {
         // Median and p99 are the nearest ranks.
         assert_eq!(nearest_rank_quantile(&sorted, 0.5), Some(51));
         assert_eq!(nearest_rank_quantile(&sorted, 0.99), Some(99));
+    }
+
+    #[test]
+    fn build_timings_surface_in_display() {
+        let mut r = EngineCounters::default().report();
+        assert_eq!(r.build_total, Duration::ZERO);
+        r.build_level1 = Duration::from_millis(7);
+        r.build_level1_parallel = Duration::from_millis(5);
+        r.build_interest_shards = Duration::from_millis(3);
+        r.build_total = Duration::from_millis(11);
+        let text = r.to_string();
+        assert!(text.contains("build[total=11ms level1=7ms l1par=5ms ia=3ms]"), "{text}");
     }
 
     #[test]

@@ -1,0 +1,198 @@
+//! Build-equivalence differential harness for the fully parallel build
+//! pipeline: random graphs + random interest sets are replayed through
+//! the **sequential** builders (`CpqxIndex::build` /
+//! `CpqxIndex::build_interest_aware`), the **sharded** full build
+//! (`build_sharded`, parallel level-1 + per-range refinement) and the
+//! **interest-sharded** build (`build_interest_sharded`) at 1–16
+//! threads, asserting:
+//!
+//! * identical answers over the benchmark query sets (YAGO2/LUBM/WatDiv
+//!   translations) on every pipeline at every thread count;
+//! * the parallel level-1 pass yields a `RefinementBase` *structurally*
+//!   equal to the sequential one (same `pair_blocks`, same `block_seqs`
+//!   — not just query-equivalent);
+//! * class counts are identical across thread counts for the sharded
+//!   build (the merged partition is determined by the class invariant,
+//!   not by the shard geometry), and the interest-sharded build matches
+//!   the sequential interest build's class count *exactly* (both group
+//!   by the same `(cyclicity, L≤k ∩ Lq)` key).
+
+use cpqx_core::{CpqxIndex, RefinementBase};
+use cpqx_engine::{build_interest_sharded, build_sharded, BuildOptions};
+use cpqx_graph::generate::{gex, random_graph, RandomGraphConfig};
+use cpqx_graph::{Graph, LabelSeq};
+use cpqx_query::benchqueries::{lubm_queries, watdiv_queries, yago_queries, NamedQuery};
+use proptest::prelude::*;
+
+const THREAD_COUNTS: [usize; 5] = [1, 2, 4, 8, 16];
+
+fn bench_workload(g: &Graph, seed: u64) -> Vec<NamedQuery> {
+    let mut queries = yago_queries(g, seed);
+    queries.extend(lubm_queries(g, seed + 1));
+    queries.extend(watdiv_queries(g, seed + 2));
+    queries
+}
+
+/// A deterministic interest set drawn from the graph's extended alphabet:
+/// `picks` selects length-2 sequences by label index pair. Returns raw
+/// (un-normalized) sequences, as a caller would supply them.
+fn interest_set(g: &Graph, picks: &[(u16, u16)]) -> Vec<LabelSeq> {
+    let labels: Vec<_> = g.ext_labels().collect();
+    if labels.is_empty() {
+        return Vec::new();
+    }
+    picks
+        .iter()
+        .map(|&(a, b)| {
+            LabelSeq::from_slice(&[
+                labels[a as usize % labels.len()],
+                labels[b as usize % labels.len()],
+            ])
+        })
+        .collect()
+}
+
+/// The full-coverage interest set: every length-2 sequence over the
+/// graph's extended alphabet (at k=2 this makes iaCPQx index everything
+/// CPQx does).
+fn full_coverage_interests(g: &Graph) -> Vec<LabelSeq> {
+    let labels: Vec<_> = g.ext_labels().collect();
+    labels
+        .iter()
+        .flat_map(|&a| labels.iter().map(move |&b| LabelSeq::from_slice(&[a, b])))
+        .collect()
+}
+
+/// The tentpole assertion bundle: replays one graph + interest set
+/// through all three pipelines at every thread count.
+fn check_build_equivalence(g: &Graph, k: usize, interests: &[LabelSeq], seed: u64) {
+    let queries = bench_workload(g, seed);
+    assert!(!queries.is_empty());
+
+    // Parallel level-1 is structurally identical to sequential.
+    let seq_base = RefinementBase::new(g);
+    for &threads in &THREAD_COUNTS[1..] {
+        let par_base = RefinementBase::with_threads(g, threads);
+        assert_eq!(
+            seq_base.level1_pair_blocks(),
+            par_base.level1_pair_blocks(),
+            "level-1 pair_blocks diverge at {threads} threads"
+        );
+        assert_eq!(
+            seq_base.level1_block_seqs(),
+            par_base.level1_block_seqs(),
+            "level-1 block_seqs diverge at {threads} threads"
+        );
+    }
+
+    // Full CPQx: sequential vs sharded at every thread count.
+    let sequential = CpqxIndex::build(g, k);
+    let mut sharded_classes: Option<usize> = None;
+    for &threads in &THREAD_COUNTS {
+        let sharded =
+            build_sharded(g, k, BuildOptions { shards: Some(threads), threads: Some(threads) });
+        assert_eq!(sharded.pair_count(), sequential.pair_count(), "{threads} threads");
+        // The merged class partition is determined by the (cyclicity,
+        // L≤k) invariant alone, so every shard geometry produces the
+        // same class count.
+        let classes = sharded.stats().classes;
+        match sharded_classes {
+            None => sharded_classes = Some(classes),
+            Some(c) => {
+                assert_eq!(classes, c, "sharded class count varies with thread count {threads}")
+            }
+        }
+        assert!(classes <= sequential.stats().classes, "merge can only coarsen");
+        for nq in &queries {
+            assert_eq!(
+                sharded.evaluate(g, &nq.query),
+                sequential.evaluate(g, &nq.query),
+                "query {} diverged at {threads} threads (k={k})",
+                nq.name
+            );
+        }
+    }
+
+    // Interest-aware: sequential vs interest-sharded at every thread
+    // count — identical class counts, identical answers.
+    let ia_seq = CpqxIndex::build_interest_aware(g, k, interests.iter().copied());
+    for &threads in &THREAD_COUNTS {
+        let ia_par = build_interest_sharded(
+            g,
+            k,
+            interests.iter().copied(),
+            BuildOptions { shards: Some(threads), threads: Some(threads) },
+        );
+        assert!(ia_par.is_interest_aware());
+        assert_eq!(ia_par.interests(), ia_seq.interests(), "{threads} threads");
+        assert_eq!(ia_par.pair_count(), ia_seq.pair_count(), "{threads} threads");
+        assert_eq!(
+            ia_par.stats().classes,
+            ia_seq.stats().classes,
+            "interest class count diverged at {threads} threads"
+        );
+        for nq in &queries {
+            assert_eq!(
+                ia_par.evaluate(g, &nq.query),
+                ia_seq.evaluate(g, &nq.query),
+                "interest query {} diverged at {threads} threads (k={k})",
+                nq.name
+            );
+        }
+    }
+}
+
+#[test]
+fn gex_across_k_and_interest_sets() {
+    let g = gex();
+    let labels: Vec<_> = g.ext_labels().collect();
+    let ff = LabelSeq::from_slice(&[labels[0], labels[0]]);
+    for k in 1..=3 {
+        check_build_equivalence(&g, k, &[ff], 7);
+    }
+    check_build_equivalence(&g, 2, &[], 11);
+    check_build_equivalence(&g, 2, &full_coverage_interests(&g), 13);
+}
+
+#[test]
+fn empty_and_edgeless_graphs() {
+    let empty = cpqx_graph::GraphBuilder::new().build();
+    let mut b = cpqx_graph::GraphBuilder::new();
+    b.ensure_vertices(6);
+    b.ensure_labels(2);
+    let edgeless = b.build();
+    for g in [&empty, &edgeless] {
+        for &threads in &THREAD_COUNTS {
+            let opts = BuildOptions { shards: Some(threads), threads: Some(threads) };
+            assert_eq!(build_sharded(g, 2, opts).pair_count(), 0);
+            assert_eq!(build_interest_sharded(g, 2, [], opts).pair_count(), 0);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The randomized tentpole property: random social graphs and random
+    /// interest subsets (including the occasional empty pick list) replay
+    /// identically through all three build pipelines at 1–16 threads.
+    #[test]
+    fn random_graphs_and_interest_sets(
+        graph_seed in 0u64..10_000,
+        workload_seed in 0u64..10_000,
+        picks in prop::collection::vec((0u16..8, 0u16..8), 0..5),
+    ) {
+        let g = random_graph(&RandomGraphConfig::social(60, 260, 3, graph_seed));
+        let interests = interest_set(&g, &picks);
+        check_build_equivalence(&g, 2, &interests, workload_seed);
+    }
+
+    /// Uniform topology, separate seed space: catches balancing-sensitive
+    /// bugs (uniform graphs produce very even ranges, social ones skewed).
+    #[test]
+    fn random_uniform_graphs(graph_seed in 0u64..10_000) {
+        let g = random_graph(&RandomGraphConfig::uniform(80, 320, 3, graph_seed));
+        let interests = full_coverage_interests(&g);
+        check_build_equivalence(&g, 2, &interests, graph_seed);
+    }
+}

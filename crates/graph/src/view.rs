@@ -76,6 +76,36 @@ impl Graph {
     pub fn balanced_src_ranges(&self, shards: usize) -> Vec<Range<VertexId>> {
         balanced_ranges_by_weight(self.vertex_count(), shards, |v| self.ext_degree(v))
     }
+
+    /// Like [`Graph::balanced_src_ranges`], but weighting each source
+    /// vertex by its out-degree under the given extended labels only
+    /// (labels may repeat; repeated labels count twice). This is the range
+    /// geometry for **interest-aware** shard builds: a shard's work is
+    /// driven by the expansions seeded at its sources, one per outgoing
+    /// edge per indexed sequence starting with that edge's label — not by
+    /// the vertex's total degree.
+    pub fn balanced_src_ranges_for_labels(
+        &self,
+        labels: &[ExtLabel],
+        shards: usize,
+    ) -> Vec<Range<VertexId>> {
+        // Fold repeats into per-distinct-label multiplicities up front:
+        // callers pass one entry per indexed *sequence* (hundreds for
+        // full-coverage interest sets), and the weight closure runs per
+        // vertex — it must be O(distinct labels), not O(sequences).
+        let mut counts: Vec<(ExtLabel, usize)> = Vec::new();
+        let mut sorted = labels.to_vec();
+        sorted.sort_unstable();
+        for l in sorted {
+            match counts.last_mut() {
+                Some((pl, c)) if *pl == l => *c += 1,
+                _ => counts.push((l, 1)),
+            }
+        }
+        balanced_ranges_by_weight(self.vertex_count(), shards, |v| {
+            counts.iter().map(|&(l, c)| c * self.degree(v, l)).sum()
+        })
+    }
 }
 
 /// Splits `0..n` into at most `shards` contiguous ranges of approximately
@@ -168,6 +198,31 @@ mod tests {
             ranges.iter().map(|r| (r.start..r.end).map(|v| g.ext_degree(v)).sum()).collect();
         let (min, max) = (loads.iter().min().unwrap(), loads.iter().max().unwrap());
         assert!(*max <= min * 4 + 64, "shard loads far apart: {loads:?}");
+    }
+
+    #[test]
+    fn label_weighted_ranges_balance_selected_labels_only() {
+        let g = generate::random_graph(&generate::RandomGraphConfig::social(200, 1_500, 3, 3));
+        let labels: Vec<ExtLabel> = g.ext_labels().take(2).collect();
+        let ranges = g.balanced_src_ranges_for_labels(&labels, 4);
+        assert_eq!(ranges[0].start, 0);
+        assert_eq!(ranges.last().unwrap().end, g.vertex_count());
+        for w in ranges.windows(2) {
+            assert_eq!(w[0].end, w[1].start, "ranges must tile");
+        }
+        let loads: Vec<usize> = ranges
+            .iter()
+            .map(|r| {
+                (r.start..r.end)
+                    .map(|v| labels.iter().map(|&l| g.degree(v, l)).sum::<usize>())
+                    .sum()
+            })
+            .collect();
+        let (min, max) = (loads.iter().min().unwrap(), loads.iter().max().unwrap());
+        assert!(*max <= min * 4 + 64, "label-weighted shard loads far apart: {loads:?}");
+        // Degenerate inputs behave like the unweighted variant.
+        assert!(!g.balanced_src_ranges_for_labels(&[], 3).is_empty());
+        assert!(GraphBuilder::new().build().balanced_src_ranges_for_labels(&labels, 3).is_empty());
     }
 
     #[test]

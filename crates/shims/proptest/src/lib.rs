@@ -9,9 +9,16 @@
 //! and the [`proptest!`] test macro with `prop_assert!`/`prop_assert_eq!`.
 //!
 //! Differences from upstream: cases are generated from a deterministic
-//! per-case seed (no persisted failure file) and failing cases are **not
-//! shrunk** — the panic message reports the case number so the failure can
-//! be replayed by running the test again (generation is deterministic).
+//! per-case seed (no persisted failure file). Failing cases **are
+//! shrunk**: integers greedily halve toward their lower bound, vectors
+//! drop halves and single elements before shrinking elements in place,
+//! tuples shrink one component at a time (see [`Strategy::shrink`]).
+//! Shrinking re-runs the test body under `catch_unwind`, keeps the last
+//! input that still fails, prints it with `Debug`, and finally replays it
+//! un-caught so the test fails with the genuine assertion message.
+//! Generated values must be `Clone + Debug` (every strategy in this
+//! workspace produces such values). Shrinking is deterministic, so a
+//! reported minimal case is reproducible by re-running the test.
 
 #![warn(missing_docs)]
 
@@ -66,14 +73,24 @@ impl Default for ProptestConfig {
     }
 }
 
-/// A value generator. Unlike upstream proptest there is no shrinking: a
-/// strategy is just a deterministic function of the per-case RNG.
+/// A value generator: a deterministic function of the per-case RNG, plus
+/// a shrinking relation used to minimize failing cases.
 pub trait Strategy {
     /// The type of the generated values.
     type Value;
 
     /// Generates one value.
     fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Candidate simplifications of `value`, ordered most-aggressive
+    /// first (the greedy shrinker takes the first candidate that still
+    /// fails). The default is no candidates — strategies that cannot
+    /// invert their construction (`prop_map`, `prop_flat_map`, unions)
+    /// simply stop shrinking there, exactly like a fixed point.
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
 
     /// Maps generated values through `f`.
     fn prop_map<U, F>(self, f: F) -> Map<Self, F>
@@ -143,6 +160,9 @@ impl<T> Strategy for BoxedStrategy<T> {
     type Value = T;
     fn new_value(&self, rng: &mut TestRng) -> T {
         self.0.new_value(rng)
+    }
+    fn shrink(&self, value: &T) -> Vec<T> {
+        self.0.shrink(value)
     }
 }
 
@@ -224,6 +244,26 @@ impl<T> Strategy for Union<T> {
     }
 }
 
+/// Greedy integer shrink candidates toward `lo`: the bound itself, the
+/// midpoint, and the predecessor — most aggressive first.
+fn shrink_toward<T>(lo: T, v: T) -> Vec<T>
+where
+    T: Copy
+        + PartialOrd
+        + std::ops::Add<Output = T>
+        + std::ops::Sub<Output = T>
+        + std::ops::Div<Output = T>
+        + From<u8>,
+{
+    if v <= lo {
+        return Vec::new();
+    }
+    let mut out = vec![lo, lo + (v - lo) / T::from(2u8), v - T::from(1u8)];
+    out.dedup();
+    out.retain(|c| *c < v);
+    out
+}
+
 macro_rules! impl_range_strategy {
     ($($t:ty),*) => {$(
         impl Strategy for std::ops::Range<$t> {
@@ -232,6 +272,9 @@ macro_rules! impl_range_strategy {
                 assert!(self.start < self.end, "empty range strategy");
                 let width = (self.end as u128).wrapping_sub(self.start as u128);
                 self.start + (rng.next_u64() as u128 % width) as $t
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_toward(self.start, *value)
             }
         }
         impl Strategy for std::ops::RangeInclusive<$t> {
@@ -242,6 +285,9 @@ macro_rules! impl_range_strategy {
                 let width = (hi as u128) - (lo as u128) + 1;
                 lo + (rng.next_u64() as u128 % width) as $t
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_toward(*self.start(), *value)
+            }
         }
     )*};
 }
@@ -249,31 +295,65 @@ macro_rules! impl_range_strategy {
 impl_range_strategy!(u8, u16, u32, u64, usize);
 
 macro_rules! impl_tuple_strategy {
-    ($($name:ident),+) => {
-        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+    ($(($name:ident, $idx:tt)),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+)
+        where
+            $($name::Value: Clone),+
+        {
             type Value = ($($name::Value,)+);
-            #[allow(non_snake_case)]
             fn new_value(&self, rng: &mut TestRng) -> Self::Value {
-                let ($($name,)+) = self;
-                ($($name.new_value(rng),)+)
+                ($(self.$idx.new_value(rng),)+)
+            }
+            // One component shrinks at a time, the others stay fixed.
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = cand;
+                        out.push(next);
+                    }
+                )+
+                out
             }
         }
     };
 }
 
-impl_tuple_strategy!(A);
-impl_tuple_strategy!(A, B);
-impl_tuple_strategy!(A, B, C);
-impl_tuple_strategy!(A, B, C, D);
-impl_tuple_strategy!(A, B, C, D, E);
-impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!((A, 0));
+impl_tuple_strategy!((A, 0), (B, 1));
+impl_tuple_strategy!((A, 0), (B, 1), (C, 2));
+impl_tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3));
+impl_tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3), (E, 4));
+impl_tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3), (E, 4), (F, 5));
 
 /// Types with a canonical "any value" strategy (stand-in for upstream's
 /// `Arbitrary`).
 pub trait ArbitraryValue: Sized {
     /// Generates one arbitrary value.
     fn arbitrary(rng: &mut TestRng) -> Self;
+
+    /// Simplification candidates for shrinking, most aggressive first
+    /// (default: none).
+    fn shrink_value(&self) -> Vec<Self> {
+        Vec::new()
+    }
 }
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl ArbitraryValue for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+            fn shrink_value(&self) -> Vec<Self> {
+                shrink_toward(0, *self)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uint!(u8, u16, u32, u64, usize);
 
 macro_rules! impl_arbitrary_int {
     ($($t:ty),*) => {$(
@@ -281,15 +361,33 @@ macro_rules! impl_arbitrary_int {
             fn arbitrary(rng: &mut TestRng) -> Self {
                 rng.next_u64() as $t
             }
+            // Shrink toward zero from either side.
+            fn shrink_value(&self) -> Vec<Self> {
+                let v = *self;
+                if v == 0 {
+                    return Vec::new();
+                }
+                let mut out = vec![0, v / 2, if v > 0 { v - 1 } else { v + 1 }];
+                out.dedup();
+                out.retain(|&c| if v > 0 { c >= 0 && c < v } else { c <= 0 && c > v });
+                out
+            }
         }
     )*};
 }
 
-impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+impl_arbitrary_int!(i8, i16, i32, i64);
 
 impl ArbitraryValue for bool {
     fn arbitrary(rng: &mut TestRng) -> Self {
         rng.next_u64() & 1 == 1
+    }
+    fn shrink_value(&self) -> Vec<Self> {
+        if *self {
+            vec![false]
+        } else {
+            Vec::new()
+        }
     }
 }
 
@@ -301,6 +399,9 @@ impl<T: ArbitraryValue> Strategy for Any<T> {
     type Value = T;
     fn new_value(&self, rng: &mut TestRng) -> T {
         T::arbitrary(rng)
+    }
+    fn shrink(&self, value: &T) -> Vec<T> {
+        value.shrink_value()
     }
 }
 
@@ -322,6 +423,13 @@ pub mod prop {
             type Value = bool;
             fn new_value(&self, rng: &mut super::super::TestRng) -> bool {
                 rng.next_u64() & 1 == 1
+            }
+            fn shrink(&self, value: &bool) -> Vec<bool> {
+                if *value {
+                    vec![false]
+                } else {
+                    Vec::new()
+                }
             }
         }
 
@@ -347,11 +455,51 @@ pub mod prop {
             VecStrategy { elem, min: size.start, max: size.end }
         }
 
-        impl<S: Strategy> Strategy for VecStrategy<S> {
+        impl<S: Strategy> Strategy for VecStrategy<S>
+        where
+            S::Value: Clone,
+        {
             type Value = Vec<S::Value>;
             fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
                 let n = self.min + rng.below((self.max - self.min) as u64) as usize;
                 (0..n).map(|_| self.elem.new_value(rng)).collect()
+            }
+            // Structural shrinks first (shorter vectors), then element
+            // shrinks in place — the classic collection ordering, so the
+            // greedy minimizer drops irrelevant elements before it
+            // simplifies the ones that matter.
+            fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+                let mut out: Vec<Vec<S::Value>> = Vec::new();
+                let n = value.len();
+                // Aggressive: cut to the minimum length, then halves.
+                if n > self.min {
+                    out.push(value[..self.min].to_vec());
+                    let half = self.min.max(n / 2);
+                    if half < n {
+                        out.push(value[..half].to_vec());
+                        out.push(value[n - half..].to_vec());
+                    }
+                }
+                // Remove each single element.
+                if n > self.min {
+                    for i in 0..n {
+                        let mut v = value.clone();
+                        v.remove(i);
+                        out.push(v);
+                    }
+                }
+                // Shrink each element in place. (No identity filtering
+                // needed: the structural candidates above are all
+                // strictly shorter, and element strategies never return
+                // the value itself as its own candidate.)
+                for i in 0..n {
+                    for cand in self.elem.shrink(&value[i]) {
+                        let mut v = value.clone();
+                        v[i] = cand;
+                        out.push(v);
+                    }
+                }
+                out
             }
         }
     }
@@ -361,7 +509,7 @@ pub mod prop {
 pub mod prelude {
     pub use crate::{
         any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest,
-        ArbitraryValue, BoxedStrategy, Just, ProptestConfig, Strategy, TestRng,
+        shrink_failure, ArbitraryValue, BoxedStrategy, Just, ProptestConfig, Strategy, TestRng,
     };
 }
 
@@ -410,7 +558,11 @@ macro_rules! proptest {
     };
 }
 
-/// Implementation detail of [`proptest!`].
+/// Implementation detail of [`proptest!`]: all bindings are drawn as one
+/// tuple (component draws hit the RNG in declaration order, exactly like
+/// the pre-shrinking per-binding draws did, so deterministic cases are
+/// unchanged), and each case runs through [`run_case`], which shrinks on
+/// failure.
 #[doc(hidden)]
 #[macro_export]
 macro_rules! __proptest_impl {
@@ -421,34 +573,92 @@ macro_rules! __proptest_impl {
         $(#[$meta])*
         fn $name() {
             let __cfg: $crate::ProptestConfig = $cfg;
+            let __strategy = ($($strat,)+);
+            let __run = $crate::typed_runner(&__strategy, |($($pat,)+)| { $body });
             for __case in 0..__cfg.cases {
                 let mut __rng = $crate::TestRng::new(
                     0xC0FF_EE00_u64 ^ ((__case as u64) << 16) ^ (line!() as u64),
                 );
-                $(
-                    let __strategy = $strat;
-                    let $pat = $crate::Strategy::new_value(&__strategy, &mut __rng);
-                )+
-                let __guard = $crate::CaseReporter { case: __case };
-                { $body }
-                std::mem::forget(__guard);
+                let __value = $crate::Strategy::new_value(&__strategy, &mut __rng);
+                $crate::run_case(&__strategy, __case, __value, &__run);
             }
         }
     )*};
 }
 
-/// Prints the failing case number when a property-test body panics (our
-/// substitute for upstream's shrink-and-persist machinery).
+/// Pins a closure's parameter to `S::Value` so pattern parameters in
+/// [`proptest!`] bodies type-check without annotations (closure bodies
+/// call methods on the bound values before inference would otherwise
+/// reach the [`run_case`] constraint).
 #[doc(hidden)]
-pub struct CaseReporter {
-    /// Zero-based case index.
-    pub case: u32,
+pub fn typed_runner<S, F>(_strategy: &S, run: F) -> F
+where
+    S: Strategy,
+    F: Fn(S::Value),
+{
+    run
 }
 
-impl Drop for CaseReporter {
-    fn drop(&mut self) {
-        eprintln!("proptest(shim): failure in deterministic case #{}", self.case);
+/// Runs one generated case, minimizing and reporting on failure — the
+/// engine behind [`proptest!`]. The body runs under `catch_unwind`; if it
+/// panics, the input is greedily shrunk via [`shrink_failure`], the
+/// minimal failing input is printed with `Debug`, and the minimized case
+/// is replayed *uncaught* so the test fails with the genuine assertion
+/// message. (Shrink re-runs print their panic messages too — noise that
+/// only ever appears on an already-failing test.)
+#[doc(hidden)]
+pub fn run_case<S, F>(strategy: &S, case: u32, value: S::Value, run: &F)
+where
+    S: Strategy,
+    S::Value: Clone + std::fmt::Debug,
+    F: Fn(S::Value),
+{
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    if catch_unwind(AssertUnwindSafe(|| run(value.clone()))).is_ok() {
+        return;
     }
+    eprintln!("proptest(shim): deterministic case #{case} failed; shrinking…");
+    let (minimal, attempts) = shrink_failure(strategy, value, &|v: &S::Value| {
+        catch_unwind(AssertUnwindSafe(|| run(v.clone()))).is_err()
+    });
+    eprintln!(
+        "proptest(shim): case #{case} minimal failing input \
+         (after {attempts} shrink attempt(s)): {minimal:?}"
+    );
+    run(minimal);
+    unreachable!("proptest(shim): minimized case stopped failing on replay");
+}
+
+/// Greedily minimizes a failing `value`: repeatedly takes the first
+/// [`Strategy::shrink`] candidate on which `fails` still returns `true`,
+/// until no candidate fails or the attempt budget runs out. Returns the
+/// minimized value and the number of candidates evaluated. Deterministic;
+/// public so the shrinker itself is unit-testable.
+pub fn shrink_failure<S>(
+    strategy: &S,
+    mut value: S::Value,
+    fails: &dyn Fn(&S::Value) -> bool,
+) -> (S::Value, usize)
+where
+    S: Strategy,
+    S::Value: Clone,
+{
+    const MAX_ATTEMPTS: usize = 1024;
+    let mut attempts = 0;
+    'outer: while attempts < MAX_ATTEMPTS {
+        for cand in strategy.shrink(&value) {
+            if attempts >= MAX_ATTEMPTS {
+                break 'outer;
+            }
+            attempts += 1;
+            if fails(&cand) {
+                value = cand;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (value, attempts)
 }
 
 #[cfg(test)]
@@ -478,7 +688,7 @@ mod tests {
 
     #[test]
     fn recursive_strategies_terminate() {
-        #[derive(Debug)]
+        #[derive(Clone, Debug)]
         enum Expr {
             Leaf(#[allow(dead_code)] u32),
             Pair(Box<Expr>, Box<Expr>),
@@ -506,6 +716,98 @@ mod tests {
             let v = strat.new_value(&mut rng);
             assert!((2..5).contains(&v.len()));
         }
+    }
+
+    #[test]
+    fn integer_shrink_reaches_the_boundary() {
+        // Greedy halving must land exactly on the smallest failing value.
+        let strat = 0u32..1_000;
+        let fails = |v: &u32| *v >= 17;
+        for start in [17u32, 18, 100, 999] {
+            let (minimal, attempts) = crate::shrink_failure(&strat, start, &fails);
+            assert_eq!(minimal, 17, "from {start}");
+            assert!(attempts > 0 || start == 17);
+        }
+        // Non-zero lower bounds shrink toward the bound, not zero.
+        let strat = 5u32..100;
+        let (minimal, _) = crate::shrink_failure(&strat, 80, &|_| true);
+        assert_eq!(minimal, 5);
+        // A value no candidate of which fails stays put.
+        let (minimal, _) = crate::shrink_failure(&(0u32..100), 42, &|v| *v == 42);
+        assert_eq!(minimal, 42);
+    }
+
+    #[test]
+    fn signed_shrink_approaches_zero_from_both_sides() {
+        for v in [-37i32, 54] {
+            let candidates = v.shrink_value();
+            assert!(!candidates.is_empty());
+            assert!(candidates.contains(&0));
+            for c in candidates {
+                assert!(c.abs() < v.abs(), "{c} does not simplify {v}");
+            }
+        }
+        assert!(0i32.shrink_value().is_empty());
+        // i64::MIN must not overflow while shrinking.
+        assert!(i64::MIN.shrink_value().iter().all(|&c| c > i64::MIN && c <= 0));
+    }
+
+    #[test]
+    fn vec_shrink_removes_irrelevant_elements() {
+        // Failure depends on one offending element: shrinking must strip
+        // everything else and minimize the offender.
+        let strat = prop::collection::vec(0u32..100, 0..10);
+        let fails = |v: &Vec<u32>| v.iter().any(|&x| x >= 30);
+        let start = vec![3, 99, 7, 0, 55, 2];
+        let (minimal, _) = crate::shrink_failure(&strat, start, &fails);
+        assert_eq!(minimal, vec![30], "greedy minimum is one boundary element");
+        // Minimum length is respected.
+        let strat = prop::collection::vec(0u32..100, 2..10);
+        let (minimal, _) = crate::shrink_failure(&strat, vec![9, 9, 9, 9], &|_| true);
+        assert_eq!(minimal.len(), 2);
+        // A locally minimal vector has no failing candidates left.
+        let strat = prop::collection::vec(0u32..100, 0..10);
+        for cand in Strategy::shrink(&strat, &vec![30u32]) {
+            assert!(!fails(&cand), "{cand:?} still fails — not minimal");
+        }
+    }
+
+    #[test]
+    fn tuple_and_bool_shrink_componentwise() {
+        let strat = (0u32..50, prop::bool::ANY);
+        let fails = |v: &(u32, bool)| v.0 >= 10;
+        let (minimal, _) = crate::shrink_failure(&strat, (49, true), &fails);
+        assert_eq!(minimal, (10, false), "both components minimize");
+        // Boxed strategies forward shrinking.
+        let boxed = (0u32..1_000).boxed();
+        let (minimal, _) = crate::shrink_failure(&boxed, 500, &|v| *v >= 123);
+        assert_eq!(minimal, 123);
+    }
+
+    #[test]
+    fn shrink_candidates_never_include_the_value_itself() {
+        let vec_strat = prop::collection::vec(0u32..10, 0..6);
+        let mut rng = TestRng::new(9);
+        for _ in 0..200 {
+            let v = vec_strat.new_value(&mut rng);
+            assert!(!Strategy::shrink(&vec_strat, &v).contains(&v));
+            let i = (0u32..10).new_value(&mut rng);
+            assert!(!Strategy::shrink(&(0u32..10), &i).contains(&i));
+        }
+    }
+
+    #[test]
+    fn failing_property_reports_minimized_case() {
+        // End-to-end through run_case: the replayed (minimized) failure
+        // must surface the genuine assertion panic.
+        let strat = (0u64..1_000,);
+        let run = |(v,): (u64,)| assert!(v < 250, "tripwire {v}");
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            crate::run_case(&strat, 0, (999,), &run);
+        }))
+        .expect_err("case must fail");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("tripwire 250"), "panic must replay the minimal case: {msg}");
     }
 
     proptest! {

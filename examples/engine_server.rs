@@ -54,12 +54,12 @@ fn main() {
             ..EngineOptions::default()
         },
     );
-    let report = report.expect("full engine reports its build");
     println!(
-        "build: {:?} total ({} shards: level1 {:?}, refine {:?}, merge {:?})",
+        "build: {:?} total ({} shards: level1 {:?} (parallel {:?}), refine {:?}, merge {:?})",
         t0.elapsed(),
         report.shards,
         report.level1,
+        report.level1_parallel,
         report.refine,
         report.merge
     );
