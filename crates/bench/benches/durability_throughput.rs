@@ -1,0 +1,183 @@
+//! Durability-layer throughput: WAL append cost per fsync policy,
+//! restart (recovery) latency, and the incremental-snapshot claim —
+//! **a checkpoint after a small delta persists only the changed
+//! chunks**, the on-disk mirror of the COW write path's O(changed)
+//! guarantee.
+//!
+//! Two tables:
+//!
+//! * **durability** — one row per [`FsyncPolicy`]: a durable engine
+//!   churns sampled edges in `CPQX_MAINT_TXN`-op delta transactions
+//!   (delete + reinsert, as in `maintenance_throughput`), logging every
+//!   transaction to the WAL; then the engine is dropped and the
+//!   directory recovered cold. Columns report append throughput with
+//!   the log on the write path, WAL bytes per op, and wall-clock to a
+//!   query-ready state on restart (snapshot load + tail replay).
+//! * **durability_checkpoint** — the incremental-snapshot comparison:
+//!   chunk records in the bootstrap (full) snapshot vs. records written
+//!   by a checkpoint taken right after one 16-op delta. With
+//!   `CPQX_STORE_ASSERT_INCREMENTAL=1` the gap is asserted, not just
+//!   reported: the incremental checkpoint must write fewer records than
+//!   the full snapshot and reuse at least one — a regression to
+//!   full-copy checkpoints fails the job visibly.
+//!
+//! Knobs: the usual `CPQX_*` variables plus `CPQX_MAINT_OPS` /
+//! `CPQX_MAINT_TXN` (shared with the maintenance bench) and
+//! `CPQX_STORE_ASSERT_INCREMENTAL`.
+
+use cpqx_bench::{env_parse, BenchConfig, Table};
+use cpqx_engine::{Delta, DurabilitySink, Engine, EngineOptions};
+use cpqx_graph::generate::{random_graph, sample_edges, RandomGraphConfig};
+use cpqx_graph::Graph;
+use cpqx_store::{durable_engine, recover_state, FsyncPolicy, StoreOptions};
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn tmp(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cpqx-durability-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn options(k: usize) -> EngineOptions {
+    // Auto-rebuild off: this bench isolates the durability layer's cost,
+    // not the lazy-vs-rebuild policy.
+    EngineOptions { k, auto_rebuild_ratio: None, ..EngineOptions::default() }
+}
+
+/// Runs the delete+reinsert churn as `txn`-op transactions, returning
+/// elapsed seconds.
+fn run_deltas(engine: &Engine, victims: &[(u32, u32, cpqx_graph::Label)], txn: usize) -> f64 {
+    let t0 = Instant::now();
+    for chunk in victims.chunks((txn / 2).max(1)) {
+        let mut delta = Delta::new();
+        for &(v, u, l) in chunk {
+            delta = delta.delete_edge(v, u, l).insert_edge(v, u, l);
+        }
+        engine.apply_delta(&delta).expect("sampled edges are valid");
+    }
+    t0.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let ops: usize = env_parse("CPQX_MAINT_OPS", 256);
+    let txn: usize = env_parse("CPQX_MAINT_TXN", 64).max(2);
+    let assert_incremental = std::env::var("CPQX_STORE_ASSERT_INCREMENTAL").is_ok();
+
+    let g = random_graph(&RandomGraphConfig::uniform(
+        cfg.edge_budget.max(64) as u32,
+        cfg.edge_budget,
+        8,
+        cfg.seed,
+    ));
+    let victims = sample_edges(&g, ops / 2, cfg.seed ^ 0xD0);
+    let total_ops = victims.len() * 2;
+
+    // -- fsync policies: append throughput + cold-restart latency -------
+    let mut table = Table::new(
+        "durability",
+        &["fsync", "|E|", "ops", "append [ops/s]", "wal [B/op]", "recover [ms]", "replayed txns"],
+    );
+    let policies: [(&str, FsyncPolicy); 3] = [
+        ("always", FsyncPolicy::Always),
+        ("every-8", FsyncPolicy::EveryN(8)),
+        ("never", FsyncPolicy::Never),
+    ];
+    for (name, fsync) in policies {
+        let dir = tmp(name);
+        let (elapsed, wal_bytes) = {
+            let start = durable_engine(&dir, StoreOptions { fsync }, options(cfg.k), || g.clone())
+                .expect("fresh durable start");
+            let elapsed = run_deltas(&start.engine, &victims, txn);
+            (elapsed, start.engine.stats().wal_bytes)
+        };
+        let t0 = Instant::now();
+        let (rg, _index, info) =
+            recover_state(&dir).expect("recovery succeeds").expect("directory holds a store");
+        let recover_ms = t0.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(rg.edge_count(), g.edge_count(), "churn is shape-preserving");
+        table.row(vec![
+            name.to_string(),
+            g.edge_count().to_string(),
+            total_ops.to_string(),
+            format!("{:.0}", total_ops as f64 / elapsed.max(1e-9)),
+            format!("{:.0}", wal_bytes as f64 / total_ops.max(1) as f64),
+            format!("{recover_ms:.1}"),
+            info.replayed_transactions.to_string(),
+        ]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    table.finish();
+
+    // -- incremental snapshots: full vs. after a 16-op delta ------------
+    let mut ckpt = Table::new(
+        "durability_checkpoint",
+        &["|E|", "full chunks", "incr written", "incr skipped", "ckpt [ms]"],
+    );
+    let dir = tmp("checkpoint");
+    let start =
+        durable_engine(&dir, StoreOptions { fsync: FsyncPolicy::Never }, options(cfg.k), || {
+            g.clone()
+        })
+        .expect("fresh durable start");
+    let boot_snap = start.engine.snapshot();
+    let full_chunks = full_chunk_count(boot_snap.graph(), boot_snap.index());
+    drop(boot_snap);
+    let mut delta = Delta::new();
+    for &(v, u, l) in victims.iter().take(8) {
+        delta = delta.delete_edge(v, u, l).insert_edge(v, u, l);
+    }
+    assert_eq!(delta.len(), 16, "the acceptance criterion is a 16-op delta");
+    start.engine.apply_delta(&delta).expect("sampled edges are valid");
+    let snap = start.engine.snapshot();
+    let t0 = Instant::now();
+    let report = start.store.checkpoint(snap.graph(), snap.index()).expect("checkpoint succeeds");
+    let ckpt_ms = t0.elapsed().as_secs_f64() * 1e3;
+    ckpt.row(vec![
+        g.edge_count().to_string(),
+        full_chunks.to_string(),
+        report.chunks_written.to_string(),
+        report.chunks_skipped.to_string(),
+        format!("{ckpt_ms:.1}"),
+    ]);
+    ckpt.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    println!(
+        "\nInvariant check: 'incr written' counts chunk records a checkpoint persisted after a \
+         16-op delta; 'full chunks' is what the bootstrap snapshot wrote for the same graph. \
+         Incremental checkpoints reuse every chunk the delta left pointer-shared, so written \
+         must stay well below full and skipped must be positive."
+    );
+    if assert_incremental {
+        // The delta may have grown the chunk counts (lazy maintenance
+        // appends classes), so account against the state the checkpoint
+        // actually persisted, not the bootstrap's.
+        let total_after = full_chunk_count(snap.graph(), snap.index()) as u64;
+        assert!(
+            report.chunks_written + report.chunks_skipped == total_after,
+            "chunk accounting broke: {} written + {} skipped != {} total",
+            report.chunks_written,
+            report.chunks_skipped,
+            total_after,
+        );
+        assert!(
+            report.chunks_written < full_chunks as u64 && report.chunks_skipped > 0,
+            "incremental snapshot regressed to a full copy: wrote {} of {} chunks after a \
+             16-op delta",
+            report.chunks_written,
+            full_chunks,
+        );
+        println!(
+            "incremental-snapshot assertion passed: {} of {} chunks rewritten ({} reused)",
+            report.chunks_written, full_chunks, report.chunks_skipped
+        );
+    }
+}
+
+/// Chunk records a full snapshot persists for the state `(g, index)`
+/// (excluding the fixed header record).
+fn full_chunk_count(g: &Graph, index: &cpqx_core::CpqxIndex) -> usize {
+    g.topology_chunk_count() + g.name_chunk_count() + index.class_chunk_count()
+}

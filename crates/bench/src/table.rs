@@ -1,11 +1,14 @@
-//! Fixed-width table printing with TSV mirrors under `results/`.
+//! Fixed-width table printing with TSV + JSON mirrors under `results/`.
 
 use std::io::Write;
 use std::path::PathBuf;
 
 /// A simple experiment table: prints aligned columns to stdout and mirrors
-/// the rows as TSV to `results/<name>.tsv` (best-effort — the TSV mirror is
-/// skipped if the directory cannot be created).
+/// the rows as TSV to `results/<name>.tsv` plus machine-readable JSON to
+/// `results/BENCH_<name>.json` (both best-effort — skipped if the
+/// directory cannot be created). The JSON sibling is what perf-trajectory
+/// tooling diffs across commits: one object per row, keyed by header,
+/// with cells that parse as numbers emitted as JSON numbers.
 pub struct Table {
     name: String,
     headers: Vec<String>,
@@ -28,8 +31,8 @@ impl Table {
         self.rows.push(cells);
     }
 
-    /// Prints the table and writes the TSV mirror. Returns the mirror path
-    /// if it was written.
+    /// Prints the table and writes the TSV + JSON mirrors. Returns the TSV
+    /// mirror path if it was written.
     pub fn finish(&self) -> Option<PathBuf> {
         let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
         for row in &self.rows {
@@ -51,6 +54,7 @@ impl Table {
         for row in &self.rows {
             println!("{}", line(row));
         }
+        self.write_json();
         self.write_tsv()
     }
 
@@ -63,6 +67,66 @@ impl Table {
             writeln!(f, "{}", row.join("\t")).ok()?;
         }
         Some(path)
+    }
+
+    fn write_json(&self) -> Option<PathBuf> {
+        let dir = results_dir()?;
+        let path = dir.join(format!("BENCH_{}.json", self.name));
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"name\": {},\n", json_string(&self.name)));
+        out.push_str("  \"rows\": [\n");
+        for (ri, row) in self.rows.iter().enumerate() {
+            out.push_str("    {");
+            for (ci, cell) in row.iter().enumerate() {
+                if ci > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("{}: {}", json_string(&self.headers[ci]), json_value(cell)));
+            }
+            out.push_str(if ri + 1 < self.rows.len() { "},\n" } else { "}\n" });
+        }
+        out.push_str("  ]\n}\n");
+        std::fs::write(&path, out).ok()?;
+        Some(path)
+    }
+}
+
+/// Escapes `s` as a JSON string literal (quotes, backslashes and control
+/// characters; everything else passes through as UTF-8).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A cell as a JSON value: plain decimal numbers stay numbers, everything
+/// else (units, `x` suffixes, names) becomes a string.
+fn json_value(cell: &str) -> String {
+    if cell.parse::<i64>().is_ok() {
+        return cell.to_string();
+    }
+    match cell.parse::<f64>() {
+        // `f64::parse` accepts "inf"/"NaN"/hex-ish forms JSON cannot
+        // carry; restrict to plain decimal notation.
+        Ok(v)
+            if v.is_finite() && cell.chars().all(|c| c.is_ascii_digit() || ".-+eE".contains(c)) =>
+        {
+            cell.to_string()
+        }
+        _ => json_string(cell),
     }
 }
 
@@ -90,8 +154,23 @@ mod tests {
             let content = std::fs::read_to_string(&p).unwrap();
             assert!(content.starts_with("a\tb\n"));
             assert!(content.contains("1\thello"));
+            let json = p.with_file_name("BENCH_unit_test_table.json");
+            let content = std::fs::read_to_string(&json).unwrap();
+            assert!(content.contains("\"name\": \"unit_test_table\""));
+            assert!(content.contains("{\"a\": 1, \"b\": \"hello\"}"));
             std::fs::remove_file(p).ok();
+            std::fs::remove_file(json).ok();
         }
+    }
+
+    #[test]
+    fn json_cells_distinguish_numbers_from_strings() {
+        assert_eq!(json_value("42"), "42");
+        assert_eq!(json_value("-1.5"), "-1.5");
+        assert_eq!(json_value("3.10x"), "\"3.10x\"");
+        assert_eq!(json_value("inf"), "\"inf\"");
+        assert_eq!(json_value("NaN"), "\"NaN\"");
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
     }
 
     #[test]

@@ -521,6 +521,40 @@ impl CpqxIndex {
     pub fn chunk_count(&self) -> usize {
         self.classes.len() + self.p2c.len()
     }
+
+    // ------------------------------------------- persistence surface --
+
+    /// Maximum classes per class chunk — persistence readers use this to
+    /// map class-id ranges onto chunk records (chunk `i` holds classes
+    /// `i·span .. i·span + len`).
+    pub fn class_chunk_span() -> usize {
+        CLASS_CHUNK
+    }
+
+    /// Number of class chunks backing the partition store. Persistence
+    /// surface: snapshot writers emit one record per class chunk (the
+    /// p2c shards and `Il2c` postings are derived state, rebuilt on
+    /// load).
+    pub fn class_chunk_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Number of classes in the `i`-th class chunk (all chunks but the
+    /// last hold exactly [`CpqxIndex::class_chunk_span`]).
+    pub fn class_chunk_len(&self, i: usize) -> usize {
+        self.classes[i].loops.len()
+    }
+
+    /// Whether the `i`-th class chunk is physically shared
+    /// (`Arc::ptr_eq`) with the chunk at the same position of `before`.
+    ///
+    /// The incremental-snapshot change detector: mutation always goes
+    /// through `Arc::make_mut`, so while `before` (the last-persisted
+    /// state) is kept alive, pointer equality proves the chunk's classes
+    /// are byte-identical (same rule as [`CpqxIndex::cow_diff`]).
+    pub fn class_chunk_shared_with(&self, before: &CpqxIndex, i: usize) -> bool {
+        matches!(before.classes.get(i), Some(b) if Arc::ptr_eq(b, &self.classes[i]))
+    }
 }
 
 impl SeqProbe for CpqxIndex {

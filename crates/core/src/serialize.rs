@@ -18,17 +18,48 @@ use std::io::{Read, Write};
 const MAGIC: &[u8; 4] = b"CPQX";
 const VERSION: u32 = 1;
 
-/// Errors while reading a persisted index.
+/// Errors while reading a persisted index (or any of the store's framed
+/// files, which reuse this type so corruption reports look the same
+/// everywhere): every corruption variant pinpoints the byte offset, so a
+/// damaged file is diagnosable without a hex dump.
 #[derive(Debug)]
 pub enum LoadError {
-    /// Underlying I/O failure.
+    /// Underlying I/O failure (anything but a clean end-of-stream, which
+    /// reports as [`LoadError::Truncated`]).
     Io(std::io::Error),
     /// The stream does not start with the `CPQX` magic.
     BadMagic,
-    /// Unsupported format version.
-    BadVersion(u32),
+    /// Format-version mismatch: the file declares `found`, this build
+    /// reads `expected`.
+    BadVersion {
+        /// Version number the file declares.
+        found: u32,
+        /// Version number this build understands.
+        expected: u32,
+    },
+    /// The stream ended in the middle of a field.
+    Truncated {
+        /// Byte offset at which the stream ran out.
+        offset: u64,
+    },
     /// Structurally invalid payload.
-    Corrupt(&'static str),
+    Corrupt {
+        /// Byte offset of the offending field.
+        offset: u64,
+        /// What was wrong with it.
+        what: &'static str,
+    },
+    /// A checksummed record failed verification (used by the framed
+    /// record formats in `cpqx-store`; the version-1 index stream itself
+    /// carries no checksums).
+    Checksum {
+        /// Byte offset of the record whose checksum failed.
+        offset: u64,
+        /// Checksum stored in the file.
+        expected: u32,
+        /// Checksum computed over the payload actually read.
+        actual: u32,
+    },
 }
 
 impl std::fmt::Display for LoadError {
@@ -36,17 +67,66 @@ impl std::fmt::Display for LoadError {
         match self {
             LoadError::Io(e) => write!(f, "i/o error: {e}"),
             LoadError::BadMagic => write!(f, "not a CPQx index file"),
-            LoadError::BadVersion(v) => write!(f, "unsupported index format version {v}"),
-            LoadError::Corrupt(what) => write!(f, "corrupt index file: {what}"),
+            LoadError::BadVersion { found, expected } => {
+                write!(f, "unsupported format version {found} (this build reads {expected})")
+            }
+            LoadError::Truncated { offset } => {
+                write!(f, "truncated at byte {offset}")
+            }
+            LoadError::Corrupt { offset, what } => {
+                write!(f, "corrupt at byte {offset}: {what}")
+            }
+            LoadError::Checksum { offset, expected, actual } => {
+                write!(
+                    f,
+                    "checksum mismatch for record at byte {offset}: \
+                     stored {expected:#010x}, computed {actual:#010x}"
+                )
+            }
         }
     }
 }
 
-impl std::error::Error for LoadError {}
+impl std::error::Error for LoadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LoadError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<std::io::Error> for LoadError {
     fn from(e: std::io::Error) -> Self {
         LoadError::Io(e)
+    }
+}
+
+/// Reader adapter that counts consumed bytes, so every decode error can
+/// name the offset it happened at.
+struct Counted<R> {
+    inner: R,
+    offset: u64,
+}
+
+impl<R: Read> Counted<R> {
+    fn new(inner: R) -> Self {
+        Counted { inner, offset: 0 }
+    }
+
+    /// Reads exactly `buf.len()` bytes; a clean end-of-stream reports as
+    /// [`LoadError::Truncated`] at the current offset.
+    fn fill(&mut self, buf: &mut [u8]) -> Result<(), LoadError> {
+        match self.inner.read_exact(buf) {
+            Ok(()) => {
+                self.offset += buf.len() as u64;
+                Ok(())
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+                Err(LoadError::Truncated { offset: self.offset })
+            }
+            Err(e) => Err(LoadError::Io(e)),
+        }
     }
 }
 
@@ -66,40 +146,107 @@ fn write_seq(w: &mut impl Write, s: &LabelSeq) -> std::io::Result<()> {
     Ok(())
 }
 
-fn read_u8(r: &mut impl Read) -> Result<u8, LoadError> {
+fn read_u8<R: Read>(r: &mut Counted<R>) -> Result<u8, LoadError> {
     let mut b = [0u8; 1];
-    r.read_exact(&mut b)?;
+    r.fill(&mut b)?;
     Ok(b[0])
 }
 
-fn read_u16(r: &mut impl Read) -> Result<u16, LoadError> {
+fn read_u16<R: Read>(r: &mut Counted<R>) -> Result<u16, LoadError> {
     let mut b = [0u8; 2];
-    r.read_exact(&mut b)?;
+    r.fill(&mut b)?;
     Ok(u16::from_le_bytes(b))
 }
 
-fn read_u32(r: &mut impl Read) -> Result<u32, LoadError> {
+fn read_u32<R: Read>(r: &mut Counted<R>) -> Result<u32, LoadError> {
     let mut b = [0u8; 4];
-    r.read_exact(&mut b)?;
+    r.fill(&mut b)?;
     Ok(u32::from_le_bytes(b))
 }
 
-fn read_u64(r: &mut impl Read) -> Result<u64, LoadError> {
+fn read_u64<R: Read>(r: &mut Counted<R>) -> Result<u64, LoadError> {
     let mut b = [0u8; 8];
-    r.read_exact(&mut b)?;
+    r.fill(&mut b)?;
     Ok(u64::from_le_bytes(b))
 }
 
-fn read_seq(r: &mut impl Read) -> Result<LabelSeq, LoadError> {
+fn read_seq<R: Read>(r: &mut Counted<R>) -> Result<LabelSeq, LoadError> {
+    let at = r.offset;
     let len = read_u8(r)? as usize;
     if len > cpqx_graph::MAX_SEQ_LEN {
-        return Err(LoadError::Corrupt("label sequence too long"));
+        return Err(LoadError::Corrupt { offset: at, what: "label sequence too long" });
     }
     let mut s = LabelSeq::empty();
     for _ in 0..len {
         s = s.appended(ExtLabel(read_u16(r)?));
     }
     Ok(s)
+}
+
+/// One persisted class: loop flag, sorted `L≤k` sequence set, sorted
+/// pair row — the unit of both the whole-index stream and the
+/// chunk-per-record snapshot layout.
+pub type ClassRecord = (bool, Vec<LabelSeq>, Vec<Pair>);
+
+fn write_class(
+    w: &mut impl Write,
+    is_loop: bool,
+    seqs: &[LabelSeq],
+    pairs: &[Pair],
+) -> std::io::Result<()> {
+    w.write_all(&[is_loop as u8])?;
+    write_u32(w, seqs.len() as u32)?;
+    for s in seqs {
+        write_seq(w, s)?;
+    }
+    write_u32(w, pairs.len() as u32)?;
+    for p in pairs {
+        write_u64(w, p.0)?;
+    }
+    Ok(())
+}
+
+/// Reads and structurally validates one class body (the per-class layout
+/// shared by [`CpqxIndex::load`] and [`CpqxIndex::load_class_chunk`]).
+fn read_class<R: Read>(r: &mut Counted<R>, k: usize) -> Result<ClassRecord, LoadError> {
+    let class_at = r.offset;
+    let is_loop = match read_u8(r)? {
+        0 => false,
+        1 => true,
+        _ => return Err(LoadError::Corrupt { offset: class_at, what: "bad loop flag" }),
+    };
+    let ns = read_u32(r)? as usize;
+    let mut seqs = Vec::with_capacity(ns);
+    for _ in 0..ns {
+        let at = r.offset;
+        let s = read_seq(r)?;
+        if s.is_empty() || s.len() > k {
+            return Err(LoadError::Corrupt {
+                offset: at,
+                what: "class sequence length out of range",
+            });
+        }
+        seqs.push(s);
+    }
+    if seqs.windows(2).any(|w| w[0] >= w[1]) {
+        return Err(LoadError::Corrupt { offset: class_at, what: "class sequences not sorted" });
+    }
+    let pairs_at = r.offset;
+    let np = read_u32(r)? as usize;
+    let mut pairs = Vec::with_capacity(np);
+    for _ in 0..np {
+        pairs.push(Pair(read_u64(r)?));
+    }
+    if pairs.windows(2).any(|w| w[0] >= w[1]) {
+        return Err(LoadError::Corrupt { offset: pairs_at, what: "class pairs not sorted" });
+    }
+    if pairs.iter().any(|p| p.is_loop() != is_loop) {
+        return Err(LoadError::Corrupt {
+            offset: pairs_at,
+            what: "pair cyclicity disagrees with class flag",
+        });
+    }
+    Ok((is_loop, seqs, pairs))
 }
 
 impl CpqxIndex {
@@ -120,35 +267,136 @@ impl CpqxIndex {
         }
         write_u32(&mut w, self.class_slots() as u32)?;
         for c in 0..self.class_slots() as ClassId {
-            w.write_all(&[self.class_is_loop(c) as u8])?;
-            write_u32(&mut w, self.class_sequences(c).len() as u32)?;
-            for s in self.class_sequences(c) {
-                write_seq(&mut w, s)?;
-            }
-            write_u32(&mut w, self.class_pairs(c).len() as u32)?;
-            for p in self.class_pairs(c) {
-                write_u64(&mut w, p.0)?;
-            }
+            write_class(
+                &mut w,
+                self.class_is_loop(c),
+                self.class_sequences(c),
+                self.class_pairs(c),
+            )?;
         }
         Ok(())
     }
 
+    /// Serializes the classes of one class chunk (`[count: u32]` then
+    /// `count` class bodies in [`CpqxIndex::save`]'s per-class layout) —
+    /// the payload of a snapshot's index-chunk record. Chunk `i` covers
+    /// classes `i · span .. i · span + len` (see
+    /// [`CpqxIndex::class_chunk_span`]).
+    pub fn save_class_chunk(&self, i: usize, mut w: impl Write) -> std::io::Result<()> {
+        let span = Self::class_chunk_span();
+        let len = self.class_chunk_len(i);
+        write_u32(&mut w, len as u32)?;
+        for off in 0..len {
+            let c = (i * span + off) as ClassId;
+            write_class(
+                &mut w,
+                self.class_is_loop(c),
+                self.class_sequences(c),
+                self.class_pairs(c),
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Decodes one chunk written by [`CpqxIndex::save_class_chunk`],
+    /// validating each class body structurally. Offsets in errors are
+    /// relative to the chunk payload; callers add the record's file
+    /// position.
+    pub fn load_class_chunk(k: usize, r: impl Read) -> Result<Vec<ClassRecord>, LoadError> {
+        let mut r = Counted::new(r);
+        let at = r.offset;
+        let n = read_u32(&mut r)? as usize;
+        if n > Self::class_chunk_span() {
+            return Err(LoadError::Corrupt { offset: at, what: "class chunk over-full" });
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(read_class(&mut r, k)?);
+        }
+        Ok(out)
+    }
+
+    /// Reassembles an index from per-chunk class records (the inverse of
+    /// [`CpqxIndex::save_class_chunk`] over all chunks), rebuilding the
+    /// derived structures (`Il2c`, pair → class) exactly as
+    /// [`CpqxIndex::load`] does. Like a freshly loaded index, the result
+    /// starts a new fragmentation epoch: the restored class count is the
+    /// baseline.
+    ///
+    /// Every chunk but the last must hold exactly
+    /// [`CpqxIndex::class_chunk_span`] classes, so the rebuilt chunk
+    /// boundaries bit-match the persisted index and incremental
+    /// snapshotting stays positionally aligned across restarts.
+    pub fn from_class_records(
+        k: usize,
+        interests: Option<BTreeSet<LabelSeq>>,
+        chunks: Vec<Vec<ClassRecord>>,
+    ) -> Result<Self, &'static str> {
+        if k == 0 || k > cpqx_graph::MAX_SEQ_LEN {
+            return Err("k out of range");
+        }
+        let span = Self::class_chunk_span();
+        for (i, ch) in chunks.iter().enumerate() {
+            let full = i + 1 < chunks.len();
+            if full && ch.len() != span {
+                return Err("non-terminal class chunk not full");
+            }
+            if !full && (ch.is_empty() || ch.len() > span) {
+                return Err("terminal class chunk empty or over-full");
+            }
+        }
+        let nc: usize = chunks.iter().map(Vec::len).sum();
+        let mut idx = CpqxIndex {
+            k,
+            interests,
+            il2c: HashMap::new(),
+            classes: Vec::new(),
+            class_count: 0,
+            p2c: Vec::new(),
+            pair_count: 0,
+            frag: crate::index::FragCounters { baseline_classes: nc, ..Default::default() },
+        };
+        for (is_loop, seqs, pairs) in chunks.into_iter().flatten() {
+            let c = idx.class_count as ClassId;
+            for p in &pairs {
+                if p.is_loop() != is_loop {
+                    return Err("pair cyclicity disagrees with class flag");
+                }
+                if idx.class_of(*p).is_some() {
+                    return Err("pair assigned to two classes");
+                }
+                idx.p2c_insert(*p, c);
+            }
+            for s in &seqs {
+                idx.il2c_push(*s, c);
+            }
+            let created = idx.push_class(is_loop, seqs);
+            debug_assert_eq!(created, c);
+            let (chunk, off) = idx.class_slot_mut(c);
+            chunk.pairs[off] = pairs;
+        }
+        Ok(idx)
+    }
+
     /// Loads an index written by [`CpqxIndex::save`], reconstructing the
     /// derived structures (`Il2c`, pair→class).
-    pub fn load(mut r: impl Read) -> Result<Self, LoadError> {
+    pub fn load(r: impl Read) -> Result<Self, LoadError> {
+        let mut r = Counted::new(r);
         let mut magic = [0u8; 4];
-        r.read_exact(&mut magic)?;
+        r.fill(&mut magic)?;
         if &magic != MAGIC {
             return Err(LoadError::BadMagic);
         }
         let version = read_u32(&mut r)?;
         if version != VERSION {
-            return Err(LoadError::BadVersion(version));
+            return Err(LoadError::BadVersion { found: version, expected: VERSION });
         }
+        let at = r.offset;
         let k = read_u32(&mut r)? as usize;
         if k == 0 || k > cpqx_graph::MAX_SEQ_LEN {
-            return Err(LoadError::Corrupt("k out of range"));
+            return Err(LoadError::Corrupt { offset: at, what: "k out of range" });
         }
+        let mode_at = r.offset;
         let interests = match read_u8(&mut r)? {
             0 => None,
             1 => {
@@ -159,7 +407,7 @@ impl CpqxIndex {
                 }
                 Some(lq)
             }
-            _ => return Err(LoadError::Corrupt("bad mode byte")),
+            _ => return Err(LoadError::Corrupt { offset: mode_at, what: "bad mode byte" }),
         };
         let nc = read_u32(&mut r)? as usize;
         // A loaded index starts a fresh fragmentation epoch: the file
@@ -178,37 +426,14 @@ impl CpqxIndex {
             frag: crate::index::FragCounters { baseline_classes: nc, ..Default::default() },
         };
         for c in 0..nc as ClassId {
-            let is_loop = match read_u8(&mut r)? {
-                0 => false,
-                1 => true,
-                _ => return Err(LoadError::Corrupt("bad loop flag")),
-            };
-            let ns = read_u32(&mut r)? as usize;
-            let mut seqs = Vec::with_capacity(ns);
-            for _ in 0..ns {
-                let s = read_seq(&mut r)?;
-                if s.is_empty() || s.len() > k {
-                    return Err(LoadError::Corrupt("class sequence length out of range"));
-                }
-                seqs.push(s);
-            }
-            if seqs.windows(2).any(|w| w[0] >= w[1]) {
-                return Err(LoadError::Corrupt("class sequences not sorted"));
-            }
-            let np = read_u32(&mut r)? as usize;
-            let mut pairs = Vec::with_capacity(np);
-            for _ in 0..np {
-                pairs.push(Pair(read_u64(&mut r)?));
-            }
-            if pairs.windows(2).any(|w| w[0] >= w[1]) {
-                return Err(LoadError::Corrupt("class pairs not sorted"));
-            }
+            let class_at = r.offset;
+            let (is_loop, seqs, pairs) = read_class(&mut r, k)?;
             for p in &pairs {
-                if p.is_loop() != is_loop {
-                    return Err(LoadError::Corrupt("pair cyclicity disagrees with class flag"));
-                }
                 if idx.class_of(*p).is_some() {
-                    return Err(LoadError::Corrupt("pair assigned to two classes"));
+                    return Err(LoadError::Corrupt {
+                        offset: class_at,
+                        what: "pair assigned to two classes",
+                    });
                 }
                 idx.p2c_insert(*p, c);
             }
@@ -283,15 +508,96 @@ mod tests {
         assert!(matches!(err, LoadError::BadMagic));
     }
 
+    /// Disassembles through the chunk-granular surface and reassembles.
+    fn chunk_roundtrip(idx: &CpqxIndex) -> CpqxIndex {
+        let chunks: Vec<_> = (0..idx.class_chunk_count())
+            .map(|i| {
+                let mut buf = Vec::new();
+                idx.save_class_chunk(i, &mut buf).unwrap();
+                CpqxIndex::load_class_chunk(idx.k(), std::io::Cursor::new(&buf)).unwrap()
+            })
+            .collect();
+        CpqxIndex::from_class_records(idx.k(), idx.interests().cloned(), chunks).unwrap()
+    }
+
     #[test]
-    fn truncation_rejected() {
+    fn class_chunk_roundtrip_matches_whole_stream() {
+        let g = generate::gex();
+        for idx in [
+            CpqxIndex::build(&g, 2),
+            CpqxIndex::build_interest_aware(
+                &g,
+                2,
+                [LabelSeq::from_slice(&[
+                    g.label_named("f").unwrap().fwd(),
+                    g.label_named("f").unwrap().fwd(),
+                ])],
+            ),
+        ] {
+            let rebuilt = chunk_roundtrip(&idx);
+            assert_eq!(rebuilt.k(), idx.k());
+            assert_eq!(rebuilt.pair_count(), idx.pair_count());
+            assert_eq!(rebuilt.class_slots(), idx.class_slots());
+            assert_eq!(rebuilt.class_chunk_count(), idx.class_chunk_count());
+            assert_eq!(rebuilt.interests(), idx.interests());
+            for c in 0..idx.class_slots() as u32 {
+                assert_eq!(rebuilt.class_pairs(c), idx.class_pairs(c));
+                assert_eq!(rebuilt.class_sequences(c), idx.class_sequences(c));
+                assert_eq!(rebuilt.class_is_loop(c), idx.class_is_loop(c));
+            }
+            for text in ["(f . f) & f^-1", "f . v"] {
+                let q = parse_cpq(text, &g).unwrap();
+                assert_eq!(rebuilt.evaluate(&g, &q), idx.evaluate(&g, &q), "{text}");
+            }
+        }
+    }
+
+    #[test]
+    fn class_chunk_loader_rejects_corruption() {
+        let g = generate::gex();
+        let idx = CpqxIndex::build(&g, 2);
+        let mut buf = Vec::new();
+        idx.save_class_chunk(0, &mut buf).unwrap();
+        // Truncations never panic and report positions inside the payload.
+        for cut in [0, 2, buf.len() / 2, buf.len() - 1] {
+            let err =
+                CpqxIndex::load_class_chunk(2, std::io::Cursor::new(&buf[..cut])).unwrap_err();
+            match err {
+                LoadError::Truncated { offset } | LoadError::Corrupt { offset, .. } => {
+                    assert!(offset <= cut as u64)
+                }
+                other => panic!("cut at {cut}: {other:?}"),
+            }
+        }
+        // A pair assigned to two classes is caught on reassembly.
+        let records = CpqxIndex::load_class_chunk(2, std::io::Cursor::new(&buf)).unwrap();
+        let dup = records.iter().find(|r| !r.2.is_empty()).unwrap().clone();
+        let mut chunks = vec![records];
+        chunks[0].push(dup);
+        assert!(chunks[0].len() <= CpqxIndex::class_chunk_span(), "gex stays in one chunk");
+        assert!(CpqxIndex::from_class_records(2, None, chunks).is_err());
+    }
+
+    #[test]
+    fn truncation_reported_with_offset() {
         let g = generate::gex();
         let idx = CpqxIndex::build(&g, 2);
         let mut buf = Vec::new();
         idx.save(&mut buf).unwrap();
         for cut in [3usize, 9, 16, buf.len() / 2, buf.len() - 1] {
-            let err = CpqxIndex::load(std::io::Cursor::new(&buf[..cut]));
-            assert!(err.is_err(), "truncation at {cut} must fail");
+            let err = CpqxIndex::load(std::io::Cursor::new(&buf[..cut])).unwrap_err();
+            // A hand-truncated stream must be diagnosed as truncation at a
+            // plausible offset — not as a panic or a generic I/O error.
+            // (Very short cuts may also surface as a corrupt count field.)
+            match err {
+                LoadError::Truncated { offset } => {
+                    assert!(offset <= cut as u64, "offset {offset} past cut {cut}")
+                }
+                LoadError::Corrupt { offset, .. } => {
+                    assert!(offset <= cut as u64, "offset {offset} past cut {cut}")
+                }
+                other => panic!("truncation at {cut} reported as {other:?}"),
+            }
         }
     }
 
@@ -299,6 +605,7 @@ mod tests {
     fn bitflip_in_pair_detected_or_benign() {
         // Flipping a pair byte either corrupts sortedness/cyclicity (error)
         // or produces a structurally valid different index — never a panic.
+        // When it errors, the reported offset must lie within the file.
         let g = generate::gex();
         let idx = CpqxIndex::build(&g, 2);
         let mut buf = Vec::new();
@@ -306,8 +613,35 @@ mod tests {
         for i in (buf.len().saturating_sub(64)..buf.len()).step_by(7) {
             let mut corrupted = buf.clone();
             corrupted[i] ^= 0xFF;
-            let _ = CpqxIndex::load(std::io::Cursor::new(&corrupted));
+            match CpqxIndex::load(std::io::Cursor::new(&corrupted)) {
+                Ok(_) => {}
+                Err(LoadError::Corrupt { offset, .. }) | Err(LoadError::Truncated { offset }) => {
+                    assert!(offset <= buf.len() as u64, "offset {offset} out of file")
+                }
+                Err(other) => panic!("flip at {i} reported as {other:?}"),
+            }
         }
+    }
+
+    #[test]
+    fn bitflip_in_header_reports_field() {
+        let g = generate::gex();
+        let idx = CpqxIndex::build(&g, 2);
+        let mut buf = Vec::new();
+        idx.save(&mut buf).unwrap();
+        // k lives at bytes 8..12; zeroing it must name that offset.
+        let mut corrupted = buf.clone();
+        corrupted[8..12].copy_from_slice(&[0; 4]);
+        let err = CpqxIndex::load(std::io::Cursor::new(&corrupted)).unwrap_err();
+        assert!(
+            matches!(err, LoadError::Corrupt { offset: 8, what: "k out of range" }),
+            "got {err:?}"
+        );
+        // The mode byte follows k; an invalid one names its own offset.
+        let mut corrupted = buf.clone();
+        corrupted[12] = 7;
+        let err = CpqxIndex::load(std::io::Cursor::new(&corrupted)).unwrap_err();
+        assert!(matches!(err, LoadError::Corrupt { offset: 12, what: "bad mode byte" }));
     }
 
     #[test]
@@ -318,6 +652,15 @@ mod tests {
         idx.save(&mut buf).unwrap();
         buf[4] = 0xFF; // mangle version
         let err = CpqxIndex::load(std::io::Cursor::new(&buf)).unwrap_err();
-        assert!(matches!(err, LoadError::BadVersion(_)));
+        assert!(matches!(err, LoadError::BadVersion { found: 0xFF, expected: 1 }), "got {err:?}");
+    }
+
+    #[test]
+    fn error_display_carries_detail() {
+        let e = LoadError::Checksum { offset: 96, expected: 0xDEAD_BEEF, actual: 0x0BAD_F00D };
+        let s = e.to_string();
+        assert!(s.contains("96") && s.contains("0xdeadbeef") && s.contains("0x0badf00d"), "{s}");
+        let e = LoadError::Truncated { offset: 7 };
+        assert!(e.to_string().contains("byte 7"));
     }
 }

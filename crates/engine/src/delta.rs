@@ -246,7 +246,7 @@ impl std::error::Error for DeltaError {}
 /// delta that can only be rejected costs no clone and no lock hold;
 /// vertex ids and the label table only grow, so a delta passing here
 /// cannot fail when applied to the (possibly newer) clone.
-pub(crate) fn validate_ops(g: &Graph, ops: &[DeltaOp]) -> Result<(), DeltaError> {
+pub fn validate_ops(g: &Graph, ops: &[DeltaOp]) -> Result<(), DeltaError> {
     let reject = |i: usize, reason: String| DeltaError { op_index: i, reason };
     let check_vertex = |v: VertexId, bound: u32, i: usize| {
         if v < bound {
@@ -304,7 +304,7 @@ pub(crate) fn validate_ops(g: &Graph, ops: &[DeltaOp]) -> Result<(), DeltaError>
 /// write transaction) discards it without installing, which is what
 /// makes deltas atomic. (The engine pre-validates with [`validate_ops`],
 /// so for engine-driven deltas this is a second line of defense.)
-pub(crate) fn apply_ops(
+pub fn apply_ops(
     g: &mut Graph,
     idx: &mut CpqxIndex,
     ops: &[DeltaOp],

@@ -40,6 +40,7 @@ use crate::build::{
 };
 use crate::cache::LruCache;
 use crate::delta::{apply_ops, Delta, DeltaError, DeltaOp, DeltaReport};
+use crate::durability::{DurabilityOptions, DurabilitySink};
 use crate::stats::{EngineCounters, StatsReport};
 
 /// Engine construction knobs.
@@ -88,6 +89,10 @@ pub struct EngineOptions {
     /// the two write paths so a regression back to O(graph) clones fails
     /// visibly in CI. Leave `false` in production.
     pub deep_clone_writes: bool,
+    /// Durability policy: when a [`DurabilitySink`] is attached
+    /// ([`Engine::attach_durability`]), this drives the engine-triggered
+    /// checkpoint cadence. Irrelevant (and harmless) without a sink.
+    pub durability: DurabilityOptions,
 }
 
 impl Default for EngineOptions {
@@ -101,6 +106,7 @@ impl Default for EngineOptions {
             interests: None,
             auto_rebuild_ratio: Some(8.0),
             deep_clone_writes: false,
+            durability: DurabilityOptions::default(),
         }
     }
 }
@@ -191,6 +197,10 @@ pub struct Engine {
     /// [`Engine::rebuild`], or an auto-rebuild) — surfaced through
     /// [`Engine::stats`].
     last_build: Mutex<BuildReport>,
+    /// The attached durability sink, if any (see
+    /// [`Engine::attach_durability`]). Consulted (one brief lock to
+    /// clone the `Arc`) at the start of every logged write transaction.
+    durability: Mutex<Option<Arc<dyn DurabilitySink>>>,
     options: EngineOptions,
 }
 
@@ -224,9 +234,53 @@ impl Engine {
             counters: EngineCounters::default(),
             writer: Mutex::new(()),
             last_build: Mutex::new(report),
+            durability: Mutex::new(None),
             options,
         };
         (engine, report)
+    }
+
+    /// Revives an engine from externally recovered state (a persisted
+    /// snapshot plus its replayed WAL tail — see the `cpqx-store`
+    /// crate's `recover` module): the given graph + index install as
+    /// epoch 0 **without** a rebuild, which is the entire point of
+    /// persisting the index — restart cost is I/O plus replay, not an
+    /// index construction. Counters and build timings start fresh; like
+    /// a loaded index, the recovered state begins a new fragmentation
+    /// epoch.
+    pub fn with_recovered(graph: Graph, index: CpqxIndex, options: EngineOptions) -> Engine {
+        let snapshot = Arc::new(Snapshot::new(graph, index, 0, options.plan_cache_capacity));
+        Engine {
+            current: RwLock::new(snapshot),
+            results: Mutex::new(TaggedResults {
+                epoch: 0,
+                cache: LruCache::new(options.result_cache_capacity),
+            }),
+            counters: EngineCounters::default(),
+            writer: Mutex::new(()),
+            last_build: Mutex::new(BuildReport::default()),
+            durability: Mutex::new(None),
+            options,
+        }
+    }
+
+    /// Attaches a durability sink: from now on every typed delta
+    /// transaction is appended to the sink **before** its snapshot
+    /// installs (write-ahead ordering; see [`crate::durability`]), and
+    /// [`EngineOptions::durability`] drives the checkpoint cadence.
+    /// Replaces any previously attached sink.
+    ///
+    /// Note that closure transactions ([`Engine::update`]) carry no
+    /// typed ops and therefore cannot be logged — durable deployments
+    /// must write through [`Engine::apply_delta`] (as the single-op
+    /// helpers and the network front-end do).
+    pub fn attach_durability(&self, sink: Arc<dyn DurabilitySink>) {
+        *self.durability.lock().unwrap() = Some(sink);
+    }
+
+    /// The attached durability sink, if any.
+    fn sink(&self) -> Option<Arc<dyn DurabilitySink>> {
+        self.durability.lock().unwrap().clone()
     }
 
     /// The current snapshot. Readers hold it as long as they like; a
@@ -323,14 +377,18 @@ impl Engine {
         // clone. Vertex ids and the label table only grow, so a delta
         // passing here cannot fail against the clone below.
         crate::delta::validate_ops(self.snapshot().graph(), delta.ops())?;
-        let (result, epoch, rebuilt, ratio) =
-            self.write_txn(|g, idx| match apply_ops(g, idx, delta.ops()) {
+        let (result, epoch, rebuilt, ratio) = self
+            .write_txn(Some(delta.ops()), |g, idx| match apply_ops(g, idx, delta.ops()) {
                 Ok(outcomes) => {
                     let applied = outcomes.iter().filter(|o| o.changed()).count();
                     (Ok((outcomes, applied)), applied > 0)
                 }
                 Err(e) => (Err(e), false),
-            });
+            })
+            .map_err(|e| DeltaError {
+                op_index: 0,
+                reason: format!("durability: WAL append failed: {e}"),
+            })?;
         let (outcomes, applied) = result?;
         self.counters.record_delta(applied as u64);
         Ok(DeltaReport { outcomes, applied, epoch, rebuilt, fragmentation_ratio: ratio })
@@ -345,7 +403,9 @@ impl Engine {
     /// where the ops are expressible as typed [`DeltaOp`]s — it gets
     /// per-op outcomes and lazy-update accounting for free.
     pub fn update<R>(&self, f: impl FnOnce(&mut Graph, &mut CpqxIndex) -> R) -> (R, u64) {
-        let (out, epoch, _, _) = self.write_txn(|g, idx| (f(g, idx), true));
+        let (out, epoch, _, _) = self
+            .write_txn(None, |g, idx| (f(g, idx), true))
+            .expect("unlogged transactions perform no I/O");
         (out, epoch)
     }
 
@@ -498,10 +558,23 @@ impl Engine {
     /// epoch (installed, or unchanged for no-ops), whether an
     /// auto-rebuild fired, and the fragmentation ratio after the
     /// transaction.
+    ///
+    /// `log_ops` carries the transaction's typed ops for the durability
+    /// sink (if one is attached): they are appended to the WAL after `f`
+    /// succeeds and **before** the install — write-ahead ordering — and
+    /// an append failure aborts the transaction with the I/O error
+    /// (nothing installs). Closure transactions pass `None` and can
+    /// never fail. After a successful append (and a possible
+    /// auto-rebuild), crossing
+    /// [`DurabilityOptions::checkpoint_wal_bytes`] triggers a sink
+    /// checkpoint of the exact state about to install; checkpoint
+    /// failures are non-fatal (the WAL still covers everything, the
+    /// next trigger retries).
     fn write_txn<R>(
         &self,
+        log_ops: Option<&[DeltaOp]>,
         f: impl FnOnce(&mut Graph, &mut CpqxIndex) -> (R, bool),
-    ) -> (R, u64, bool, f64) {
+    ) -> Result<(R, u64, bool, f64), std::io::Error> {
         let _writer = self.writer.lock().unwrap();
         let snap = self.snapshot();
         // The clone is O(#chunks): all heavyweight storage is structurally
@@ -515,8 +588,16 @@ impl Engine {
         };
         let (out, changed) = f(&mut graph, &mut index);
         if !changed {
-            return (out, snap.epoch(), false, index.fragmentation_ratio());
+            return Ok((out, snap.epoch(), false, index.fragmentation_ratio()));
         }
+        let sink = match (log_ops, self.sink()) {
+            (Some(ops), Some(sink)) => {
+                let bytes = sink.append(&graph, ops)?;
+                self.counters.record_wal(bytes);
+                Some(sink)
+            }
+            _ => None,
+        };
         let rebuild_report = match self.options.auto_rebuild_ratio {
             Some(threshold) if index.fragmentation_ratio() > threshold => {
                 let (fresh, report) = self.build_fresh(&graph, index.interests().cloned());
@@ -531,13 +612,23 @@ impl Engine {
         // copied chunks over a large shared remainder.
         let cow = graph.cow_diff(&snap.graph).merge(index.cow_diff(&snap.index));
         self.counters.record_cow(cow.chunks_copied as u64, cow.chunks_shared as u64);
+        if let (Some(sink), Some(limit)) = (&sink, self.options.durability.checkpoint_wal_bytes) {
+            if sink.wal_bytes_since_checkpoint() > limit {
+                // Checkpoints the exact (possibly auto-rebuilt) state the
+                // install below publishes. Failure is non-fatal: the WAL
+                // retains full coverage and the next trigger retries.
+                if let Ok(report) = sink.checkpoint(&graph, &index) {
+                    self.counters.record_checkpoint(report.chunks_written, report.chunks_skipped);
+                }
+            }
+        }
         let ratio = index.fragmentation_ratio();
         let epoch = self.install(graph, index);
         if let Some(report) = rebuild_report {
             // After the install, for the same reason as Engine::rebuild.
             *self.last_build.lock().unwrap() = report;
         }
-        (out, epoch, rebuild_report.is_some(), ratio)
+        Ok((out, epoch, rebuild_report.is_some(), ratio))
     }
 
     /// Installs a new current snapshot (caller holds the writer lock).

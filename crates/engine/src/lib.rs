@@ -49,6 +49,7 @@ pub mod batch;
 pub mod build;
 pub mod cache;
 pub mod delta;
+pub mod durability;
 pub mod engine;
 pub mod pool;
 pub mod stats;
@@ -59,6 +60,7 @@ pub use build::{
     build_sharded_with_report, BuildOptions, BuildReport,
 };
 pub use cache::LruCache;
-pub use delta::{Delta, DeltaError, DeltaOp, DeltaReport, OpOutcome};
+pub use delta::{apply_ops, validate_ops, Delta, DeltaError, DeltaOp, DeltaReport, OpOutcome};
+pub use durability::{CheckpointReport, DurabilityOptions, DurabilitySink};
 pub use engine::{Engine, EngineOptions, PlannedQuery, Snapshot};
 pub use stats::{nearest_rank_quantile, StatsReport};

@@ -48,6 +48,10 @@ pub struct EngineCounters {
     auto_rebuilds: AtomicU64,
     cow_chunks_copied: AtomicU64,
     cow_chunks_shared: AtomicU64,
+    wal_appends: AtomicU64,
+    wal_bytes: AtomicU64,
+    snapshots_written: AtomicU64,
+    snapshot_chunks_skipped: AtomicU64,
     latencies_us: Mutex<LatencyWindow>,
 }
 
@@ -110,6 +114,21 @@ impl EngineCounters {
         self.cow_chunks_shared.fetch_add(shared, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_wal(&self, bytes: u64) {
+        self.wal_appends.fetch_add(1, Ordering::Relaxed);
+        self.wal_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_checkpoint(&self, chunks_written: u64, chunks_skipped: u64) {
+        // `chunks_written` is part of the checkpoint report but the gauge
+        // the protocol exposes is snapshot count + skipped chunks; the
+        // written side is recoverable as (total chunks - skipped) from
+        // the snapshot itself.
+        let _ = chunks_written;
+        self.snapshots_written.fetch_add(1, Ordering::Relaxed);
+        self.snapshot_chunks_skipped.fetch_add(chunks_skipped, Ordering::Relaxed);
+    }
+
     /// A consistent-enough point-in-time view of the counters.
     pub fn report(&self) -> StatsReport {
         let mut latencies = self.latencies_us.lock().unwrap().samples.clone();
@@ -139,6 +158,10 @@ impl EngineCounters {
             auto_rebuilds: self.auto_rebuilds.load(Ordering::Relaxed),
             cow_chunks_copied: self.cow_chunks_copied.load(Ordering::Relaxed),
             cow_chunks_shared: self.cow_chunks_shared.load(Ordering::Relaxed),
+            wal_appends: self.wal_appends.load(Ordering::Relaxed),
+            wal_bytes: self.wal_bytes.load(Ordering::Relaxed),
+            snapshots_written: self.snapshots_written.load(Ordering::Relaxed),
+            snapshot_chunks_skipped: self.snapshot_chunks_skipped.load(Ordering::Relaxed),
             fragmentation_ratio: 0.0,
             class_slots: 0,
             baseline_classes: 0,
@@ -206,6 +229,17 @@ pub struct StatsReport {
     /// Copy-on-write chunks/shards still structurally shared with the
     /// replaced snapshot after each write transaction (cumulative).
     pub cow_chunks_shared: u64,
+    /// Delta transactions appended to the write-ahead log (zero unless a
+    /// durability sink is attached; see `Engine::attach_durability`).
+    pub wal_appends: u64,
+    /// Total payload + framing bytes those appends wrote.
+    pub wal_bytes: u64,
+    /// Snapshot checkpoints persisted by the WAL-bytes trigger.
+    pub snapshots_written: u64,
+    /// Chunk records those checkpoints skipped because the chunk was
+    /// still shared (pointer-identical) with the previous snapshot
+    /// generation — the incremental-snapshot savings gauge.
+    pub snapshot_chunks_skipped: u64,
     /// Current `class_slots / baseline_classes` of the serving index
     /// (1.0 right after a build; grows under lazy maintenance). Filled
     /// by `Engine::stats` from the live snapshot; 0.0 when the report
@@ -241,7 +275,8 @@ impl std::fmt::Display for StatsReport {
         write!(
             f,
             "queries={} hit_rate={:.1}% plan_hit_rate={:.1}% swaps={} deltas={} lazy_ops={} \
-             rebuilds={} frag={:.2} cow={}/{} \
+             rebuilds={} frag={:.2} cow={}/{} wal[appends={} bytes={}] \
+             snapshots[written={} skipped={}] \
              build[total={:?} level1={:?} l1par={:?} ia={:?}] p50={:?} p99={:?}",
             self.queries,
             self.result_hit_rate * 100.0,
@@ -253,6 +288,10 @@ impl std::fmt::Display for StatsReport {
             self.fragmentation_ratio,
             self.cow_chunks_copied,
             self.cow_chunks_shared,
+            self.wal_appends,
+            self.wal_bytes,
+            self.snapshots_written,
+            self.snapshot_chunks_skipped,
             self.build_total,
             self.build_level1,
             self.build_level1_parallel,
@@ -342,6 +381,22 @@ mod tests {
         assert_eq!(r.cow_chunks_copied, 4);
         assert_eq!(r.cow_chunks_shared, 36);
         assert!(r.to_string().contains("cow=4/36"));
+    }
+
+    #[test]
+    fn durability_counters_accumulate() {
+        let c = EngineCounters::default();
+        c.record_wal(120);
+        c.record_wal(88);
+        c.record_checkpoint(3, 29);
+        let r = c.report();
+        assert_eq!(r.wal_appends, 2);
+        assert_eq!(r.wal_bytes, 208);
+        assert_eq!(r.snapshots_written, 1);
+        assert_eq!(r.snapshot_chunks_skipped, 29);
+        let text = r.to_string();
+        assert!(text.contains("wal[appends=2 bytes=208]"), "{text}");
+        assert!(text.contains("snapshots[written=1 skipped=29]"), "{text}");
     }
 
     #[test]

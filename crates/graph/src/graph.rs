@@ -8,6 +8,11 @@ use std::sync::Arc;
 /// Dense vertex identifier (`u32`, per the small-integer-id guideline).
 pub type VertexId = u32;
 
+/// One decoded topology chunk as the store persists it: the chunk's
+/// first vertex id plus one sorted `(ext_label, target)` adjacency row
+/// per vertex — the owned form of [`Graph::topology_chunk`]'s view.
+pub type TopologyChunkParts = (VertexId, Vec<Vec<(u16, VertexId)>>);
+
 /// Target total adjacency entries per copy-on-write chunk. Chunk
 /// boundaries are computed with [`crate::view::balanced_ranges_by_weight`]
 /// over the extended degrees, so every chunk carries roughly this much
@@ -507,6 +512,144 @@ impl Graph {
         diff.record_arcs(&self.chunks, &before.chunks);
         diff.record_arcs(&self.names, &before.names);
         diff
+    }
+
+    /// The base label name table, in label-id order. Persistence surface:
+    /// snapshot headers store this verbatim so recovered graphs resolve
+    /// names to the same label ids.
+    pub fn label_names(&self) -> &[String] {
+        &self.label_names
+    }
+
+    /// Number of topology chunks (the copy-on-write units carrying
+    /// adjacency rows and pair segments). Persistence surface: snapshot
+    /// writers emit one record per topology chunk.
+    pub fn topology_chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Number of name chunks (the per-range display-name stores parallel
+    /// to the topology chunks).
+    pub fn name_chunk_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// The `i`-th topology chunk as `(start vertex id, adjacency rows)`.
+    /// Rows are indexed by `v - start` and sorted by `(ext label,
+    /// target)`. This is all a snapshot persists per chunk — the
+    /// per-label pair segments are derived state, rebuilt by
+    /// [`Graph::from_chunk_parts`].
+    pub fn topology_chunk(&self, i: usize) -> (VertexId, &[Vec<(u16, VertexId)>]) {
+        let c = &self.chunks[i];
+        (c.start, &c.adj)
+    }
+
+    /// The `i`-th name chunk: display names of the vertices in the
+    /// parallel topology chunk's range.
+    pub fn name_chunk(&self, i: usize) -> &[String] {
+        &self.names[i]
+    }
+
+    /// Whether the `i`-th topology chunk is physically shared
+    /// (`Arc::ptr_eq`) with the chunk at the same position of `before`.
+    ///
+    /// This is the incremental-snapshot change detector: all mutation
+    /// goes through `Arc::make_mut`, and as long as `before` (the
+    /// last-persisted state) is kept alive its chunks have refcount ≥ 2,
+    /// so any mutation of a descendant must have copied the chunk —
+    /// pointer equality therefore proves the chunk's bytes are unchanged.
+    pub fn topology_chunk_shared_with(&self, before: &Graph, i: usize) -> bool {
+        matches!(before.chunks.get(i), Some(b) if Arc::ptr_eq(b, &self.chunks[i]))
+    }
+
+    /// Name-chunk analogue of [`Graph::topology_chunk_shared_with`].
+    pub fn name_chunk_shared_with(&self, before: &Graph, i: usize) -> bool {
+        matches!(before.names.get(i), Some(b) if Arc::ptr_eq(b, &self.names[i]))
+    }
+
+    /// Reassembles a graph from persisted chunk parts, rebuilding all
+    /// derived state (per-label pair segments, pair counts, chunk
+    /// routing, edge count) exactly as [`GraphBuilder::build`] would.
+    ///
+    /// `topology[i]` is `(start, adjacency rows)` as produced by
+    /// [`Graph::topology_chunk`]; `names[i]` is the parallel name chunk.
+    /// The input is validated (contiguous chunk ranges, parallel name
+    /// chunks, in-range sorted adjacency, forward/inverse symmetry of
+    /// the pair totals) so a corrupt snapshot surfaces as an error
+    /// instead of a graph that panics later.
+    pub fn from_chunk_parts(
+        label_names: Vec<String>,
+        topology: Vec<TopologyChunkParts>,
+        names: Vec<Vec<String>>,
+    ) -> Result<Graph, &'static str> {
+        let nl = label_names.len();
+        if nl > (u16::MAX as usize).div_ceil(2) {
+            return Err("label table too large");
+        }
+        if topology.len() != names.len() {
+            return Err("topology/name chunk counts differ");
+        }
+        let mut next = 0u32;
+        for ((start, adj), ns) in topology.iter().zip(&names) {
+            if *start != next {
+                return Err("chunk starts not contiguous");
+            }
+            if adj.is_empty() {
+                return Err("empty topology chunk");
+            }
+            if adj.len() != ns.len() {
+                return Err("name chunk rows differ from topology chunk");
+            }
+            next = match next.checked_add(adj.len() as u32) {
+                Some(n) => n,
+                None => return Err("vertex count overflows u32"),
+            };
+        }
+        let vertex_count = next;
+        let mut chunks = Vec::with_capacity(topology.len());
+        let mut name_chunks = Vec::with_capacity(names.len());
+        let mut chunk_starts = Vec::with_capacity(topology.len());
+        let mut pair_counts = vec![0usize; nl * 2];
+        for ((start, adj), ns) in topology.into_iter().zip(names) {
+            let mut pairs = vec![Vec::new(); nl * 2];
+            for (off, row) in adj.iter().enumerate() {
+                let v = start + off as u32;
+                if !row.windows(2).all(|w| w[0] < w[1]) {
+                    return Err("adjacency row not strictly sorted");
+                }
+                for &(el, t) in row {
+                    if el as usize >= nl * 2 {
+                        return Err("adjacency label out of range");
+                    }
+                    if t >= vertex_count {
+                        return Err("adjacency target out of range");
+                    }
+                    // Rows ascend by vertex and entries by (label, target),
+                    // so each per-label segment comes out sorted for free.
+                    pairs[el as usize].push(Pair::new(v, t));
+                }
+            }
+            for (l, p) in pairs.iter().enumerate() {
+                pair_counts[l] += p.len();
+            }
+            chunk_starts.push(start);
+            chunks.push(Arc::new(VertexChunk { start, adj, pairs }));
+            name_chunks.push(Arc::new(ns));
+        }
+        let fwd_total: usize = (0..nl).map(|l| pair_counts[l * 2]).sum();
+        let inv_total: usize = (0..nl).map(|l| pair_counts[l * 2 + 1]).sum();
+        if fwd_total != inv_total {
+            return Err("forward/inverse pair counts disagree");
+        }
+        Ok(Graph {
+            label_names,
+            chunks,
+            names: name_chunks,
+            chunk_starts,
+            pair_counts,
+            vertex_count,
+            base_edge_count: fwd_total,
+        })
     }
 
     /// A clone that shares **no** chunk with `self` — every chunk's
@@ -1014,6 +1157,107 @@ mod tests {
             assert!(sub.contains(p));
         }
         assert!(!sub.contains(Pair::new(40, 41)));
+    }
+
+    /// Disassembles a graph through the persistence accessors and
+    /// reassembles it via `from_chunk_parts`.
+    fn chunk_roundtrip(g: &Graph) -> Graph {
+        let topo = (0..g.topology_chunk_count())
+            .map(|i| {
+                let (start, adj) = g.topology_chunk(i);
+                (start, adj.to_vec())
+            })
+            .collect();
+        let names = (0..g.name_chunk_count()).map(|i| g.name_chunk(i).to_vec()).collect();
+        Graph::from_chunk_parts(g.label_names().to_vec(), topo, names).expect("valid parts")
+    }
+
+    #[test]
+    fn chunk_parts_roundtrip_rebuilds_derived_state() {
+        let mut g = chunky(64, 8);
+        let f = g.label_named("f").unwrap();
+        g.insert_edge(3, 40, f);
+        g.remove_edge(0, 1, f);
+        let d = g.add_vertex("extra");
+        g.insert_edge(d, 5, f);
+        let r = chunk_roundtrip(&g);
+        assert_eq!(r.vertex_count(), g.vertex_count());
+        assert_eq!(r.edge_count(), g.edge_count());
+        assert_eq!(r.label_names(), g.label_names());
+        for v in g.vertices() {
+            assert_eq!(r.adjacency(v), g.adjacency(v), "adjacency of {v}");
+            assert_eq!(r.vertex_name(v), g.vertex_name(v));
+        }
+        for l in g.ext_labels() {
+            assert_eq!(r.edge_pairs(l).to_vec(), g.edge_pairs(l).to_vec());
+            assert_eq!(r.edge_pairs(l).len(), g.edge_pairs(l).len());
+        }
+        // The rebuilt graph is fully maintainable.
+        let mut r = r;
+        assert!(r.insert_edge(1, 2, f) || r.remove_edge(1, 2, f));
+    }
+
+    #[test]
+    fn from_chunk_parts_rejects_corrupt_input() {
+        let g = chunky(16, 8);
+        let take = |g: &Graph| {
+            let topo: Vec<_> = (0..g.topology_chunk_count())
+                .map(|i| {
+                    let (s, adj) = g.topology_chunk(i);
+                    (s, adj.to_vec())
+                })
+                .collect();
+            let names: Vec<_> =
+                (0..g.name_chunk_count()).map(|i| g.name_chunk(i).to_vec()).collect();
+            (g.label_names().to_vec(), topo, names)
+        };
+        // Non-contiguous starts.
+        let (l, mut topo, names) = take(&g);
+        topo.last_mut().unwrap().0 += 1;
+        assert!(Graph::from_chunk_parts(l, topo, names).is_err());
+        // Out-of-range target.
+        let (l, mut topo, names) = take(&g);
+        topo[0].1[0].push((0, 10_000));
+        assert!(Graph::from_chunk_parts(l, topo, names).is_err());
+        // Out-of-range label.
+        let (l, mut topo, names) = take(&g);
+        topo[0].1[0].insert(0, (0, 0));
+        topo[0].1[0][0].0 = 99;
+        assert!(Graph::from_chunk_parts(l, topo, names).is_err());
+        // Name chunk length mismatch.
+        let (l, topo, mut names) = take(&g);
+        names[0].pop();
+        assert!(Graph::from_chunk_parts(l, topo, names).is_err());
+        // Asymmetric halves: drop one inverse entry.
+        let (l, mut topo, names) = take(&g);
+        let row = topo[0].1.iter_mut().find(|r| !r.is_empty()).unwrap();
+        row.pop();
+        assert!(Graph::from_chunk_parts(l, topo, names).is_err());
+    }
+
+    #[test]
+    fn chunk_sharing_detects_mutation_positionally() {
+        let base = chunky(64, 8);
+        let mut g = base.clone();
+        for i in 0..g.topology_chunk_count() {
+            assert!(g.topology_chunk_shared_with(&base, i));
+        }
+        for i in 0..g.name_chunk_count() {
+            assert!(g.name_chunk_shared_with(&base, i));
+        }
+        let f = g.label_named("f").unwrap();
+        g.insert_edge(3, 40, f);
+        let changed: Vec<usize> = (0..g.topology_chunk_count())
+            .filter(|&i| !g.topology_chunk_shared_with(&base, i))
+            .collect();
+        assert!(!changed.is_empty() && changed.len() <= 2, "endpoint chunks only: {changed:?}");
+        assert!((0..g.name_chunk_count()).all(|i| g.name_chunk_shared_with(&base, i)));
+        // Appending a vertex grows past `before`: new positions count as
+        // changed.
+        let mut g2 = base.clone();
+        g2.add_vertex("tail");
+        let last = g2.topology_chunk_count() - 1;
+        assert!(!g2.topology_chunk_shared_with(&base, last));
     }
 
     #[test]

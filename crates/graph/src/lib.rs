@@ -34,7 +34,7 @@ pub mod label;
 pub mod pair;
 pub mod view;
 
-pub use graph::{CowDiff, Graph, GraphBuilder, GraphStats, PairList, VertexId};
+pub use graph::{CowDiff, Graph, GraphBuilder, GraphStats, PairList, TopologyChunkParts, VertexId};
 pub use label::{ExtLabel, Label, LabelSeq, MAX_SEQ_LEN};
 pub use pair::Pair;
 pub use view::SrcRangeView;

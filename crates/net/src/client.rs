@@ -251,7 +251,7 @@ impl Client {
     /// Fetches the server's statistics report.
     pub fn stats(&mut self) -> Result<WireStats, ClientError> {
         match self.roundtrip(&Request::Stats)? {
-            Response::Stats(s) => Ok(s),
+            Response::Stats(s) => Ok(*s),
             other => Err(mistyped("STATS_RESULT", &other)),
         }
     }

@@ -42,8 +42,10 @@ pub const MAGIC: [u8; 4] = *b"CPQX";
 /// promise). Version 2 added the typed DELTA/DELTA_ACK frames and
 /// extended the STATS report with maintenance counters; version 3
 /// extended STATS again with the copy-on-write sharing gauges
-/// (`cow_chunks_copied` / `cow_chunks_shared`).
-pub const PROTOCOL_VERSION: u16 = 3;
+/// (`cow_chunks_copied` / `cow_chunks_shared`); version 4 appended the
+/// durability gauges (`wal_appends` / `wal_bytes` / `snapshots_written`
+/// / `snapshot_chunks_skipped`).
+pub const PROTOCOL_VERSION: u16 = 4;
 
 /// Default bound on accepted payload sizes (16 MiB). Servers apply it to
 /// requests, clients to responses; both sides make it configurable.
@@ -224,8 +226,9 @@ pub enum Response {
         /// The engine epoch after the update.
         epoch: u64,
     },
-    /// Answer to [`Request::Stats`].
-    Stats(WireStats),
+    /// Answer to [`Request::Stats`] (boxed: at 31 gauges the
+    /// payload would otherwise dominate every `Response`'s size).
+    Stats(Box<WireStats>),
     /// Answer to [`Request::Delta`]: the transaction committed as one
     /// snapshot install (or changed nothing), with per-op outcomes in op
     /// order. Rejected deltas come back as [`ErrorCode::BadUpdate`]
@@ -397,6 +400,16 @@ pub struct WireStats {
     pub error_responses: u64,
     /// Connections the server has accepted and served.
     pub connections: u64,
+    /// Delta transactions appended to the write-ahead log (zero when the
+    /// server runs without a durability layer).
+    pub wal_appends: u64,
+    /// Total bytes (payload + framing) those WAL appends wrote.
+    pub wal_bytes: u64,
+    /// Snapshot checkpoints persisted by the WAL-bytes trigger.
+    pub snapshots_written: u64,
+    /// Chunk records those checkpoints skipped as unchanged — the
+    /// incremental-snapshot savings gauge.
+    pub snapshot_chunks_skipped: u64,
 }
 
 impl WireStats {
@@ -875,7 +888,7 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, DecodeError> {
             for f in fields.iter_mut() {
                 *f = c.u64()?;
             }
-            Response::Stats(stats_from_fields(fields))
+            Response::Stats(Box::new(stats_from_fields(fields)))
         }
         OP_ERROR => {
             let code = ErrorCode::from_u8(c.u8()?)?;
@@ -891,7 +904,7 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, DecodeError> {
     Ok(resp)
 }
 
-const STATS_FIELDS: usize = 27;
+const STATS_FIELDS: usize = 31;
 
 fn stats_fields(s: &WireStats) -> [u64; STATS_FIELDS] {
     [
@@ -922,6 +935,10 @@ fn stats_fields(s: &WireStats) -> [u64; STATS_FIELDS] {
         s.stats_requests,
         s.error_responses,
         s.connections,
+        s.wal_appends,
+        s.wal_bytes,
+        s.snapshots_written,
+        s.snapshot_chunks_skipped,
     ]
 }
 
@@ -954,6 +971,10 @@ fn stats_from_fields(f: [u64; STATS_FIELDS]) -> WireStats {
         stats_requests: f[24],
         error_responses: f[25],
         connections: f[26],
+        wal_appends: f[27],
+        wal_bytes: f[28],
+        snapshots_written: f[29],
+        snapshot_chunks_skipped: f[30],
     }
 }
 
@@ -1083,7 +1104,7 @@ mod tests {
                     WireOutcome::VertexAdded(4096),
                 ],
             },
-            Response::Stats(WireStats {
+            Response::Stats(Box::new(WireStats {
                 epoch: 2,
                 queries: 100,
                 result_hits: 40,
@@ -1091,8 +1112,12 @@ mod tests {
                 p99_us: 1234,
                 query_requests: 100,
                 connections: 8,
+                wal_appends: 12,
+                wal_bytes: 4096,
+                snapshots_written: 2,
+                snapshot_chunks_skipped: 77,
                 ..WireStats::default()
-            }),
+            })),
             Response::Error(WireError {
                 code: ErrorCode::Parse,
                 position: Some(4),

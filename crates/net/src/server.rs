@@ -465,7 +465,7 @@ fn handle(s: &Shared, req: Request) -> Response {
         }
         Request::Stats => {
             s.counters.stats.fetch_add(1, Ordering::Relaxed);
-            Response::Stats(wire_stats(s))
+            Response::Stats(Box::new(wire_stats(s)))
         }
     }
 }
@@ -588,5 +588,9 @@ fn wire_stats(s: &Shared) -> WireStats {
         stats_requests: net.stats_requests,
         error_responses: net.error_responses,
         connections: net.connections,
+        wal_appends: engine.wal_appends,
+        wal_bytes: engine.wal_bytes,
+        snapshots_written: engine.snapshots_written,
+        snapshot_chunks_skipped: engine.snapshot_chunks_skipped,
     }
 }

@@ -13,13 +13,20 @@
 //! the foreground for external clients (`net_client` connects with
 //! `CPQX_NET_ADDR`) instead of running the self-contained demo.
 //!
-//! Run with: `cargo run --release --example engine_server`
+//! Pass `--data-dir <path>` to serve durably: on first boot the seed
+//! graph is snapshotted there, every maintenance transaction is logged
+//! to the write-ahead log, and a later boot with the same flag recovers
+//! the persisted state (snapshot + WAL tail) instead of rebuilding —
+//! the demo logs what recovery restored.
+//!
+//! Run with: `cargo run --release --example engine_server [-- --data-dir DIR]`
 
-use cpqx::engine::{BuildOptions, Engine, EngineOptions};
+use cpqx::engine::{BuildOptions, Delta, Engine, EngineOptions};
 use cpqx::graph::generate::{random_graph, sample_edges, RandomGraphConfig};
 use cpqx::net::{Client, Server, ServerOptions};
 use cpqx::query::workload::{GraphProbe, WorkloadGen};
 use cpqx::query::Template;
+use cpqx::store::{durable_engine, StoreOptions};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -27,43 +34,83 @@ use std::time::{Duration, Instant};
 const CLIENTS: usize = 4;
 const RUN_FOR: Duration = Duration::from_millis(600);
 
+/// The value following `--data-dir` (or `--data-dir=<path>`), if any.
+fn data_dir_arg() -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--data-dir" {
+            return Some(args.next().expect("--data-dir requires a path"));
+        }
+        if let Some(path) = arg.strip_prefix("--data-dir=") {
+            return Some(path.to_string());
+        }
+    }
+    None
+}
+
 fn main() {
-    let g = random_graph(&RandomGraphConfig::social(2_000, 9_000, 4, 42));
-    println!("graph: {} vertices, {} base edges", g.vertex_count(), g.edge_count());
-
-    // A repeating workload of filtered template queries, rendered to the
-    // wire text syntax.
-    let probe = GraphProbe(&g);
-    let mut gen = WorkloadGen::new(&g, 7);
-    let workload: Vec<String> = Template::ALL
-        .iter()
-        .flat_map(|&t| gen.queries(t, 3, &probe))
-        .map(|q| q.to_text(&g))
-        .collect();
-    println!("workload: {} CPQs across {} templates", workload.len(), Template::ALL.len());
-
+    let seed = || random_graph(&RandomGraphConfig::social(2_000, 9_000, 4, 42));
     // Sharded parallel build (at least two shards so the demo exercises
     // the merge path even on a single-core host).
     let shards = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).max(2);
-    let t0 = Instant::now();
-    let (engine, report) = Engine::with_options(
-        g,
-        EngineOptions {
-            k: 2,
-            build: BuildOptions { shards: Some(shards), threads: None },
-            ..EngineOptions::default()
-        },
-    );
-    println!(
-        "build: {:?} total ({} shards: level1 {:?} (parallel {:?}), refine {:?}, merge {:?})",
-        t0.elapsed(),
-        report.shards,
-        report.level1,
-        report.level1_parallel,
-        report.refine,
-        report.merge
-    );
-    let engine = Arc::new(engine);
+    let options = EngineOptions {
+        k: 2,
+        build: BuildOptions { shards: Some(shards), threads: None },
+        ..EngineOptions::default()
+    };
+
+    let engine = if let Some(dir) = data_dir_arg() {
+        let t0 = Instant::now();
+        let start =
+            durable_engine(&dir, StoreOptions::default(), options, seed).expect("durable start");
+        match &start.recovered {
+            Some(r) => println!(
+                "recovered {dir} in {:?}: generation {}, {} WAL transactions replayed \
+                 ({} torn bytes dropped), {} vertices / {} base edges at epoch {}",
+                t0.elapsed(),
+                r.generation,
+                r.replayed_transactions,
+                r.dropped_wal_bytes,
+                r.vertex_count,
+                r.edge_count,
+                start.engine.epoch(),
+            ),
+            None => println!(
+                "fresh durable start in {dir}: seed graph built and snapshotted in {:?}",
+                t0.elapsed()
+            ),
+        }
+        Arc::new(start.engine)
+    } else {
+        let t0 = Instant::now();
+        let (engine, report) = Engine::with_options(seed(), options);
+        println!(
+            "build: {:?} total ({} shards: level1 {:?} (parallel {:?}), refine {:?}, merge {:?})",
+            t0.elapsed(),
+            report.shards,
+            report.level1,
+            report.level1_parallel,
+            report.refine,
+            report.merge
+        );
+        Arc::new(engine)
+    };
+
+    // A repeating workload of filtered template queries against the
+    // *served* graph (recovered or fresh), rendered to the wire text
+    // syntax.
+    let snap = engine.snapshot();
+    let g = snap.graph();
+    println!("graph: {} vertices, {} base edges", g.vertex_count(), g.edge_count());
+    let probe = GraphProbe(g);
+    let mut gen = WorkloadGen::new(g, 7);
+    let workload: Vec<String> = Template::ALL
+        .iter()
+        .flat_map(|&t| gen.queries(t, 3, &probe))
+        .map(|q| q.to_text(g))
+        .collect();
+    drop(snap);
+    println!("workload: {} CPQs across {} templates", workload.len(), Template::ALL.len());
 
     // Put it on the wire.
     let listen = std::env::var("CPQX_NET_LISTEN").unwrap_or_else(|_| "127.0.0.1:0".to_string());
@@ -108,14 +155,19 @@ fn main() {
                 let mut round = 0u64;
                 let mut updates = 0u64;
                 while !stop.load(Ordering::Relaxed) {
+                    // Typed delta transactions: one snapshot install per
+                    // round, and — when serving with `--data-dir` — one
+                    // WAL record each, so a crash replays them on boot.
                     let snap = engine.snapshot();
+                    let mut delta = Delta::new();
                     for (v, u, l) in sample_edges(snap.graph(), 2, round) {
-                        if engine.delete_edge(v, u, l) {
-                            updates += 1;
-                        }
-                        if engine.insert_edge(v, u, l) {
-                            updates += 1;
-                        }
+                        delta = delta.delete_edge(v, u, l).insert_edge(v, u, l);
+                    }
+                    drop(snap);
+                    if !delta.is_empty() {
+                        updates +=
+                            engine.apply_delta(&delta).expect("sampled edges are valid").applied
+                                as u64;
                     }
                     round += 1;
                     std::thread::sleep(Duration::from_millis(10));
@@ -151,7 +203,8 @@ fn main() {
     let stats = client.stats().expect("wire stats");
     println!(
         "stats: epoch={} queries={} hit_rate={:.1}% swaps={} p50={}us p99={}us \
-         requests[query={} batch={} stats={}] connections={}",
+         requests[query={} batch={} stats={}] connections={} \
+         wal[appends={} bytes={}] snapshots[written={} chunks skipped={}]",
         stats.epoch,
         stats.queries,
         stats.result_hit_rate() * 100.0,
@@ -162,6 +215,10 @@ fn main() {
         stats.batch_requests,
         stats.stats_requests,
         stats.connections,
+        stats.wal_appends,
+        stats.wal_bytes,
+        stats.snapshots_written,
+        stats.snapshot_chunks_skipped,
     );
     drop(client);
     server.shutdown();

@@ -11,6 +11,9 @@
 //!   serving layer (snapshots, caches, batch evaluation),
 //! * [`net`] — the network front-end: a versioned binary wire protocol, a
 //!   threaded TCP server over the engine, and a blocking client,
+//! * [`store`] — the opt-in durability layer: an append-only WAL of typed
+//!   delta transactions, chunk-granular incremental snapshots, and
+//!   crash recovery into a fresh engine (spec in `STORAGE.md`),
 //! * [`pathindex`] — the language-unaware Path/iaPath baseline (EDBT 2016),
 //! * [`matcher`] — homomorphic subgraph-matching baselines (TurboHom++- and
 //!   Tentris-style engines).
@@ -79,3 +82,4 @@ pub use cpqx_net as net;
 pub use cpqx_pathindex as pathindex;
 pub use cpqx_query as query;
 pub use cpqx_rpq as rpq;
+pub use cpqx_store as store;
