@@ -31,16 +31,18 @@ fn main() {
     let mut headers = vec!["dataset", "template"];
     headers.extend(Method::ALL.iter().map(|m| m.name()));
     let mut table = Table::new("fig06_query_time", &headers);
+    // Stand-in dimensions ride along as a companion table instead of
+    // loose stderr chatter, so they land in the TSV/JSON mirrors too.
+    let mut dims = Table::new("fig06_datasets", &["dataset", "|V|", "|E|", "|L|"]);
 
     for ds in Dataset::REAL {
         let g = ds.generate(cfg.edge_budget, cfg.seed);
-        eprintln!(
-            "[fig06] {} stand-in: |V|={} |E|={} |L|={}",
-            ds.name(),
-            g.vertex_count(),
-            g.edge_count(),
-            g.base_label_count()
-        );
+        dims.row(vec![
+            ds.name().to_string(),
+            g.vertex_count().to_string(),
+            g.edge_count().to_string(),
+            g.base_label_count().to_string(),
+        ]);
         let workload = workload_for(&g, &Template::ALL, &cfg);
         let interests =
             interests_from_queries(workload.iter().flat_map(|(_, qs)| qs.iter()), cfg.k);
@@ -69,5 +71,6 @@ fn main() {
             table.row(row);
         }
     }
+    dims.finish();
     table.finish();
 }

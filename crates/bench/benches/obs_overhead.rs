@@ -1,0 +1,97 @@
+//! Observability overhead: the same uncached batch workload served with
+//! the recorder disabled vs enabled at default sampling (one trace per
+//! 16 queries, per-opcode + per-stage histograms on every query).
+//!
+//! Expected shape: the enabled recorder costs a few relaxed atomics per
+//! query plus a bounded allocation on sampled ones — low single-digit
+//! percent at worst. The result cache is disabled so every query walks
+//! the full `query_on` path (begin → plan → eval → finish), i.e. the
+//! measurement covers the sampling machinery, not just histogram adds.
+//!
+//! Knobs: the usual `CPQX_*` variables plus `CPQX_REPS` (default 5 —
+//! alternating disabled/enabled passes, best-of per config) and
+//! `CPQX_OBS_ASSERT_OVERHEAD=1`, which fails the bench when the default
+//! sampling configuration costs ≥5% throughput (skipped on single-core
+//! hosts, where wall-clock is contention noise).
+
+use cpqx_bench::harness::workload_for;
+use cpqx_bench::{env_parse, BenchConfig, Table};
+use cpqx_engine::{BatchOptions, Engine, EngineOptions, ObsOptions};
+use cpqx_graph::datasets::Dataset;
+use cpqx_query::ast::Template;
+use cpqx_query::Cpq;
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let reps: usize = env_parse("CPQX_REPS", 5);
+    let g = Dataset::Advogato.generate(cfg.edge_budget, cfg.seed);
+    let workload: Vec<Cpq> =
+        workload_for(&g, &Template::ALL, &cfg).into_iter().flat_map(|(_, qs)| qs).collect();
+    assert!(!workload.is_empty(), "empty workload");
+
+    let engine_with = |obs: ObsOptions| {
+        let options = EngineOptions {
+            k: cfg.k,
+            // Cache disabled: every query must execute, so both configs
+            // measure the full serving path rather than cache probes.
+            result_cache_capacity: 0,
+            obs,
+            ..EngineOptions::default()
+        };
+        Engine::with_options(g.clone(), options).0
+    };
+    let disabled = engine_with(ObsOptions::disabled());
+    let enabled = engine_with(ObsOptions::default());
+
+    // Alternate passes so drift (thermal, page cache) hits both configs
+    // evenly; keep the best pass per config.
+    let (mut qps_off, mut qps_on) = (0.0f64, 0.0f64);
+    for _ in 0..reps.max(1) {
+        let out = disabled.evaluate_batch(&workload, BatchOptions::default());
+        qps_off = qps_off.max(out.throughput_qps());
+        let out = enabled.evaluate_batch(&workload, BatchOptions::default());
+        qps_on = qps_on.max(out.throughput_qps());
+    }
+    let overhead = (qps_off - qps_on) / qps_off.max(1e-9);
+
+    let mut table = Table::new("obs_overhead", &["config", "queries", "best qps", "overhead"]);
+    table.row(vec![
+        "obs disabled".into(),
+        workload.len().to_string(),
+        format!("{qps_off:.0}"),
+        "-".into(),
+    ]);
+    table.row(vec![
+        "obs default sampling".into(),
+        workload.len().to_string(),
+        format!("{qps_on:.0}"),
+        format!("{:.2}%", overhead * 100.0),
+    ]);
+    table.finish();
+
+    // Sanity: the enabled run really recorded (guards against the gate
+    // silently measuring a disabled recorder twice).
+    assert!(
+        enabled.obs().op_snapshot(cpqx_obs::Op::Query).count() > 0,
+        "enabled recorder saw no queries"
+    );
+    assert_eq!(disabled.obs().op_snapshot(cpqx_obs::Op::Query).count(), 0);
+
+    if std::env::var("CPQX_OBS_ASSERT_OVERHEAD").is_ok() {
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        if cores < 2 {
+            println!(
+                "\nCPQX_OBS_ASSERT_OVERHEAD set but only {cores} core available; skipping the \
+                 gate (single-core wall-clock is scheduling noise, not recorder cost)."
+            );
+            return;
+        }
+        assert!(
+            overhead < 0.05,
+            "observability overhead gate: default sampling costs {:.2}% throughput (≥5%): \
+             {qps_off:.0} qps disabled vs {qps_on:.0} qps enabled",
+            overhead * 100.0
+        );
+        println!("\nOverhead gate passed: default sampling costs {:.2}% (< 5%).", overhead * 100.0);
+    }
+}

@@ -95,8 +95,10 @@ impl Engine {
             let out = if opts.bypass_result_cache {
                 let out = Arc::new(snap.evaluate(&queries[i]));
                 // query_on records its own traffic; the bypass path must
-                // account itself or stats would undercount served queries.
-                self.counters().record_query(q0.elapsed(), false);
+                // account itself — in both latency sinks, so reservoir
+                // and histogram percentiles stay comparable — or stats
+                // would undercount served queries.
+                self.note_query(q0.elapsed(), false);
                 out
             } else {
                 self.query_on(snap, &queries[i])
@@ -111,7 +113,11 @@ impl Engine {
             results.push(r);
             latencies.push(l);
         }
-        BatchOutcome { results, latencies, total: t0.elapsed(), threads, epoch: snap.epoch() }
+        let total = t0.elapsed();
+        // Whole-batch wall time under its own opcode; the member
+        // queries already landed in the query histogram individually.
+        self.obs().record_op(cpqx_obs::Op::Batch, total);
+        BatchOutcome { results, latencies, total, threads, epoch: snap.epoch() }
     }
 }
 

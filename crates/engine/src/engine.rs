@@ -29,11 +29,12 @@
 
 use cpqx_core::{CpqxIndex, Executor};
 use cpqx_graph::{Graph, Label, LabelSeq, Pair, VertexId};
+use cpqx_obs::{ObsOptions, Op, Recorder, Stage, TraceBuilder, TraceKind};
 use cpqx_query::canonical::{cache_key, canonicalize};
 use cpqx_query::{Cpq, Plan};
 use std::collections::BTreeSet;
 use std::sync::{Arc, Mutex, RwLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use crate::build::{
     build_interest_sharded_with_report, build_sharded_with_report, BuildOptions, BuildReport,
@@ -93,6 +94,11 @@ pub struct EngineOptions {
     /// ([`Engine::attach_durability`]), this drives the engine-triggered
     /// checkpoint cadence. Irrelevant (and harmless) without a sink.
     pub durability: DurabilityOptions,
+    /// Observability: trace sampling, slow-query log, histogram
+    /// recording (see [`cpqx_obs::ObsOptions`]). Enabled by default —
+    /// a recorded stage costs a few relaxed atomic adds; set
+    /// `obs.enabled = false` to reduce every probe to a branch.
+    pub obs: ObsOptions,
 }
 
 impl Default for EngineOptions {
@@ -107,6 +113,7 @@ impl Default for EngineOptions {
             auto_rebuild_ratio: Some(8.0),
             deep_clone_writes: false,
             durability: DurabilityOptions::default(),
+            obs: ObsOptions::default(),
         }
     }
 }
@@ -201,6 +208,11 @@ pub struct Engine {
     /// [`Engine::attach_durability`]). Consulted (one brief lock to
     /// clone the `Arc`) at the start of every logged write transaction.
     durability: Mutex<Option<Arc<dyn DurabilitySink>>>,
+    /// The observability recorder: per-opcode/per-stage histograms,
+    /// sampled traces, and the slow-query log. Shared with the network
+    /// front-end (see [`Engine::obs`]); the histograms behind it are
+    /// the source of [`StatsReport::p50`]/[`StatsReport::p99`].
+    obs: Arc<Recorder>,
     options: EngineOptions,
 }
 
@@ -235,8 +247,10 @@ impl Engine {
             writer: Mutex::new(()),
             last_build: Mutex::new(report),
             durability: Mutex::new(None),
+            obs: Arc::new(Recorder::new(&options.obs)),
             options,
         };
+        engine.record_build_obs(&report, 0);
         (engine, report)
     }
 
@@ -260,6 +274,7 @@ impl Engine {
             writer: Mutex::new(()),
             last_build: Mutex::new(BuildReport::default()),
             durability: Mutex::new(None),
+            obs: Arc::new(Recorder::new(&options.obs)),
             options,
         }
     }
@@ -302,6 +317,28 @@ impl Engine {
         &self.options
     }
 
+    /// The observability recorder: histograms, sampled traces, the
+    /// slow-query log and observed-workload counts. The network
+    /// front-end shares this recorder so wire-level stages (parse) and
+    /// engine-level stages land in one place.
+    pub fn obs(&self) -> &Arc<Recorder> {
+        &self.obs
+    }
+
+    /// Feeds one build report's phase timings into the recorder (the
+    /// shard phase unifies `refine` for full builds and
+    /// `interest_shards` for interest-aware ones — exactly one of the
+    /// two is non-zero per report).
+    fn record_build_obs(&self, report: &BuildReport, epoch: u64) {
+        self.obs.record_build(
+            report.level1,
+            report.refine + report.interest_shards,
+            report.merge,
+            report.total,
+            epoch,
+        );
+    }
+
     /// Serves `q` from the result cache or by evaluating it on the
     /// current snapshot. The returned `Arc` is shared with the cache.
     pub fn query(&self, q: &Cpq) -> Arc<Vec<Pair>> {
@@ -314,23 +351,53 @@ impl Engine {
     /// one version. The result cache is consulted only while it is still
     /// tagged with `snap`'s epoch.
     pub fn query_on(&self, snap: &Snapshot, q: &Cpq) -> Arc<Vec<Pair>> {
+        let mut trace = self.obs.begin(TraceKind::Query);
+        let out = self.query_traced(snap, q, trace.as_mut());
+        if let Some(tb) = trace {
+            self.obs.finish(tb);
+        }
+        out
+    }
+
+    /// [`Engine::query_on`] with an externally owned trace: the network
+    /// front-end begins the trace before parsing (so the parse span is
+    /// part of the same tree) and finishes it after the response is
+    /// built. The engine attaches the canonical key and epoch and
+    /// contributes the cache-probe / plan / eval spans.
+    pub fn query_traced(
+        &self,
+        snap: &Snapshot,
+        q: &Cpq,
+        mut trace: Option<&mut TraceBuilder>,
+    ) -> Arc<Vec<Pair>> {
         let t0 = Instant::now();
         let canonical = canonicalize(q);
         let key = cache_key(&canonical);
+        if let Some(tb) = trace.as_deref_mut() {
+            tb.set_key(&key);
+            tb.set_epoch(snap.epoch());
+        }
+        let probe = self.obs.timer();
         {
             let mut res = self.results.lock().unwrap();
             if res.epoch == snap.epoch() {
                 if let Some(hit) = res.cache.get(&key) {
                     let hit = Arc::clone(hit);
                     drop(res);
-                    self.counters.record_query(t0.elapsed(), true);
+                    self.obs.stage(Stage::CacheProbe, probe, trace.as_deref_mut());
+                    self.note_query(t0.elapsed(), true);
                     return hit;
                 }
             }
         }
+        self.obs.stage(Stage::CacheProbe, probe, trace.as_deref_mut());
+        let plan_timer = self.obs.timer();
         let (planned, plan_hit) = snap.plan_for(&key, &canonical);
+        self.obs.stage(Stage::Plan, plan_timer, trace.as_deref_mut());
         self.counters.record_plan(plan_hit);
+        let eval_timer = self.obs.timer();
         let out = Arc::new(Executor::new(snap.index(), snap.graph()).run(&planned.plan));
+        self.obs.stage(Stage::Eval, eval_timer, trace);
         if planned.cost >= self.options.result_admission_min_cost {
             let mut res = self.results.lock().unwrap();
             // Tag check: a swap may have happened while we executed; a
@@ -342,7 +409,7 @@ impl Engine {
         } else {
             self.counters.record_admission_rejected();
         }
-        self.counters.record_query(t0.elapsed(), false);
+        self.note_query(t0.elapsed(), false);
         out
     }
 
@@ -352,8 +419,17 @@ impl Engine {
         let t0 = Instant::now();
         let snap = self.snapshot();
         let out = snap.evaluate(q);
-        self.counters.record_query(t0.elapsed(), false);
+        self.note_query(t0.elapsed(), false);
         out
+    }
+
+    /// Accounts one served query in both latency sinks: the reservoir
+    /// (cross-check) and the opcode histogram (source of p50/p99).
+    /// Every query-serving path must route through here so the two
+    /// stay comparable.
+    pub(crate) fn note_query(&self, dur: Duration, cache_hit: bool) {
+        self.counters.record_query(dur, cache_hit);
+        self.obs.record_op(Op::Query, dur);
     }
 
     /// Applies a typed delta transaction: clones the current state
@@ -377,6 +453,7 @@ impl Engine {
         // clone. Vertex ids and the label table only grow, so a delta
         // passing here cannot fail against the clone below.
         crate::delta::validate_ops(self.snapshot().graph(), delta.ops())?;
+        let txn_timer = self.obs.timer();
         let (result, epoch, rebuilt, ratio) = self
             .write_txn(Some(delta.ops()), |g, idx| match apply_ops(g, idx, delta.ops()) {
                 Ok(outcomes) => {
@@ -391,6 +468,9 @@ impl Engine {
             })?;
         let (outcomes, applied) = result?;
         self.counters.record_delta(applied as u64);
+        if let Some(t0) = txn_timer {
+            self.obs.record_op(Op::Delta, t0.elapsed());
+        }
         Ok(DeltaReport { outcomes, applied, epoch, rebuilt, fragmentation_ratio: ratio })
     }
 
@@ -478,11 +558,12 @@ impl Engine {
         let graph = snap.graph.clone();
         let (index, report) = self.build_fresh(&graph, snap.index.interests().cloned());
         self.counters.record_rebuild(false);
-        self.install(graph, index);
+        let epoch = self.install(graph, index);
         // Recorded only after the install: a concurrent stats() must never
         // pair this build's timings with the gauges of the snapshot it is
         // about to replace.
         *self.last_build.lock().unwrap() = report;
+        self.record_build_obs(&report, epoch);
         report
     }
 
@@ -535,14 +616,31 @@ impl Engine {
         report.build_level1_parallel = build.level1_parallel;
         report.build_interest_shards = build.interest_shards;
         report.build_total = build.total;
+        // p50/p99 come from the log-bucketed opcode histogram (exact
+        // counts, no reservoir truncation) whenever the recorder has
+        // data; the reservoir values computed above remain as the
+        // fallback for a disabled recorder — and as the independent
+        // cross-check [`Engine::reservoir_report`] exposes to tests.
+        let h = self.obs.op_snapshot(Op::Query);
+        if h.count() > 0 {
+            if let Some(p50) = h.quantile(0.5) {
+                report.p50 = Duration::from_micros(p50);
+            }
+            if let Some(p99) = h.quantile(0.99) {
+                report.p99 = Duration::from_micros(p99);
+            }
+        }
         report
     }
 
-    /// The live counters, for sibling modules that evaluate outside
-    /// [`Engine::query_on`] (e.g. cache-bypassing batches) but must still
-    /// account their traffic.
-    pub(crate) fn counters(&self) -> &EngineCounters {
-        &self.counters
+    /// The counters' report with **reservoir-based** p50/p99 (the
+    /// pre-histogram source): kept as an independent cross-check so
+    /// tests can assert the histogram quantiles agree with the sampled
+    /// reservoir to within one log bucket. Gauges (fragmentation, build
+    /// timings) are zero here — use [`Engine::stats`] for the full
+    /// report.
+    pub fn reservoir_report(&self) -> StatsReport {
+        self.counters.report()
     }
 
     /// The single write-transaction core every mutating path funnels
@@ -576,23 +674,34 @@ impl Engine {
         f: impl FnOnce(&mut Graph, &mut CpqxIndex) -> (R, bool),
     ) -> Result<(R, u64, bool, f64), std::io::Error> {
         let _writer = self.writer.lock().unwrap();
+        let mut trace = self.obs.begin(TraceKind::Delta);
         let snap = self.snapshot();
         // The clone is O(#chunks): all heavyweight storage is structurally
         // shared with the snapshot and copied chunk-by-chunk on first
         // touch (`deep_clone_writes` forces the pre-COW full copy for
         // benchmark comparison).
+        let clone_timer = self.obs.timer();
         let (mut graph, mut index) = if self.options.deep_clone_writes {
             (snap.graph.deep_clone(), snap.index.deep_clone())
         } else {
             (snap.graph.clone(), snap.index.clone())
         };
+        self.obs.stage(Stage::Clone, clone_timer, trace.as_mut());
+        let maintain_timer = self.obs.timer();
         let (out, changed) = f(&mut graph, &mut index);
+        self.obs.stage(Stage::Maintain, maintain_timer, trace.as_mut());
         if !changed {
+            if let Some(mut tb) = trace {
+                tb.set_epoch(snap.epoch());
+                self.obs.finish(tb);
+            }
             return Ok((out, snap.epoch(), false, index.fragmentation_ratio()));
         }
         let sink = match (log_ops, self.sink()) {
             (Some(ops), Some(sink)) => {
+                let wal_timer = self.obs.timer();
                 let bytes = sink.append(&graph, ops)?;
+                self.obs.stage(Stage::WalAppend, wal_timer, trace.as_mut());
                 self.counters.record_wal(bytes);
                 Some(sink)
             }
@@ -623,10 +732,17 @@ impl Engine {
             }
         }
         let ratio = index.fragmentation_ratio();
+        let install_timer = self.obs.timer();
         let epoch = self.install(graph, index);
+        self.obs.stage(Stage::Install, install_timer, trace.as_mut());
         if let Some(report) = rebuild_report {
             // After the install, for the same reason as Engine::rebuild.
             *self.last_build.lock().unwrap() = report;
+            self.record_build_obs(&report, epoch);
+        }
+        if let Some(mut tb) = trace {
+            tb.set_epoch(epoch);
+            self.obs.finish(tb);
         }
         Ok((out, epoch, rebuild_report.is_some(), ratio))
     }
@@ -987,6 +1103,87 @@ mod tests {
         let report = full.apply_delta(&crate::delta::Delta::new().insert_interest(fif)).unwrap();
         assert_eq!(report.outcomes, vec![OpOutcome::Noop]);
         assert_eq!(full.epoch(), 0);
+    }
+
+    #[test]
+    fn histogram_and_reservoir_percentiles_agree() {
+        let engine = gex_engine();
+        let snap = engine.snapshot();
+        for text in ["(f . f) & f^-1", "f . f", "f^-1 . f"] {
+            let q = parse_cpq(text, snap.graph()).unwrap();
+            for _ in 0..50 {
+                engine.query(&q);
+            }
+        }
+        let hist = engine.stats(); // histogram-sourced p50/p99
+        let reservoir = engine.reservoir_report(); // reservoir-sourced
+        assert_eq!(hist.queries, 150);
+        for (h, r) in [(hist.p50, reservoir.p50), (hist.p99, reservoir.p99)] {
+            let (bh, br) = (
+                cpqx_obs::bucket_index(h.as_micros() as u64),
+                cpqx_obs::bucket_index(r.as_micros() as u64),
+            );
+            assert!(bh.abs_diff(br) <= 1, "histogram {h:?} vs reservoir {r:?} ({bh} vs {br})");
+        }
+    }
+
+    #[test]
+    fn slow_query_log_captures_span_tree_with_key_and_epoch() {
+        let g = generate::gex();
+        let (engine, _) = Engine::with_options(
+            g,
+            EngineOptions {
+                k: 2,
+                result_cache_capacity: 0, // force plan+eval every time
+                obs: ObsOptions {
+                    // Threshold 1us: effectively every query is "slow".
+                    slow_query: Some(Duration::from_micros(1)),
+                    ..ObsOptions::default()
+                },
+                ..EngineOptions::default()
+            },
+        );
+        let snap = engine.snapshot();
+        let q = parse_cpq("(f . f) & f^-1", snap.graph()).unwrap();
+        engine.query(&q);
+        let slow = engine.obs().slow_queries();
+        assert!(!slow.is_empty(), "a 1us threshold must capture this query");
+        let entry = slow.last().unwrap();
+        assert_eq!(entry.epoch, 0);
+        assert!(!entry.key.is_empty(), "canonical key attached");
+        for stage in [Stage::CacheProbe, Stage::Plan, Stage::Eval] {
+            assert!(entry.span(stage).is_some(), "missing {stage:?} in {entry:?}");
+        }
+        assert!(entry.total_us >= 1);
+    }
+
+    #[test]
+    fn delta_and_build_traces_record_their_stages() {
+        let g = generate::gex();
+        let (engine, _) = Engine::with_options(
+            g,
+            EngineOptions {
+                k: 2,
+                obs: ObsOptions { sample_every: 1, ..ObsOptions::default() },
+                ..EngineOptions::default()
+            },
+        );
+        let snap = engine.snapshot();
+        let f = snap.graph().label_named("f").unwrap();
+        let (sue, joe) =
+            (snap.graph().vertex_named("sue").unwrap(), snap.graph().vertex_named("joe").unwrap());
+        engine.delete_edge(sue, joe, f);
+        engine.rebuild();
+        let traces = engine.obs().traces();
+        let delta = traces.iter().find(|t| t.kind == TraceKind::Delta).expect("delta trace");
+        assert!(delta.span(Stage::Clone).is_some() && delta.span(Stage::Install).is_some());
+        assert!(delta.span(Stage::Maintain).is_some());
+        assert_eq!(delta.epoch, 1);
+        let build = traces.iter().rfind(|t| t.kind == TraceKind::Build).expect("build trace");
+        assert!(build.span(Stage::BuildMerge).is_some());
+        assert_eq!(build.epoch, 2, "rebuild trace carries the installed epoch");
+        // Opcode histograms saw the traffic too.
+        assert!(engine.obs().op_snapshot(Op::Delta).count() >= 1);
     }
 
     #[test]

@@ -64,3 +64,7 @@ pub use delta::{apply_ops, validate_ops, Delta, DeltaError, DeltaOp, DeltaReport
 pub use durability::{CheckpointReport, DurabilityOptions, DurabilitySink};
 pub use engine::{Engine, EngineOptions, PlannedQuery, Snapshot};
 pub use stats::{nearest_rank_quantile, StatsReport};
+// Observability types callers configure or consume through the engine
+// ([`EngineOptions::obs`], [`Engine::obs`]) — re-exported so engine
+// users don't need a direct `cpqx-obs` dependency.
+pub use cpqx_obs::{ObsOptions, Recorder};

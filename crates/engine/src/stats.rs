@@ -72,12 +72,20 @@ impl EngineCounters {
         let us = latency.as_micros().min(u64::MAX as u128) as u64;
         let mut w = self.latencies_us.lock().unwrap();
         if w.samples.len() < LATENCY_WINDOW {
+            // Fill phase: append, and derive the wrap cursor from the
+            // length so the two can never desynchronize — the cursor
+            // always names the slot holding the oldest sample once the
+            // window is full.
             w.samples.push(us);
+            w.next = w.samples.len() % LATENCY_WINDOW;
         } else {
+            // Wrap phase: overwrite the oldest sample and advance past
+            // it, keeping the cursor's invariant branch-locally instead
+            // of relying on a shared post-branch increment.
             let at = w.next;
             w.samples[at] = us;
+            w.next = (at + 1) % LATENCY_WINDOW;
         }
-        w.next = (w.next + 1) % LATENCY_WINDOW;
     }
 
     pub(crate) fn record_plan(&self, hit: bool) {
@@ -407,5 +415,29 @@ mod tests {
         }
         let r = c.report();
         assert_eq!(r.latency_window, LATENCY_WINDOW);
+    }
+
+    #[test]
+    fn window_wrap_evicts_the_oldest_sample() {
+        let c = EngineCounters::default();
+        // Fill exactly to capacity with distinct values 0..WINDOW; the
+        // wrap cursor must point back at slot 0 (the oldest sample).
+        for i in 0..LATENCY_WINDOW {
+            c.record_query(Duration::from_micros(i as u64), false);
+        }
+        {
+            let w = c.latencies_us.lock().unwrap();
+            assert_eq!(w.samples.len(), LATENCY_WINDOW);
+            assert_eq!(w.next, 0, "cursor must target the oldest slot after the fill phase");
+        }
+        // One more sample: it must land on slot 0, evicting value 0 —
+        // and only value 0.
+        c.record_query(Duration::from_micros(LATENCY_WINDOW as u64), false);
+        let w = c.latencies_us.lock().unwrap();
+        assert_eq!(w.samples.len(), LATENCY_WINDOW);
+        assert_eq!(w.samples[0], LATENCY_WINDOW as u64, "newest sample overwrites the oldest");
+        assert_eq!(w.samples[1], 1, "second-oldest survives");
+        assert_eq!(w.next, 1, "cursor advances past the overwritten slot");
+        assert!(!w.samples.contains(&0), "the oldest sample is the one evicted");
     }
 }

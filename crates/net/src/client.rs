@@ -13,7 +13,8 @@
 
 use crate::proto::{
     decode_response, encode_request, read_frame, write_frame, DecodeError, FrameError, Request,
-    Response, WireError, WireOp, WireOutcome, WireStats, DEFAULT_MAX_FRAME, PROTOCOL_VERSION,
+    Response, WireError, WireMetrics, WireOp, WireOutcome, WireStats, DEFAULT_MAX_FRAME,
+    PROTOCOL_VERSION,
 };
 use cpqx_graph::Pair;
 use std::io::{self, BufReader, BufWriter};
@@ -253,6 +254,16 @@ impl Client {
         match self.roundtrip(&Request::Stats)? {
             Response::Stats(s) => Ok(*s),
             other => Err(mistyped("STATS_RESULT", &other)),
+        }
+    }
+
+    /// Fetches the server's observability report (protocol ≥ 5):
+    /// per-opcode and per-stage latency histograms, the slow-query ring,
+    /// and canonical-key workload counts.
+    pub fn metrics(&mut self) -> Result<WireMetrics, ClientError> {
+        match self.roundtrip(&Request::Metrics)? {
+            Response::Metrics(m) => Ok(*m),
+            other => Err(mistyped("METRICS_RESULT", &other)),
         }
     }
 

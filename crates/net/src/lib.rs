@@ -5,7 +5,8 @@
 //!
 //! 1. **Wire protocol** ([`proto`]): versioned, length-prefixed binary
 //!    frames with a magic + version handshake; `QUERY` / `BATCH` /
-//!    `UPDATE` / `STATS` / `PING` requests, typed error frames (parse
+//!    `UPDATE` / `STATS` / `METRICS` / `PING` requests, typed error
+//!    frames (parse
 //!    errors keep their byte position and their syntax-vs-unknown-label
 //!    classification), and pure, panic-free codecs.
 //! 2. **Server** ([`server`]): a `std::net::TcpListener` front-end — one
@@ -43,14 +44,16 @@
 #![warn(rust_2018_idioms)]
 
 pub mod client;
+pub mod metrics;
 pub mod proto;
 pub mod server;
 
 pub use client::{
     BatchReply, Client, ClientError, ClientOptions, DeltaReply, QueryReply, UpdateReply,
 };
+pub use metrics::render_prometheus;
 pub use proto::{
-    ErrorCode, Request, Response, WireError, WireOp, WireOutcome, WireSeqLabel, WireStats,
-    PROTOCOL_VERSION,
+    ErrorCode, Request, Response, WireError, WireMetrics, WireNetCounters, WireOp, WireOutcome,
+    WireSeqLabel, WireStats, PROTOCOL_VERSION,
 };
 pub use server::{NetStats, Server, ServerOptions};

@@ -31,6 +31,7 @@
 //! layout tables.
 
 use cpqx_graph::Pair;
+use cpqx_obs::{HistogramSnapshot, Op as ObsOp, Span, Stage, Trace, TraceKind};
 use cpqx_query::{ParseError, ParseErrorKind};
 use std::io::{self, Read, Write};
 
@@ -44,8 +45,10 @@ pub const MAGIC: [u8; 4] = *b"CPQX";
 /// extended STATS again with the copy-on-write sharing gauges
 /// (`cow_chunks_copied` / `cow_chunks_shared`); version 4 appended the
 /// durability gauges (`wal_appends` / `wal_bytes` / `snapshots_written`
-/// / `snapshot_chunks_skipped`).
-pub const PROTOCOL_VERSION: u16 = 4;
+/// / `snapshot_chunks_skipped`); version 5 added the METRICS /
+/// METRICS_RESULT frames (per-opcode and per-stage latency histograms,
+/// the slow-query ring, and observed-workload key counts).
+pub const PROTOCOL_VERSION: u16 = 5;
 
 /// Default bound on accepted payload sizes (16 MiB). Servers apply it to
 /// requests, clients to responses; both sides make it configurable.
@@ -59,6 +62,7 @@ const OP_BATCH: u8 = 0x04;
 const OP_UPDATE: u8 = 0x05;
 const OP_STATS: u8 = 0x06;
 const OP_DELTA: u8 = 0x07;
+const OP_METRICS: u8 = 0x08;
 
 // Response opcodes (server → client): request opcode | 0x80.
 const OP_HELLO_ACK: u8 = 0x81;
@@ -68,6 +72,7 @@ const OP_BATCH_RESULT: u8 = 0x84;
 const OP_UPDATE_ACK: u8 = 0x85;
 const OP_STATS_RESULT: u8 = 0x86;
 const OP_DELTA_ACK: u8 = 0x87;
+const OP_METRICS_RESULT: u8 = 0x88;
 const OP_ERROR: u8 = 0xFF;
 
 /// A client → server message.
@@ -103,6 +108,10 @@ pub enum Request {
     /// lands in one engine write transaction, acknowledged with per-op
     /// outcomes by [`Response::DeltaAck`].
     Delta(Vec<WireOp>),
+    /// Fetch the server's observability report (protocol ≥ 5):
+    /// per-opcode and per-stage latency histograms, net request
+    /// counters, the slow-query ring, and observed-workload key counts.
+    Metrics,
 }
 
 /// One typed maintenance op inside a [`Request::Delta`] frame. Labels
@@ -243,6 +252,10 @@ pub enum Response {
         /// Per-op outcomes, in op order.
         outcomes: Vec<WireOutcome>,
     },
+    /// Answer to [`Request::Metrics`] (protocol ≥ 5; boxed — the
+    /// histograms and slow-query ring dominate every other response's
+    /// size).
+    Metrics(Box<WireMetrics>),
     /// Any request can fail with a typed error frame.
     Error(WireError),
 }
@@ -444,6 +457,76 @@ impl WireStats {
     }
 }
 
+/// The front-end request counters carried inside [`WireMetrics`] —
+/// the wire form of [`crate::NetStats`] plus the METRICS opcode's own
+/// counter.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WireNetCounters {
+    /// Connections accepted and served.
+    pub connections: u64,
+    /// Connections closed because the accept queue was full.
+    pub rejected_connections: u64,
+    /// PING requests served.
+    pub ping_requests: u64,
+    /// QUERY requests served.
+    pub query_requests: u64,
+    /// BATCH requests served.
+    pub batch_requests: u64,
+    /// UPDATE requests served.
+    pub update_requests: u64,
+    /// DELTA requests served.
+    pub delta_requests: u64,
+    /// STATS requests served.
+    pub stats_requests: u64,
+    /// METRICS requests served (includes the one reporting).
+    pub metrics_requests: u64,
+    /// Error frames sent.
+    pub error_responses: u64,
+}
+
+/// The observability report the METRICS frame carries (protocol ≥ 5):
+/// per-opcode and per-stage latency histograms in the sparse
+/// log-bucketed form of [`HistogramSnapshot`], the front-end's request
+/// counters, the slow-query ring, and the canonical-key workload counts
+/// that feed index advisor tooling.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WireMetrics {
+    /// Current engine epoch.
+    pub epoch: u64,
+    /// Per-opcode latency histograms, tag order; histograms with no
+    /// samples are omitted.
+    pub ops: Vec<(ObsOp, HistogramSnapshot)>,
+    /// Per-stage latency histograms, tag order; histograms with no
+    /// samples are omitted.
+    pub stages: Vec<(Stage, HistogramSnapshot)>,
+    /// The server's per-opcode request counters.
+    pub net: WireNetCounters,
+    /// Slow-query ring contents, oldest first.
+    pub slow: Vec<Trace>,
+    /// Slow queries observed in total (entries evicted from the ring
+    /// included).
+    pub slow_total: u64,
+    /// Canonical-key workload counts, most frequent first.
+    pub workload: Vec<(String, u64)>,
+    /// Distinct canonical keys not counted because the workload table
+    /// was full.
+    pub workload_dropped: u64,
+}
+
+impl WireMetrics {
+    /// The latency histogram recorded for `op` (`None` if no traffic
+    /// landed under that opcode).
+    pub fn op_histogram(&self, op: ObsOp) -> Option<&HistogramSnapshot> {
+        self.ops.iter().find(|(o, _)| *o == op).map(|(_, h)| h)
+    }
+
+    /// The latency histogram recorded for `stage` (`None` if the stage
+    /// never ran).
+    pub fn stage_histogram(&self, stage: Stage) -> Option<&HistogramSnapshot> {
+        self.stages.iter().find(|(s, _)| *s == stage).map(|(_, h)| h)
+    }
+}
+
 /// Why a payload failed to decode. Strictly recoverable: the frame
 /// boundary is intact, so a server can answer with an error frame and
 /// keep the connection.
@@ -616,6 +699,103 @@ impl<'a> Cur<'a> {
         (0..n).map(|_| self.u64().map(Pair)).collect()
     }
 
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.at
+    }
+
+    fn hist(&mut self) -> Result<HistogramSnapshot, DecodeError> {
+        let total = self.u64()?;
+        let sum = self.u64()?;
+        let max = self.u64()?;
+        let n = self.u16()? as usize;
+        // Each non-zero bucket is (u16 index, u64 count) = 10 bytes.
+        if self_inconsistent_count(n, 10, self.remaining()) {
+            return Err(DecodeError::Truncated);
+        }
+        let mut nonzero = Vec::with_capacity(n);
+        for _ in 0..n {
+            nonzero.push((self.u16()?, self.u64()?));
+        }
+        // from_parts rejects out-of-range bucket indices and count
+        // overflow — both only reachable from hostile payloads.
+        HistogramSnapshot::from_parts(total, sum, max, &nonzero)
+            .ok_or(DecodeError::BadValue("histogram bucket"))
+    }
+
+    fn trace(&mut self) -> Result<Trace, DecodeError> {
+        let kind = TraceKind::from_u8(self.u8()?).ok_or(DecodeError::BadValue("trace kind"))?;
+        let key = self.str()?;
+        let epoch = self.u64()?;
+        let total_us = self.u64()?;
+        let n = self.u16()? as usize;
+        // Each span is (u8 stage, u64 start, u64 dur, u8 depth) = 18 bytes.
+        if self_inconsistent_count(n, 18, self.remaining()) {
+            return Err(DecodeError::Truncated);
+        }
+        let mut spans = Vec::with_capacity(n);
+        for _ in 0..n {
+            let stage = Stage::from_u8(self.u8()?).ok_or(DecodeError::BadValue("span stage"))?;
+            spans.push(Span {
+                stage,
+                start_us: self.u64()?,
+                dur_us: self.u64()?,
+                depth: self.u8()?,
+            });
+        }
+        Ok(Trace { kind, key, epoch, total_us, spans })
+    }
+
+    fn metrics(&mut self) -> Result<WireMetrics, DecodeError> {
+        let epoch = self.u64()?;
+        let mut ops = Vec::new();
+        for _ in 0..self.u8()? {
+            let op = ObsOp::from_u8(self.u8()?).ok_or(DecodeError::BadValue("metrics op tag"))?;
+            ops.push((op, self.hist()?));
+        }
+        let mut stages = Vec::new();
+        for _ in 0..self.u8()? {
+            let stage =
+                Stage::from_u8(self.u8()?).ok_or(DecodeError::BadValue("metrics stage tag"))?;
+            stages.push((stage, self.hist()?));
+        }
+        let mut fields = [0u64; NET_COUNTER_FIELDS];
+        for f in fields.iter_mut() {
+            *f = self.u64()?;
+        }
+        let slow_total = self.u64()?;
+        let nslow = self.u16()? as usize;
+        // Smallest trace on the wire: tag + empty key + epoch + total +
+        // an empty span count.
+        if self_inconsistent_count(nslow, 23, self.remaining()) {
+            return Err(DecodeError::Truncated);
+        }
+        let mut slow = Vec::with_capacity(nslow);
+        for _ in 0..nslow {
+            slow.push(self.trace()?);
+        }
+        let workload_dropped = self.u64()?;
+        let nw = self.u32()? as usize;
+        // Smallest workload entry: empty string (u32 len) + u64 count.
+        if self_inconsistent_count(nw, 12, self.remaining()) {
+            return Err(DecodeError::Truncated);
+        }
+        let mut workload = Vec::with_capacity(nw);
+        for _ in 0..nw {
+            let key = self.str()?;
+            workload.push((key, self.u64()?));
+        }
+        Ok(WireMetrics {
+            epoch,
+            ops,
+            stages,
+            net: net_counters_from_fields(fields),
+            slow,
+            slow_total,
+            workload,
+            workload_dropped,
+        })
+    }
+
     fn finish(self) -> Result<(), DecodeError> {
         if self.at != self.buf.len() {
             return Err(DecodeError::Trailing);
@@ -666,6 +846,7 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
                 put_op(&mut out, op);
             }
         }
+        Request::Metrics => out.push(OP_METRICS),
     }
     out
 }
@@ -779,6 +960,7 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, DecodeError> {
             }
             Request::Delta(ops)
         }
+        OP_METRICS => Request::Metrics,
         other => return Err(DecodeError::UnknownOpcode(other)),
     };
     c.finish()?;
@@ -839,6 +1021,10 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
                 }
             }
         }
+        Response::Metrics(m) => {
+            out.push(OP_METRICS_RESULT);
+            put_metrics(&mut out, m);
+        }
         Response::Error(e) => {
             out.push(OP_ERROR);
             out.push(e.code.to_u8());
@@ -847,6 +1033,64 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
         }
     }
     out
+}
+
+fn put_hist(out: &mut Vec<u8>, h: &HistogramSnapshot) {
+    put_u64(out, h.count());
+    put_u64(out, h.sum());
+    put_u64(out, h.max());
+    // Sparse bucket form: histograms have cpqx_obs::BUCKETS (< u16::MAX)
+    // buckets total, so the non-zero count always fits a u16.
+    let nonzero: Vec<(u16, u64)> = h.nonzero().collect();
+    put_u16(out, nonzero.len() as u16);
+    for (index, count) in nonzero {
+        put_u16(out, index);
+        put_u64(out, count);
+    }
+}
+
+fn put_trace(out: &mut Vec<u8>, t: &Trace) {
+    out.push(t.kind as u8);
+    put_str(out, &t.key);
+    put_u64(out, t.epoch);
+    put_u64(out, t.total_us);
+    put_u16(out, t.spans.len().min(u16::MAX as usize) as u16);
+    for s in t.spans.iter().take(u16::MAX as usize) {
+        out.push(s.stage as u8);
+        put_u64(out, s.start_us);
+        put_u64(out, s.dur_us);
+        out.push(s.depth);
+    }
+}
+
+fn put_metrics(out: &mut Vec<u8>, m: &WireMetrics) {
+    put_u64(out, m.epoch);
+    // Op/stage lists are bounded by their tag spaces (≤ OP_COUNT /
+    // STAGE_COUNT entries), so a u8 count suffices.
+    out.push(m.ops.len().min(u8::MAX as usize) as u8);
+    for (op, h) in m.ops.iter().take(u8::MAX as usize) {
+        out.push(*op as u8);
+        put_hist(out, h);
+    }
+    out.push(m.stages.len().min(u8::MAX as usize) as u8);
+    for (stage, h) in m.stages.iter().take(u8::MAX as usize) {
+        out.push(*stage as u8);
+        put_hist(out, h);
+    }
+    for field in net_counter_fields(&m.net) {
+        put_u64(out, field);
+    }
+    put_u64(out, m.slow_total);
+    put_u16(out, m.slow.len().min(u16::MAX as usize) as u16);
+    for t in m.slow.iter().take(u16::MAX as usize) {
+        put_trace(out, t);
+    }
+    put_u64(out, m.workload_dropped);
+    put_u32(out, m.workload.len() as u32);
+    for (key, count) in &m.workload {
+        put_str(out, key);
+        put_u64(out, *count);
+    }
 }
 
 /// Decodes a frame payload into a response.
@@ -890,6 +1134,7 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, DecodeError> {
             }
             Response::Stats(Box::new(stats_from_fields(fields)))
         }
+        OP_METRICS_RESULT => Response::Metrics(Box::new(c.metrics()?)),
         OP_ERROR => {
             let code = ErrorCode::from_u8(c.u8()?)?;
             let position = match c.u32()? {
@@ -940,6 +1185,38 @@ fn stats_fields(s: &WireStats) -> [u64; STATS_FIELDS] {
         s.snapshots_written,
         s.snapshot_chunks_skipped,
     ]
+}
+
+const NET_COUNTER_FIELDS: usize = 10;
+
+fn net_counter_fields(n: &WireNetCounters) -> [u64; NET_COUNTER_FIELDS] {
+    [
+        n.connections,
+        n.rejected_connections,
+        n.ping_requests,
+        n.query_requests,
+        n.batch_requests,
+        n.update_requests,
+        n.delta_requests,
+        n.stats_requests,
+        n.metrics_requests,
+        n.error_responses,
+    ]
+}
+
+fn net_counters_from_fields(f: [u64; NET_COUNTER_FIELDS]) -> WireNetCounters {
+    WireNetCounters {
+        connections: f[0],
+        rejected_connections: f[1],
+        ping_requests: f[2],
+        query_requests: f[3],
+        batch_requests: f[4],
+        update_requests: f[5],
+        delta_requests: f[6],
+        stats_requests: f[7],
+        metrics_requests: f[8],
+        error_responses: f[9],
+    }
 }
 
 fn stats_from_fields(f: [u64; STATS_FIELDS]) -> WireStats {
@@ -1062,6 +1339,7 @@ mod tests {
             Request::Update { insert: true, src: 0, dst: u32::MAX, label: "follows".into() },
             Request::Update { insert: false, src: 7, dst: 7, label: "f".into() },
             Request::Stats,
+            Request::Metrics,
             Request::Delta(vec![]),
             Request::Delta(vec![
                 WireOp::AddVertex { name: "newbie".into() },
@@ -1080,6 +1358,42 @@ mod tests {
                 },
             ]),
         ]
+    }
+
+    fn sample_metrics() -> WireMetrics {
+        let hist = |nonzero: &[(u16, u64)], total, sum, max| {
+            HistogramSnapshot::from_parts(total, sum, max, nonzero).unwrap()
+        };
+        WireMetrics {
+            epoch: 5,
+            ops: vec![
+                (ObsOp::Query, hist(&[(0, 3), (12, 2)], 5, 90, 40)),
+                (ObsOp::Delta, hist(&[(20, 1)], 1, 300, 300)),
+            ],
+            stages: vec![
+                (Stage::Plan, hist(&[(2, 5)], 5, 10, 2)),
+                (Stage::Eval, hist(&[(9, 4)], 4, 36, 11)),
+            ],
+            net: WireNetCounters {
+                connections: 2,
+                query_requests: 5,
+                metrics_requests: 1,
+                ..WireNetCounters::default()
+            },
+            slow: vec![Trace {
+                kind: TraceKind::Query,
+                key: "((f.f)&f^-1)".into(),
+                epoch: 5,
+                total_us: 900,
+                spans: vec![
+                    Span { stage: Stage::Parse, start_us: 0, dur_us: 10, depth: 0 },
+                    Span { stage: Stage::Eval, start_us: 12, dur_us: 880, depth: 1 },
+                ],
+            }],
+            slow_total: 3,
+            workload: vec![("((f.f)&f^-1)".into(), 9), ("f".into(), 1)],
+            workload_dropped: 2,
+        }
     }
 
     fn all_responses() -> Vec<Response> {
@@ -1118,6 +1432,8 @@ mod tests {
                 snapshot_chunks_skipped: 77,
                 ..WireStats::default()
             })),
+            Response::Metrics(Box::default()),
+            Response::Metrics(Box::new(sample_metrics())),
             Response::Error(WireError {
                 code: ErrorCode::Parse,
                 position: Some(4),
@@ -1231,6 +1547,64 @@ mod tests {
         bytes.extend_from_slice(&1u32.to_be_bytes());
         bytes.push(9);
         assert_eq!(decode_response(&bytes), Err(DecodeError::BadValue("op outcome")));
+    }
+
+    #[test]
+    fn bad_metrics_payloads_are_rejected() {
+        // Unknown op tag in the per-opcode histogram list.
+        let mut bytes = vec![OP_METRICS_RESULT];
+        bytes.extend_from_slice(&0u64.to_be_bytes());
+        bytes.push(1);
+        bytes.push(99);
+        assert_eq!(decode_response(&bytes), Err(DecodeError::BadValue("metrics op tag")));
+        // Unknown stage tag in the per-stage list.
+        let mut bytes = vec![OP_METRICS_RESULT];
+        bytes.extend_from_slice(&0u64.to_be_bytes());
+        bytes.push(0);
+        bytes.push(1);
+        bytes.push(200);
+        assert_eq!(decode_response(&bytes), Err(DecodeError::BadValue("metrics stage tag")));
+        // Out-of-range histogram bucket index: patch the first non-zero
+        // bucket of a valid encoding (offset: opcode 1 + epoch 8 +
+        // op-count 1 + op tag 1 + total/sum/max 24 + nz-count 2).
+        let one_op = WireMetrics {
+            ops: vec![(ObsOp::Query, HistogramSnapshot::from_parts(1, 9, 9, &[(3, 1)]).unwrap())],
+            ..WireMetrics::default()
+        };
+        let mut bytes = encode_response(&Response::Metrics(Box::new(one_op)));
+        bytes[37..39].copy_from_slice(&(cpqx_obs::BUCKETS as u16).to_be_bytes());
+        assert_eq!(decode_response(&bytes), Err(DecodeError::BadValue("histogram bucket")));
+        // Bad trace kind in the slow-query ring.
+        let mut bytes = vec![OP_METRICS_RESULT];
+        bytes.extend_from_slice(&0u64.to_be_bytes());
+        bytes.push(0);
+        bytes.push(0);
+        bytes.extend_from_slice(&[0u8; 8 * NET_COUNTER_FIELDS]);
+        bytes.extend_from_slice(&0u64.to_be_bytes()); // slow_total
+        bytes.extend_from_slice(&1u16.to_be_bytes()); // one trace ...
+        bytes.push(7); // ... of a kind that does not exist
+        bytes.extend_from_slice(&[0u8; 32]);
+        assert_eq!(decode_response(&bytes), Err(DecodeError::BadValue("trace kind")));
+        // Hostile slow-trace and workload counts fail fast on the
+        // count-consistency check.
+        let mut bytes = vec![OP_METRICS_RESULT];
+        bytes.extend_from_slice(&0u64.to_be_bytes());
+        bytes.push(0);
+        bytes.push(0);
+        bytes.extend_from_slice(&[0u8; 8 * NET_COUNTER_FIELDS]);
+        bytes.extend_from_slice(&0u64.to_be_bytes());
+        bytes.extend_from_slice(&u16::MAX.to_be_bytes());
+        assert_eq!(decode_response(&bytes), Err(DecodeError::Truncated));
+        let mut bytes = vec![OP_METRICS_RESULT];
+        bytes.extend_from_slice(&0u64.to_be_bytes());
+        bytes.push(0);
+        bytes.push(0);
+        bytes.extend_from_slice(&[0u8; 8 * NET_COUNTER_FIELDS]);
+        bytes.extend_from_slice(&0u64.to_be_bytes());
+        bytes.extend_from_slice(&0u16.to_be_bytes()); // no slow traces
+        bytes.extend_from_slice(&0u64.to_be_bytes()); // workload_dropped
+        bytes.extend_from_slice(&0x4000_0000u32.to_be_bytes());
+        assert_eq!(decode_response(&bytes), Err(DecodeError::Truncated));
     }
 
     #[test]

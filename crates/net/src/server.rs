@@ -21,12 +21,13 @@
 
 use crate::proto::{
     decode_request, encode_response, read_frame, write_frame, ErrorCode, FrameError, Request,
-    Response, WireError, WireOp, WireOutcome, WireSeqLabel, WireStats, DEFAULT_MAX_FRAME,
-    PROTOCOL_VERSION,
+    Response, WireError, WireMetrics, WireNetCounters, WireOp, WireOutcome, WireSeqLabel,
+    WireStats, DEFAULT_MAX_FRAME, PROTOCOL_VERSION,
 };
 use cpqx_engine::delta::{Delta, DeltaOp, OpOutcome};
 use cpqx_engine::{BatchOptions, Engine};
 use cpqx_graph::{Graph, Label, LabelSeq};
+use cpqx_obs::{Op as ObsOp, Stage, TraceKind};
 use cpqx_query::parse_cpq;
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, BufReader, BufWriter};
@@ -92,6 +93,8 @@ pub struct NetStats {
     pub delta_requests: u64,
     /// STATS requests served.
     pub stats_requests: u64,
+    /// METRICS requests served.
+    pub metrics_requests: u64,
     /// Error frames sent.
     pub error_responses: u64,
 }
@@ -106,6 +109,7 @@ struct NetCounters {
     update: AtomicU64,
     delta: AtomicU64,
     stats: AtomicU64,
+    metrics: AtomicU64,
     errors: AtomicU64,
 }
 
@@ -120,6 +124,7 @@ impl NetCounters {
             update_requests: self.update.load(Ordering::Relaxed),
             delta_requests: self.delta.load(Ordering::Relaxed),
             stats_requests: self.stats.load(Ordering::Relaxed),
+            metrics_requests: self.metrics.load(Ordering::Relaxed),
             error_responses: self.errors.load(Ordering::Relaxed),
         }
     }
@@ -398,20 +403,36 @@ fn handle(s: &Shared, req: Request) -> Response {
         )),
         Request::Ping => {
             s.counters.ping.fetch_add(1, Ordering::Relaxed);
+            let t0 = s.engine.obs().timer();
+            if let Some(t0) = t0 {
+                s.engine.obs().record_op(ObsOp::Ping, t0.elapsed());
+            }
             Response::Pong
         }
         Request::Query(text) => {
             s.counters.query.fetch_add(1, Ordering::Relaxed);
+            // The server owns the whole-request trace so the span tree
+            // covers parse as well as the engine's plan/cache/eval
+            // stages (query_traced records into the same builder).
+            let obs = s.engine.obs();
+            let mut trace = obs.begin(TraceKind::Query);
             // One snapshot for parse + evaluation: the answer's epoch is
             // exactly the version the label names were resolved against.
             let snap = s.engine.snapshot();
-            match parse_cpq(&text, snap.graph()) {
+            let parse_timer = obs.timer();
+            let parsed = parse_cpq(&text, snap.graph());
+            obs.stage(Stage::Parse, parse_timer, trace.as_mut());
+            let resp = match parsed {
                 Ok(q) => {
-                    let pairs = s.engine.query_on(&snap, &q);
+                    let pairs = s.engine.query_traced(&snap, &q, trace.as_mut());
                     Response::Result { epoch: snap.epoch(), pairs: (*pairs).clone() }
                 }
                 Err(e) => Response::Error(WireError::from(e)),
+            };
+            if let Some(tb) = trace {
+                obs.finish(tb);
             }
+            resp
         }
         Request::Batch(texts) => {
             s.counters.batch.fetch_add(1, Ordering::Relaxed);
@@ -465,7 +486,23 @@ fn handle(s: &Shared, req: Request) -> Response {
         }
         Request::Stats => {
             s.counters.stats.fetch_add(1, Ordering::Relaxed);
-            Response::Stats(Box::new(wire_stats(s)))
+            let t0 = s.engine.obs().timer();
+            let resp = Response::Stats(Box::new(wire_stats(s)));
+            if let Some(t0) = t0 {
+                s.engine.obs().record_op(ObsOp::Stats, t0.elapsed());
+            }
+            resp
+        }
+        Request::Metrics => {
+            s.counters.metrics.fetch_add(1, Ordering::Relaxed);
+            let t0 = s.engine.obs().timer();
+            let resp = Response::Metrics(Box::new(wire_metrics(s)));
+            // This request's own latency lands in the *next* report —
+            // the snapshot above must not be mutated after it is taken.
+            if let Some(t0) = t0 {
+                s.engine.obs().record_op(ObsOp::Metrics, t0.elapsed());
+            }
+            resp
         }
     }
 }
@@ -592,5 +629,48 @@ fn wire_stats(s: &Shared) -> WireStats {
         wal_bytes: engine.wal_bytes,
         snapshots_written: engine.snapshots_written,
         snapshot_chunks_skipped: engine.snapshot_chunks_skipped,
+    }
+}
+
+fn wire_metrics(s: &Shared) -> WireMetrics {
+    let obs = s.engine.obs();
+    let net = s.counters.report();
+    // Empty histograms are omitted: the common deployment exercises a
+    // handful of opcodes/stages, and the sparse form keeps the frame
+    // proportional to actual traffic.
+    let mut ops = Vec::new();
+    for op in ObsOp::ALL {
+        let h = obs.op_snapshot(op);
+        if h.count() > 0 {
+            ops.push((op, h));
+        }
+    }
+    let mut stages = Vec::new();
+    for stage in Stage::ALL {
+        let h = obs.stage_snapshot(stage);
+        if h.count() > 0 {
+            stages.push((stage, h));
+        }
+    }
+    WireMetrics {
+        epoch: s.engine.epoch(),
+        ops,
+        stages,
+        net: WireNetCounters {
+            connections: net.connections,
+            rejected_connections: net.rejected_connections,
+            ping_requests: net.ping_requests,
+            query_requests: net.query_requests,
+            batch_requests: net.batch_requests,
+            update_requests: net.update_requests,
+            delta_requests: net.delta_requests,
+            stats_requests: net.stats_requests,
+            metrics_requests: net.metrics_requests,
+            error_responses: net.error_responses,
+        },
+        slow: obs.slow_queries(),
+        slow_total: obs.slow_query_count(),
+        workload: obs.workload_counts(),
+        workload_dropped: obs.workload_dropped(),
     }
 }

@@ -1,0 +1,143 @@
+//! Loopback tests for the METRICS frame: byte-exact codec behaviour
+//! over a live TCP connection, histogram percentiles agreeing with the
+//! engine's reservoir report, and slow-query capture with a full span
+//! tree.
+
+use cpqx_engine::{Engine, EngineOptions, ObsOptions};
+use cpqx_graph::generate::{self, RandomGraphConfig};
+use cpqx_net::proto::{
+    decode_response, encode_request, encode_response, read_frame, write_frame, Request, Response,
+    DEFAULT_MAX_FRAME, PROTOCOL_VERSION,
+};
+use cpqx_net::{Client, Server, ServerOptions};
+use cpqx_obs::{bucket_index, Op as ObsOp, Stage, TraceKind};
+use cpqx_query::workload::{GraphProbe, WorkloadGen};
+use cpqx_query::Template;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn start_server(options: EngineOptions) -> (Arc<Engine>, Server) {
+    let g = generate::random_graph(&RandomGraphConfig::social(150, 700, 3, 17));
+    let (engine, _) = Engine::with_options(g, options);
+    let engine = Arc::new(engine);
+    let server = Server::bind(Arc::clone(&engine), "127.0.0.1:0", ServerOptions::default())
+        .expect("bind ephemeral port");
+    (engine, server)
+}
+
+fn drive_queries(client: &mut Client, engine: &Engine, n: usize) {
+    let snap = engine.snapshot();
+    let probe = GraphProbe(snap.graph());
+    let mut gen = WorkloadGen::new(snap.graph(), 7);
+    let texts: Vec<String> = Template::ALL
+        .iter()
+        .flat_map(|&t| gen.queries(t, 1 + n / Template::ALL.len(), &probe))
+        .map(|q| q.to_text(snap.graph()))
+        .collect();
+    assert!(!texts.is_empty());
+    for text in texts.iter().cycle().take(n) {
+        client.query(text).expect("query over loopback");
+    }
+}
+
+/// The METRICS response survives a decode → re-encode cycle byte for
+/// byte: what the server put on the wire is exactly what the codec
+/// produces for the decoded report.
+#[test]
+fn metrics_roundtrip_is_byte_exact_over_loopback() {
+    let (engine, server) = start_server(EngineOptions { k: 2, ..Default::default() });
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    drive_queries(&mut client, &engine, 40);
+
+    // Speak the frame layer directly so the raw response bytes are
+    // observable.
+    let stream = TcpStream::connect(server.local_addr()).expect("raw connect");
+    let mut reader = std::io::BufReader::new(&stream);
+    let mut writer = std::io::BufWriter::new(&stream);
+    let hello = encode_request(&Request::Hello { version: PROTOCOL_VERSION });
+    write_frame(&mut writer, &hello).unwrap();
+    let ack = read_frame(&mut reader, DEFAULT_MAX_FRAME).unwrap();
+    assert!(matches!(decode_response(&ack), Ok(Response::HelloAck { .. })));
+    write_frame(&mut writer, &encode_request(&Request::Metrics)).unwrap();
+    let payload = read_frame(&mut reader, DEFAULT_MAX_FRAME).unwrap();
+
+    let resp = decode_response(&payload).expect("METRICS_RESULT decodes");
+    let Response::Metrics(m) = &resp else { panic!("expected METRICS_RESULT, got {resp:?}") };
+    assert!(m.op_histogram(ObsOp::Query).is_some(), "query traffic must be present");
+    assert_eq!(encode_response(&resp), payload, "re-encode must reproduce the wire bytes");
+    server.shutdown();
+}
+
+/// `Client::metrics()` returns per-opcode histograms whose p50/p99 agree
+/// with the engine's reservoir-based percentiles to within one log
+/// bucket, and whose workload table names the canonical keys served.
+#[test]
+fn metrics_percentiles_agree_with_reservoir() {
+    let (engine, server) = start_server(EngineOptions { k: 2, ..Default::default() });
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    drive_queries(&mut client, &engine, 120);
+
+    let m = client.metrics().expect("metrics over loopback");
+    assert_eq!(m.epoch, engine.epoch());
+    assert_eq!(m.net.query_requests, 120);
+    assert_eq!(m.net.metrics_requests, 1);
+
+    let h = m.op_histogram(ObsOp::Query).expect("query histogram");
+    assert_eq!(h.count(), 120);
+    let reservoir = engine.reservoir_report();
+    for (p, exact) in [(0.5, reservoir.p50), (0.99, reservoir.p99)] {
+        let wire = h.quantile(p).expect("non-empty histogram") as u128;
+        let exact = exact.as_micros();
+        assert!(
+            bucket_index(wire as u64).abs_diff(bucket_index(exact as u64)) <= 1,
+            "p{p}: wire {wire}us vs reservoir {exact}us disagree by more than one bucket"
+        );
+    }
+
+    // Query stages were exercised; their histograms travel too.
+    for stage in [Stage::Parse, Stage::Plan, Stage::Eval] {
+        assert!(m.stage_histogram(stage).is_some(), "missing {} histogram", stage.name());
+    }
+    // Canonical keys of the served workload feed the advisor table.
+    // Keys are counted on sampled traces (one in `sample_every`), so the
+    // table is a sampled frequency estimate, not an exact census.
+    assert!(!m.workload.is_empty());
+    let sampled: u64 = m.workload.iter().map(|(_, c)| c).sum();
+    assert!((1..=120).contains(&sampled), "sampled workload count {sampled} out of range");
+    server.shutdown();
+}
+
+/// With a slow-query threshold armed, a wire query over the threshold
+/// lands in the slow ring carrying its parse/plan/eval span tree, its
+/// canonical key and the epoch it was served at.
+#[test]
+fn slow_queries_capture_span_tree_over_the_wire() {
+    let obs = ObsOptions {
+        slow_query: Some(Duration::from_nanos(1)),
+        sample_every: 0, // slow capture must not depend on trace sampling
+        ..ObsOptions::default()
+    };
+    let options = EngineOptions {
+        k: 2,
+        obs,
+        // No result cache: every wire query must evaluate, so slow
+        // entries always carry the full parse/plan/eval tree.
+        result_cache_capacity: 0,
+        ..Default::default()
+    };
+    let (engine, server) = start_server(options);
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    drive_queries(&mut client, &engine, 10);
+
+    let m = client.metrics().expect("metrics over loopback");
+    assert!(m.slow_total >= 1, "1ns threshold must flag queries");
+    let slow = m.slow.last().expect("slow ring entry");
+    assert_eq!(slow.kind, TraceKind::Query);
+    assert!(!slow.key.is_empty(), "slow entry must carry the canonical key");
+    assert_eq!(slow.epoch, engine.epoch());
+    for stage in [Stage::Parse, Stage::Plan, Stage::Eval] {
+        assert!(slow.span(stage).is_some(), "missing {} span: {}", stage.name(), slow.render());
+    }
+    server.shutdown();
+}

@@ -98,6 +98,12 @@ pub struct Recovered {
     pub vertex_count: u32,
     /// Base edges in the recovered graph.
     pub edge_count: u64,
+    /// Wall-clock of the manifest read + validation.
+    pub manifest_time: std::time::Duration,
+    /// Wall-clock of chunk decode + graph/index reassembly.
+    pub chunks_time: std::time::Duration,
+    /// Wall-clock of the WAL tail replay.
+    pub replay_time: std::time::Duration,
 }
 
 /// A durable engine, started: the engine (serving the recovered or
@@ -133,10 +139,13 @@ fn corrupt(path: &Path, what: impl Into<String>) -> RecoverError {
 }
 
 fn recover_full(dir: &Path) -> Result<Option<FullRecovery>, RecoverError> {
+    let t_manifest = std::time::Instant::now();
     let Some(m) = manifest::load_current(dir)? else { return Ok(None) };
     let mpath = dir.join(format!("manifest-{}", m.gen));
+    let manifest_time = t_manifest.elapsed();
 
     // 1. Reassemble the snapshot state chunk by chunk.
+    let t_chunks = std::time::Instant::now();
     let header = decode_header(&read_record(dir, m.header)?).map_err(|e| corrupt(&mpath, e))?;
     if header.topo_chunks != m.topo.len()
         || header.name_chunks != m.names.len()
@@ -175,6 +184,7 @@ fn recover_full(dir: &Path) -> Result<Option<FullRecovery>, RecoverError> {
     }
     let index = CpqxIndex::from_class_records(header.k, header.interests, class_chunks)
         .map_err(|e| corrupt(&mpath, format!("index reassembly failed: {e}")))?;
+    let chunks_time = t_chunks.elapsed();
 
     // The retained image must alias the chunks of the state the engine
     // will serve, so the next incremental checkpoint sees unchanged
@@ -188,6 +198,7 @@ fn recover_full(dir: &Path) -> Result<Option<FullRecovery>, RecoverError> {
     };
 
     // 2. Replay the committed WAL tail.
+    let t_replay = std::time::Instant::now();
     let mut graph = graph;
     let mut index = index;
     let segments: Vec<u64> =
@@ -225,6 +236,9 @@ fn recover_full(dir: &Path) -> Result<Option<FullRecovery>, RecoverError> {
         dropped_wal_bytes: dropped,
         vertex_count: graph.vertex_count(),
         edge_count: graph.edge_count() as u64,
+        manifest_time,
+        chunks_time,
+        replay_time: t_replay.elapsed(),
     };
     Ok(Some(FullRecovery {
         graph,
@@ -289,6 +303,14 @@ pub fn durable_engine(
             Some(r.retained),
         )?);
         engine.attach_durability(store.clone());
+        // Restart timings land in the recorder like any other pipeline,
+        // so METRICS exposes recovery stages alongside serving stages.
+        engine.obs().record_recovery(
+            r.info.manifest_time,
+            r.info.chunks_time,
+            r.info.replay_time,
+            engine.epoch(),
+        );
         return Ok(DurableStart { engine, store, recovered: Some(r.info) });
     }
     if !wal::list_segments(dir)?.is_empty() {

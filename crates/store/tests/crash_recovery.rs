@@ -281,6 +281,20 @@ fn recovery_across_incremental_checkpoints() {
             durable_engine(&dir, StoreOptions::default(), options, || unreachable!()).unwrap();
         let recovered = start.recovered.expect("second boot recovers");
         assert_eq!(recovered.edge_count, reference.snapshot().graph().edge_count() as u64);
+        // Recovery must leave its span tree in the recorder: the restart
+        // path is instrumented like any serving pipeline.
+        let traces = start.engine.obs().traces();
+        let recovery = traces
+            .iter()
+            .find(|t| t.kind == cpqx_obs::TraceKind::Recovery)
+            .expect("recovery trace recorded");
+        for stage in [
+            cpqx_obs::Stage::RecoverManifest,
+            cpqx_obs::Stage::RecoverChunks,
+            cpqx_obs::Stage::RecoverReplay,
+        ] {
+            assert!(recovery.span(stage).is_some(), "missing {} span", stage.name());
+        }
         let extra = random_delta(&mut rng, &mut vertices, labels, TXNS);
         start.engine.apply_delta(&extra).unwrap();
         reference.apply_delta(&extra).unwrap();

@@ -19,11 +19,17 @@
 //! the persisted state (snapshot + WAL tail) instead of rebuilding —
 //! the demo logs what recovery restored.
 //!
+//! Observability flags: `--slow-query-us N` arms the recorder's
+//! slow-query threshold (every wire query slower than N microseconds is
+//! captured with its parse/plan/eval span tree), and `--metrics-dump`
+//! fetches the METRICS frame at the end of the run and prints the
+//! Prometheus-style rendering plus any captured slow-query traces.
+//!
 //! Run with: `cargo run --release --example engine_server [-- --data-dir DIR]`
 
 use cpqx::engine::{BuildOptions, Delta, Engine, EngineOptions};
 use cpqx::graph::generate::{random_graph, sample_edges, RandomGraphConfig};
-use cpqx::net::{Client, Server, ServerOptions};
+use cpqx::net::{render_prometheus, Client, Server, ServerOptions};
 use cpqx::query::workload::{GraphProbe, WorkloadGen};
 use cpqx::query::Template;
 use cpqx::store::{durable_engine, StoreOptions};
@@ -34,18 +40,25 @@ use std::time::{Duration, Instant};
 const CLIENTS: usize = 4;
 const RUN_FOR: Duration = Duration::from_millis(600);
 
-/// The value following `--data-dir` (or `--data-dir=<path>`), if any.
-fn data_dir_arg() -> Option<String> {
+/// The value following `--<name>` (or `--<name>=<value>`), if any.
+fn flag_value(name: &str) -> Option<String> {
+    let (bare, prefixed) = (format!("--{name}"), format!("--{name}="));
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        if arg == "--data-dir" {
-            return Some(args.next().expect("--data-dir requires a path"));
+        if arg == bare {
+            return Some(args.next().unwrap_or_else(|| panic!("{bare} requires a value")));
         }
-        if let Some(path) = arg.strip_prefix("--data-dir=") {
-            return Some(path.to_string());
+        if let Some(value) = arg.strip_prefix(&prefixed) {
+            return Some(value.to_string());
         }
     }
     None
+}
+
+/// True when the bare `--<name>` flag is present.
+fn has_flag(name: &str) -> bool {
+    let bare = format!("--{name}");
+    std::env::args().skip(1).any(|arg| arg == bare)
 }
 
 fn main() {
@@ -59,7 +72,7 @@ fn main() {
         ..EngineOptions::default()
     };
 
-    let engine = if let Some(dir) = data_dir_arg() {
+    let engine = if let Some(dir) = flag_value("data-dir") {
         let t0 = Instant::now();
         let start =
             durable_engine(&dir, StoreOptions::default(), options, seed).expect("durable start");
@@ -95,6 +108,12 @@ fn main() {
         );
         Arc::new(engine)
     };
+
+    if let Some(us) = flag_value("slow-query-us") {
+        let us: u64 = us.parse().expect("--slow-query-us expects microseconds");
+        engine.obs().set_slow_threshold(Some(Duration::from_micros(us)));
+        println!("slow-query capture armed at {us}us");
+    }
 
     // A repeating workload of filtered template queries against the
     // *served* graph (recovered or fresh), rendered to the wire text
@@ -220,6 +239,19 @@ fn main() {
         stats.snapshots_written,
         stats.snapshot_chunks_skipped,
     );
+    if has_flag("metrics-dump") {
+        let m = client.metrics().expect("wire metrics");
+        println!("\n--- metrics dump (METRICS frame, Prometheus rendering) ---");
+        print!("{}", render_prometheus(&m));
+        if m.slow.is_empty() {
+            println!("--- no slow queries captured ---");
+        } else {
+            println!("--- {} slow queries captured, newest last ---", m.slow_total);
+            for trace in &m.slow {
+                println!("{}", trace.render());
+            }
+        }
+    }
     drop(client);
     server.shutdown();
     println!("server shut down cleanly");

@@ -14,6 +14,9 @@
 //! * [`store`] — the opt-in durability layer: an append-only WAL of typed
 //!   delta transactions, chunk-granular incremental snapshots, and
 //!   crash recovery into a fresh engine (spec in `STORAGE.md`),
+//! * [`obs`] — the observability layer: sampled per-query traces,
+//!   mergeable log-bucketed latency histograms, the slow-query ring, and
+//!   the observed-workload table exposed over the wire via METRICS,
 //! * [`pathindex`] — the language-unaware Path/iaPath baseline (EDBT 2016),
 //! * [`matcher`] — homomorphic subgraph-matching baselines (TurboHom++- and
 //!   Tentris-style engines).
@@ -79,6 +82,7 @@ pub use cpqx_engine as engine;
 pub use cpqx_graph as graph;
 pub use cpqx_matcher as matcher;
 pub use cpqx_net as net;
+pub use cpqx_obs as obs;
 pub use cpqx_pathindex as pathindex;
 pub use cpqx_query as query;
 pub use cpqx_rpq as rpq;
