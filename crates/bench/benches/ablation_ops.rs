@@ -55,11 +55,12 @@ fn main() {
         &["dataset", "template", "full", "no class-conj", "no fused-id", "neither"],
     );
 
+    let on = ExecOptions::default();
     let variants = [
-        ExecOptions { class_level_conjunction: true, fused_identity: true },
-        ExecOptions { class_level_conjunction: false, fused_identity: true },
-        ExecOptions { class_level_conjunction: true, fused_identity: false },
-        ExecOptions { class_level_conjunction: false, fused_identity: false },
+        on,
+        ExecOptions { class_level_conjunction: false, ..on },
+        ExecOptions { fused_identity: false, ..on },
+        ExecOptions { class_level_conjunction: false, fused_identity: false, ..on },
     ];
 
     for ds in [Dataset::Robots, Dataset::EgoFacebook, Dataset::Advogato, Dataset::Epinions] {

@@ -13,7 +13,7 @@
 
 use cpqx_bench::harness::workload_for;
 use cpqx_bench::{env_parse, BenchConfig, Table};
-use cpqx_engine::{BatchOptions, Engine, EngineOptions};
+use cpqx_engine::{BatchOptions, Engine, EngineOptions, ExecOptions};
 use cpqx_graph::datasets::Dataset;
 use cpqx_net::{Client, Server, ServerOptions};
 use cpqx_query::ast::Template;
@@ -32,6 +32,8 @@ fn main() {
             "dataset",
             "queries",
             "in-proc[qps]",
+            "exec rows[qps]",
+            "exec csr[qps]",
             "wire x1[qps]",
             &wire_col,
             "batch[qps]",
@@ -54,6 +56,28 @@ fn main() {
             engine.evaluate_batch(&queries, BatchOptions::default());
         }
         let inproc_qps = (rounds * queries.len()) as f64 / t0.elapsed().as_secs_f64();
+
+        // Raw executor throughput on the served snapshot, CSR read faces
+        // off versus on — the cache-free read-path comparison the wire
+        // numbers sit on top of.
+        let snap = engine.snapshot();
+        snap.graph().ensure_csr();
+        let mut exec_qps = [0.0f64; 2];
+        let variants =
+            [ExecOptions { csr_faces: false, ..ExecOptions::default() }, ExecOptions::default()];
+        for (slot, options) in exec_qps.iter_mut().zip(variants) {
+            let t0 = Instant::now();
+            for _ in 0..rounds {
+                for q in &queries {
+                    std::hint::black_box(snap.index().evaluate_with_options(
+                        snap.graph(),
+                        q,
+                        options,
+                    ));
+                }
+            }
+            *slot = (rounds * queries.len()) as f64 / t0.elapsed().as_secs_f64();
+        }
 
         let server = Server::bind(
             Arc::clone(&engine),
@@ -109,6 +133,8 @@ fn main() {
             ds.name().to_string(),
             texts.len().to_string(),
             format!("{inproc_qps:.0}"),
+            format!("{:.0}", exec_qps[0]),
+            format!("{:.0}", exec_qps[1]),
             format!("{wire1_qps:.0}"),
             format!("{wiren_qps:.0}"),
             format!("{batch_qps:.0}"),

@@ -10,8 +10,9 @@
 
 use crate::bisim::ClassId;
 use crate::index::CpqxIndex;
-use cpqx_graph::{Graph, Pair};
+use cpqx_graph::{ExtLabel, Graph, LabelSeq, Pair};
 use cpqx_query::ops;
+use cpqx_query::ops::EvalContext;
 use cpqx_query::plan::Plan;
 
 /// An intermediate result: `C` or `P` in Algorithm 3's notation.
@@ -36,11 +37,20 @@ pub struct ExecOptions {
     /// (the paper's third optimization). When off, identity filters
     /// materialized pairs.
     pub fused_identity: bool,
+    /// Route single-label join operands through the graph's per-chunk CSR
+    /// read faces ([`cpqx_graph::csr`]): a chain suffix `P ⋈ ⟦ℓ⟧` expands
+    /// over forward faces, a chain prefix `⟦ℓ⟧ ⋈ P` streams reverse faces
+    /// — neither materializes or re-sorts the label relation. When off,
+    /// every join expands both operands from the index and sorted-merges
+    /// them (the chunked-row baseline the differential harness and the
+    /// `fig06_csr` bench compare against). Answers are identical either
+    /// way.
+    pub csr_faces: bool,
 }
 
 impl Default for ExecOptions {
     fn default() -> Self {
-        ExecOptions { class_level_conjunction: true, fused_identity: true }
+        ExecOptions { class_level_conjunction: true, fused_identity: true, csr_faces: true }
     }
 }
 
@@ -60,6 +70,12 @@ pub struct ExecStats {
     pub pair_intersections: usize,
     /// Sorted-merge joins executed.
     pub joins: usize,
+    /// Joins answered through a CSR read face (a subset of `joins`):
+    /// the single-label operand streamed the graph's per-chunk forward
+    /// or reverse face instead of expanding from the index. Always 0
+    /// with [`ExecOptions::csr_faces`] off — benches use this to tell
+    /// cells where the fast path engaged from cells it cannot touch.
+    pub csr_joins: usize,
 }
 
 /// Plan executor bound to an index and its graph.
@@ -68,6 +84,10 @@ pub struct Executor<'i, 'g> {
     graph: &'g Graph,
     options: ExecOptions,
     stats: std::cell::Cell<ExecStats>,
+    /// Per-execution scratch shared by every join of a plan (the borrow
+    /// is confined to each single join call, never held across the
+    /// recursion).
+    ctx: std::cell::RefCell<EvalContext>,
 }
 
 impl<'i, 'g> Executor<'i, 'g> {
@@ -79,7 +99,13 @@ impl<'i, 'g> Executor<'i, 'g> {
 
     /// Creates an executor with explicit ablation switches.
     pub fn with_options(index: &'i CpqxIndex, graph: &'g Graph, options: ExecOptions) -> Self {
-        Executor { index, graph, options, stats: std::cell::Cell::new(ExecStats::default()) }
+        Executor {
+            index,
+            graph,
+            options,
+            stats: std::cell::Cell::new(ExecStats::default()),
+            ctx: std::cell::RefCell::new(EvalContext::new()),
+        }
     }
 
     /// Runs a plan and returns the answers together with the work counters
@@ -145,29 +171,8 @@ impl<'i, 'g> Executor<'i, 'g> {
                 let cs = looked.iter().copied().filter(|&c| self.index.class_is_loop(c)).collect();
                 Intermediate::Classes(cs)
             }
-            Plan::Join(a, b) => {
-                let left = self.pairs(self.eval(a));
-                if left.is_empty() {
-                    return Intermediate::Pairs(Vec::new());
-                }
-                let right = self.pairs(self.eval(b));
-                self.bump(|s| s.joins += 1);
-                Intermediate::Pairs(ops::join_pairs(&left, &right))
-            }
-            Plan::JoinId(a, b) => {
-                let left = self.pairs(self.eval(a));
-                if left.is_empty() {
-                    return Intermediate::Pairs(Vec::new());
-                }
-                let right = self.pairs(self.eval(b));
-                self.bump(|s| s.joins += 1);
-                if self.options.fused_identity {
-                    Intermediate::Pairs(ops::join_pairs_id(&left, &right))
-                } else {
-                    let joined = ops::join_pairs(&left, &right);
-                    Intermediate::Pairs(ops::filter_loops(&joined))
-                }
-            }
+            Plan::Join(a, b) => self.join(a, b, false),
+            Plan::JoinId(a, b) => self.join(a, b, true),
             Plan::Conj(a, b) => match (self.eval(a), self.eval(b)) {
                 // The class-level conjunction of Prop. 4.1.
                 (Intermediate::Classes(x), Intermediate::Classes(y))
@@ -205,6 +210,86 @@ impl<'i, 'g> Executor<'i, 'g> {
         }
     }
 
+    /// `JOIN` / fused `JOIN-ID` (Algorithm 4), with the CSR fast paths.
+    ///
+    /// When [`ExecOptions::csr_faces`] is on (and identity stays fused), a
+    /// single-label operand is executed against the graph's per-chunk CSR
+    /// faces instead of being expanded from the index: a label *right*
+    /// operand becomes a forward-face frontier expansion, a label *left*
+    /// operand a reverse-face streamed merge — in both cases the label
+    /// relation is never materialized, re-keyed, or sorted. The `Il2c`
+    /// lookup still runs (it is the emptiness check and keeps the EXPLAIN
+    /// counters describing the same logical work), but its classes are
+    /// not expanded.
+    fn join(&self, a: &Plan, b: &Plan, require_loop: bool) -> Intermediate {
+        let csr = self.options.csr_faces && (self.options.fused_identity || !require_loop);
+        // Label prefix: ⟦ℓ⟧ ⋈ P over reverse faces.
+        if csr && self.single_label(a).is_some() && self.single_label(b).is_none() {
+            let (seq, l) = self.single_label(a).unwrap();
+            if self.lookup_counted(seq).is_empty() {
+                return Intermediate::Pairs(Vec::new());
+            }
+            let right = self.pairs(self.eval(b));
+            self.bump(|s| {
+                s.joins += 1;
+                s.csr_joins += 1;
+            });
+            return Intermediate::Pairs(ops::join_label_left(self.graph, l, &right, require_loop));
+        }
+        let left = self.pairs(self.eval(a));
+        if left.is_empty() {
+            return Intermediate::Pairs(Vec::new());
+        }
+        // Label suffix: P ⋈ ⟦ℓ⟧ over forward faces.
+        if csr {
+            if let Some((seq, l)) = self.single_label(b) {
+                self.bump(|s| {
+                    s.joins += 1;
+                    s.csr_joins += 1;
+                });
+                if self.lookup_counted(seq).is_empty() {
+                    return Intermediate::Pairs(Vec::new());
+                }
+                return Intermediate::Pairs(if require_loop {
+                    ops::expand_adjacency_id(self.graph, &left, l)
+                } else {
+                    ops::expand_adjacency(self.graph, &left, l)
+                });
+            }
+        }
+        let right = self.pairs(self.eval(b));
+        self.bump(|s| s.joins += 1);
+        let mut ctx = self.ctx.borrow_mut();
+        if !require_loop {
+            Intermediate::Pairs(ctx.join_pairs(&left, &right))
+        } else if self.options.fused_identity {
+            Intermediate::Pairs(ctx.join_pairs_id(&left, &right))
+        } else {
+            let joined = ctx.join_pairs(&left, &right);
+            Intermediate::Pairs(ops::filter_loops(&joined))
+        }
+    }
+
+    /// The plan's extended label if it is a bare single-label lookup.
+    fn single_label(&self, p: &Plan) -> Option<(LabelSeq, ExtLabel)> {
+        match p {
+            Plan::Lookup(seq) if seq.len() == 1 => Some((*seq, seq.get(0))),
+            _ => None,
+        }
+    }
+
+    /// `Il2c` lookup that records the EXPLAIN counters (shared by the CSR
+    /// fast paths, which consult the index for emptiness and stats but
+    /// answer pair work from the graph faces).
+    fn lookup_counted(&self, seq: LabelSeq) -> &[ClassId] {
+        let cs = self.index.lookup(&seq);
+        self.bump(|s| {
+            s.lookups += 1;
+            s.classes_touched += cs.len();
+        });
+        cs
+    }
+
     /// Materializes an intermediate to pairs.
     fn pairs(&self, im: Intermediate) -> Vec<Pair> {
         match im {
@@ -227,21 +312,11 @@ impl<'i, 'g> Executor<'i, 'g> {
     }
 }
 
-/// Sorted intersection of class-id lists.
+/// Sorted intersection of class-id lists (galloping on skewed inputs —
+/// same dispatch as the pair-set intersection).
 pub fn intersect_ids(a: &[ClassId], b: &[ClassId]) -> Vec<ClassId> {
     let mut out = Vec::new();
-    let (mut i, mut j) = (0, 0);
-    while i < a.len() && j < b.len() {
-        match a[i].cmp(&b[j]) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => {
-                out.push(a[i]);
-                i += 1;
-                j += 1;
-            }
-        }
-    }
+    cpqx_graph::pair::intersect_sorted(a, b, &mut out);
     out
 }
 
@@ -292,7 +367,7 @@ mod tests {
         let exec = Executor::with_options(
             &idx,
             &g,
-            ExecOptions { class_level_conjunction: false, fused_identity: true },
+            ExecOptions { class_level_conjunction: false, ..ExecOptions::default() },
         );
         let (result, stats) = exec.run_explained(&idx.plan(&q));
         assert_eq!(result.len(), 3, "answers unchanged");

@@ -27,7 +27,7 @@
 //! All counters and latency percentiles are exported through
 //! [`Engine::stats`].
 
-use cpqx_core::{CpqxIndex, Executor};
+use cpqx_core::{CpqxIndex, ExecOptions, Executor};
 use cpqx_graph::{Graph, Label, LabelSeq, Pair, VertexId};
 use cpqx_obs::{ObsOptions, Op, Recorder, Stage, TraceBuilder, TraceKind};
 use cpqx_query::canonical::{cache_key, canonicalize};
@@ -99,6 +99,14 @@ pub struct EngineOptions {
     /// a recorded stage costs a few relaxed atomic adds; set
     /// `obs.enabled = false` to reduce every probe to a branch.
     pub obs: ObsOptions,
+    /// Executor switches ([`cpqx_core::ExecOptions`]) applied to every
+    /// query this engine serves. The defaults enable all optimizations
+    /// (class-level conjunction, fused identity, CSR read faces);
+    /// overriding them here turns the whole engine into the
+    /// corresponding ablation, which is how the differential tests and
+    /// the `fig06_csr`/`net_throughput` benches compare read paths under
+    /// identical serving conditions.
+    pub exec: ExecOptions,
 }
 
 impl Default for EngineOptions {
@@ -114,6 +122,7 @@ impl Default for EngineOptions {
             deep_clone_writes: false,
             durability: DurabilityOptions::default(),
             obs: ObsOptions::default(),
+            exec: ExecOptions::default(),
         }
     }
 }
@@ -138,11 +147,18 @@ pub struct Snapshot {
     index: CpqxIndex,
     epoch: u64,
     plans: Mutex<LruCache<String, Arc<PlannedQuery>>>,
+    exec: ExecOptions,
 }
 
 impl Snapshot {
-    fn new(graph: Graph, index: CpqxIndex, epoch: u64, plan_capacity: usize) -> Self {
-        Snapshot { graph, index, epoch, plans: Mutex::new(LruCache::new(plan_capacity)) }
+    fn new(
+        graph: Graph,
+        index: CpqxIndex,
+        epoch: u64,
+        plan_capacity: usize,
+        exec: ExecOptions,
+    ) -> Self {
+        Snapshot { graph, index, epoch, plans: Mutex::new(LruCache::new(plan_capacity)), exec }
     }
 
     /// The snapshot's graph.
@@ -183,7 +199,7 @@ impl Snapshot {
         let canonical = canonicalize(q);
         let key = cache_key(&canonical);
         let (planned, _) = self.plan_for(&key, &canonical);
-        Executor::new(&self.index, &self.graph).run(&planned.plan)
+        Executor::with_options(&self.index, &self.graph, self.exec).run(&planned.plan)
     }
 }
 
@@ -236,7 +252,8 @@ impl Engine {
                 options.build,
             ),
         };
-        let snapshot = Arc::new(Snapshot::new(graph, index, 0, options.plan_cache_capacity));
+        let snapshot =
+            Arc::new(Snapshot::new(graph, index, 0, options.plan_cache_capacity, options.exec));
         let engine = Engine {
             current: RwLock::new(snapshot),
             results: Mutex::new(TaggedResults {
@@ -263,7 +280,8 @@ impl Engine {
     /// a loaded index, the recovered state begins a new fragmentation
     /// epoch.
     pub fn with_recovered(graph: Graph, index: CpqxIndex, options: EngineOptions) -> Engine {
-        let snapshot = Arc::new(Snapshot::new(graph, index, 0, options.plan_cache_capacity));
+        let snapshot =
+            Arc::new(Snapshot::new(graph, index, 0, options.plan_cache_capacity, options.exec));
         Engine {
             current: RwLock::new(snapshot),
             results: Mutex::new(TaggedResults {
@@ -396,7 +414,9 @@ impl Engine {
         self.obs.stage(Stage::Plan, plan_timer, trace.as_deref_mut());
         self.counters.record_plan(plan_hit);
         let eval_timer = self.obs.timer();
-        let out = Arc::new(Executor::new(snap.index(), snap.graph()).run(&planned.plan));
+        let out = Arc::new(
+            Executor::with_options(snap.index(), snap.graph(), snap.exec).run(&planned.plan),
+        );
         self.obs.stage(Stage::Eval, eval_timer, trace);
         if planned.cost >= self.options.result_admission_min_cost {
             let mut res = self.results.lock().unwrap();
@@ -760,7 +780,8 @@ impl Engine {
             res.cache.clear();
             self.counters.record_swap(dropped);
         }
-        let snapshot = Snapshot::new(graph, index, epoch, self.options.plan_cache_capacity);
+        let snapshot =
+            Snapshot::new(graph, index, epoch, self.options.plan_cache_capacity, self.options.exec);
         *self.current.write().unwrap() = Arc::new(snapshot);
         epoch
     }

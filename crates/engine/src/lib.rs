@@ -60,6 +60,7 @@ pub use build::{
     build_sharded_with_report, BuildOptions, BuildReport,
 };
 pub use cache::LruCache;
+pub use cpqx_core::ExecOptions;
 pub use delta::{apply_ops, validate_ops, Delta, DeltaError, DeltaOp, DeltaReport, OpOutcome};
 pub use durability::{CheckpointReport, DurabilityOptions, DurabilitySink};
 pub use engine::{Engine, EngineOptions, PlannedQuery, Snapshot};

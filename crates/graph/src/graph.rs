@@ -1,9 +1,10 @@
 //! The directed edge-labeled graph type and its builder.
 
+use crate::csr::ChunkCsr;
 use crate::label::{ExtLabel, Label};
 use crate::pair::Pair;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Dense vertex identifier (`u32`, per the small-integer-id guideline).
 pub type VertexId = u32;
@@ -50,6 +51,14 @@ pub(crate) struct VertexChunk {
     /// in this chunk's range (a source-contiguous segment of the global
     /// relation).
     pub(crate) pairs: Vec<Vec<Pair>>,
+    /// Lazily built read-optimized face ([`crate::csr`]): per-label
+    /// bidirectional CSR over this chunk's pairs. Built on first read
+    /// after construction or mutation; **every** mutation seam takes the
+    /// cache after `Arc::make_mut` (mandatory — at refcount 1 `make_mut`
+    /// mutates in place without cloning). Cloning a chunk keeps the cache:
+    /// the clone's bytes are identical, so the face is still valid, which
+    /// is what lets engine snapshot installs share built faces for free.
+    pub(crate) csr: OnceLock<Arc<ChunkCsr>>,
 }
 
 impl VertexChunk {
@@ -165,18 +174,47 @@ impl<'g> PairList<'g> {
         out
     }
 
-    /// Whether the view contains `p` (binary search per candidate
-    /// segment).
+    /// Whether the view contains `p`: the source vertex routes to the
+    /// single chunk that can hold it (partition point over the chunk
+    /// starts), followed by one binary search inside that chunk's segment
+    /// — O(log) regardless of how many chunks the view spans.
     pub fn contains(self, p: Pair) -> bool {
-        self.segments().any(|s| s.binary_search(&p).is_ok())
+        let v = p.src();
+        if v < self.lo || v >= self.hi {
+            return false;
+        }
+        let ci = self.chunks.partition_point(|c| c.start <= v);
+        if ci == 0 {
+            return false;
+        }
+        self.chunks[ci - 1].pairs[self.label as usize].binary_search(&p).is_ok()
     }
 
-    /// The view restricted to pairs with source in `[lo, hi)`.
+    /// The view restricted to pairs with source in `[lo, hi)`. Only the
+    /// two boundary chunks are sliced (binary searches); every interior
+    /// chunk of the range lies fully inside `[lo, hi)` and contributes its
+    /// whole segment length — O(log + #chunks in range), not
+    /// O(#chunks × log) as a per-chunk slicing sum would be.
     pub fn restrict_src(self, lo: VertexId, hi: VertexId) -> PairList<'g> {
         let lo = lo.max(self.lo);
-        let hi = hi.min(self.hi);
+        let hi = hi.min(self.hi).max(lo);
         let mut out = PairList { chunks: self.chunks, label: self.label, lo, hi, len: 0 };
-        out.len = out.segments().map(<[Pair]>::len).sum();
+        if lo >= hi || self.chunks.is_empty() {
+            return out;
+        }
+        let label = self.label as usize;
+        let begin = self.chunks.partition_point(|c| c.start <= lo).saturating_sub(1);
+        let end = self.chunks.partition_point(|c| c.start < hi).max(begin);
+        let mut len = 0usize;
+        for (k, c) in self.chunks[begin..end].iter().enumerate() {
+            let seg = c.pairs[label].as_slice();
+            len += if k == 0 || k + 1 == end - begin {
+                crate::view::slice_by_src(seg, lo, hi).len()
+            } else {
+                seg.len()
+            };
+        }
+        out.len = len;
         out
     }
 }
@@ -340,6 +378,64 @@ impl Graph {
         self.chunks.iter().flat_map(|c| c.adj.iter().map(Vec::len)).max().unwrap_or(0)
     }
 
+    /// The read face of chunk `ci`, building it on first access (see
+    /// [`crate::csr`] for the invalidation discipline).
+    #[inline]
+    fn face_of(&self, ci: usize) -> &Arc<ChunkCsr> {
+        let c = &self.chunks[ci];
+        c.csr.get_or_init(|| Arc::new(ChunkCsr::build(c.start, c.adj.len(), &c.pairs)))
+    }
+
+    /// Sorted targets reachable from `v` via one extended edge labeled
+    /// `l`, served from the per-chunk forward CSR face: two array loads
+    /// after the chunk routing, versus two binary searches over the
+    /// mixed-label adjacency row in [`Graph::neighbors`]. Builds the
+    /// chunk's face on first read after a mutation.
+    #[inline]
+    pub fn csr_targets(&self, v: VertexId, l: ExtLabel) -> &[VertexId] {
+        let (ci, _) = self.locate(v);
+        self.face_of(ci).targets(v, l)
+    }
+
+    /// The `i`-th topology chunk's read face (building it if absent),
+    /// shared: the returned `Arc` is the cached face itself.
+    pub fn csr_chunk(&self, i: usize) -> Arc<ChunkCsr> {
+        Arc::clone(self.face_of(i))
+    }
+
+    /// Iterates all chunk read faces in vertex-range order, building
+    /// absent ones on the fly.
+    pub fn csr_chunks(&self) -> impl Iterator<Item = &ChunkCsr> + '_ {
+        (0..self.chunks.len()).map(|i| &**self.face_of(i))
+    }
+
+    /// Whether the `i`-th topology chunk currently has a built read face
+    /// (observability for the staleness tests: a mutation must flip this
+    /// to `false` for the touched chunks and leave the rest `true`).
+    pub fn csr_built(&self, i: usize) -> bool {
+        self.chunks[i].csr.get().is_some()
+    }
+
+    /// Builds every chunk's read face now (benchmarks use this to warm
+    /// the cache so timed runs measure the read path, not lazy builds).
+    pub fn ensure_csr(&self) {
+        for i in 0..self.chunks.len() {
+            self.face_of(i);
+        }
+    }
+
+    /// Whether the `i`-th chunk's built read face is physically shared
+    /// (`Arc::ptr_eq`) with `before`'s — the CSR analogue of
+    /// [`Graph::topology_chunk_shared_with`], proving snapshot installs
+    /// carry faces by pointer instead of rebuilding or copying them.
+    /// `false` if either side has no built face.
+    pub fn csr_shared_with(&self, before: &Graph, i: usize) -> bool {
+        match (self.chunks[i].csr.get(), before.chunks.get(i).and_then(|c| c.csr.get())) {
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+
     /// Adds an isolated vertex, returning its id.
     pub fn add_vertex(&mut self, name: impl Into<String>) -> VertexId {
         let id = self.vertex_count;
@@ -352,11 +448,14 @@ impl Graph {
                 start: id,
                 adj: vec![Vec::new()],
                 pairs: vec![Vec::new(); self.label_names.len() * 2],
+                csr: OnceLock::new(),
             }));
             self.names.push(Arc::new(vec![name.into()]));
             self.chunk_starts.push(id);
         } else {
             let c = Arc::make_mut(self.chunks.last_mut().unwrap());
+            // The grown chunk has one more row: its CSR face is stale.
+            c.csr.take();
             c.adj.push(Vec::new());
             Arc::make_mut(self.names.last_mut().unwrap()).push(name.into());
         }
@@ -423,6 +522,10 @@ impl Graph {
         for (x, y, el) in [(v, u, l.fwd()), (u, v, l.inv())] {
             let (ci, off) = self.locate(x);
             let c = Arc::make_mut(&mut self.chunks[ci]);
+            // Invalidate the read face *before* mutating: `make_mut` does
+            // not clone at refcount 1, so an explicit take is the only
+            // thing standing between the cached CSR and stale reads.
+            c.csr.take();
             // Split borrows: the adjacency row and the pair segment live in
             // different fields of the same chunk.
             let (row, seg) = (&mut c.adj[off], &mut c.pairs[el.0 as usize]);
@@ -633,7 +736,7 @@ impl Graph {
                 pair_counts[l] += p.len();
             }
             chunk_starts.push(start);
-            chunks.push(Arc::new(VertexChunk { start, adj, pairs }));
+            chunks.push(Arc::new(VertexChunk { start, adj, pairs, csr: OnceLock::new() }));
             name_chunks.push(Arc::new(ns));
         }
         let fwd_total: usize = (0..nl).map(|l| pair_counts[l * 2]).sum();
@@ -870,6 +973,7 @@ impl GraphBuilder {
                 start: r.start,
                 adj: vec![Vec::new(); rows],
                 pairs: vec![Vec::new(); nl * 2],
+                csr: OnceLock::new(),
             }));
             names.push(Arc::new(name_iter.by_ref().take(rows).collect()));
             chunk_starts.push(r.start);

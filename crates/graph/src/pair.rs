@@ -57,8 +57,24 @@ pub fn normalize(pairs: &mut Vec<Pair>) {
     pairs.dedup();
 }
 
-/// Intersects two sorted, deduplicated pair slices.
-pub fn intersect_sorted(a: &[Pair], b: &[Pair], out: &mut Vec<Pair>) {
+/// Size-ratio threshold past which [`intersect_sorted`] switches from the
+/// linear merge to the galloping search: with `|small| · 16 < |large|` the
+/// `O(|small| · log |large|)` gallop beats walking the large side.
+const GALLOP_RATIO: usize = 16;
+
+/// Intersects two sorted, deduplicated slices (pairs, class ids — any
+/// ordered element type).
+///
+/// Dispatches on the size ratio: balanced inputs take the linear
+/// sorted-merge, skewed inputs (one side ≥ 16× the other) the galloping
+/// variant [`intersect_gallop`] so the cost tracks the *smaller* operand.
+pub fn intersect_sorted<T: Ord + Copy>(a: &[T], b: &[T], out: &mut Vec<T>) {
+    if a.len().saturating_mul(GALLOP_RATIO) < b.len() {
+        return intersect_gallop(a, b, out);
+    }
+    if b.len().saturating_mul(GALLOP_RATIO) < a.len() {
+        return intersect_gallop(b, a, out);
+    }
     let (mut i, mut j) = (0, 0);
     while i < a.len() && j < b.len() {
         match a[i].cmp(&b[j]) {
@@ -69,6 +85,35 @@ pub fn intersect_sorted(a: &[Pair], b: &[Pair], out: &mut Vec<Pair>) {
                 i += 1;
                 j += 1;
             }
+        }
+    }
+}
+
+/// Galloping (exponential-search) intersection of two sorted deduplicated
+/// slices: for each element of `small`, gallop forward in `large` —
+/// doubling steps to bracket the element, then a binary search inside the
+/// bracket. `O(|small| · log |large|)`, the right shape when one operand
+/// dwarfs the other (skewed label frequencies, tiny class sets against
+/// huge relations).
+pub fn intersect_gallop<T: Ord + Copy>(small: &[T], large: &[T], out: &mut Vec<T>) {
+    let mut lo = 0usize;
+    for &x in small {
+        if lo >= large.len() {
+            break;
+        }
+        // Bracket: after the loop the first element >= x lies in
+        // large[lo ..= lo + step].
+        let mut step = 1usize;
+        while lo + step < large.len() && large[lo + step] < x {
+            step <<= 1;
+        }
+        let hi = (lo + step + 1).min(large.len());
+        let at = lo + large[lo..hi].partition_point(|&y| y < x);
+        if at < large.len() && large[at] == x {
+            out.push(x);
+            lo = at + 1;
+        } else {
+            lo = at;
         }
     }
 }
@@ -101,6 +146,28 @@ mod tests {
         let mut v = vec![Pair::new(2, 1), Pair::new(1, 1), Pair::new(2, 1)];
         normalize(&mut v);
         assert_eq!(v, vec![Pair::new(1, 1), Pair::new(2, 1)]);
+    }
+
+    #[test]
+    fn gallop_matches_merge_on_skewed_inputs() {
+        let large: Vec<Pair> = (0..1024u32).map(|i| Pair::new(i / 8, i % 8)).collect();
+        let small = vec![Pair::new(3, 5), Pair::new(50, 2), Pair::new(500, 0)];
+        let naive: Vec<Pair> = small.iter().copied().filter(|p| large.contains(p)).collect();
+        let mut gallop = Vec::new();
+        intersect_gallop(&small, &large, &mut gallop);
+        assert_eq!(gallop, naive);
+        assert_eq!(gallop, vec![Pair::new(3, 5), Pair::new(50, 2)]);
+        // The dispatching entry point agrees regardless of argument order.
+        let mut a = Vec::new();
+        intersect_sorted(&small, &large, &mut a);
+        let mut b = Vec::new();
+        intersect_sorted(&large, &small, &mut b);
+        assert_eq!(a, gallop);
+        assert_eq!(b, gallop);
+        // Generic over other ordered ids too.
+        let mut ids = Vec::new();
+        intersect_gallop(&[7u32, 900], &(0..800u32).collect::<Vec<_>>(), &mut ids);
+        assert_eq!(ids, vec![7]);
     }
 
     #[test]

@@ -121,46 +121,48 @@ impl PathIndex {
 
     /// Evaluates `q` — all operators work on pair sets (no class pruning).
     pub fn evaluate(&self, g: &Graph, q: &Cpq) -> Vec<Pair> {
-        self.eval_plan(g, &self.plan(q))
+        self.eval_plan(g, &self.plan(q), &mut ops::EvalContext::new())
     }
 
     /// Evaluates `q`, returning only the first answer.
     pub fn evaluate_first(&self, g: &Graph, q: &Cpq) -> Option<Pair> {
-        self.eval_plan(g, &self.plan(q)).first().copied()
+        self.evaluate(g, q).first().copied()
     }
 
-    fn eval_plan(&self, g: &Graph, plan: &Plan) -> Vec<Pair> {
+    fn eval_plan(&self, g: &Graph, plan: &Plan, ctx: &mut ops::EvalContext) -> Vec<Pair> {
         match plan {
             Plan::AllId => ops::all_loops(g),
             Plan::Lookup(seq) => self.lookup(seq).to_vec(),
             Plan::LookupId(seq) => ops::filter_loops(self.lookup(seq)),
             Plan::Join(a, b) => {
-                let left = self.eval_plan(g, a);
+                let left = self.eval_plan(g, a, ctx);
                 if left.is_empty() {
                     return Vec::new();
                 }
-                ops::join_pairs(&left, &self.eval_plan(g, b))
+                let right = self.eval_plan(g, b, ctx);
+                ctx.join_pairs(&left, &right)
             }
             Plan::JoinId(a, b) => {
-                let left = self.eval_plan(g, a);
+                let left = self.eval_plan(g, a, ctx);
                 if left.is_empty() {
                     return Vec::new();
                 }
-                ops::join_pairs_id(&left, &self.eval_plan(g, b))
+                let right = self.eval_plan(g, b, ctx);
+                ctx.join_pairs_id(&left, &right)
             }
             Plan::Conj(a, b) => {
-                let left = self.eval_plan(g, a);
+                let left = self.eval_plan(g, a, ctx);
                 if left.is_empty() {
                     return Vec::new();
                 }
-                ops::intersect_pairs(&left, &self.eval_plan(g, b))
+                ops::intersect_pairs(&left, &self.eval_plan(g, b, ctx))
             }
             Plan::ConjId(a, b) => {
-                let left = self.eval_plan(g, a);
+                let left = self.eval_plan(g, a, ctx);
                 if left.is_empty() {
                     return Vec::new();
                 }
-                let out = ops::intersect_pairs(&left, &self.eval_plan(g, b));
+                let out = ops::intersect_pairs(&left, &self.eval_plan(g, b, ctx));
                 ops::filter_loops(&out)
             }
         }

@@ -57,32 +57,39 @@ fn eval_ref_set(g: &Graph, q: &Cpq) -> HashSet<(u32, u32)> {
 pub struct BfsEngine;
 
 impl BfsEngine {
-    /// Evaluates `q` on `g`, returning a normalized pair set.
+    /// Evaluates `q` on `g`, returning a normalized pair set. One
+    /// [`ops::EvalContext`] scratch buffer serves every join of the
+    /// recursion.
     pub fn evaluate(&self, g: &Graph, q: &Cpq) -> Vec<Pair> {
+        self.eval_ctx(g, q, &mut ops::EvalContext::new())
+    }
+
+    fn eval_ctx(&self, g: &Graph, q: &Cpq, ctx: &mut ops::EvalContext) -> Vec<Pair> {
         match q {
             Cpq::Id => ops::all_loops(g),
             Cpq::Label(l) => g.edge_pairs(*l).to_vec(),
             Cpq::Join(a, b) => match &**b {
-                // BFS frontier expansion for chain suffixes.
+                // BFS frontier expansion for chain suffixes (forward CSR
+                // faces).
                 Cpq::Label(l) => {
-                    let left = self.evaluate(g, a);
+                    let left = self.eval_ctx(g, a, ctx);
                     ops::expand_adjacency(g, &left, *l)
                 }
                 _ => {
-                    let left = self.evaluate(g, a);
+                    let left = self.eval_ctx(g, a, ctx);
                     if left.is_empty() {
                         return Vec::new();
                     }
-                    let right = self.evaluate(g, b);
-                    ops::join_pairs(&left, &right)
+                    let right = self.eval_ctx(g, b, ctx);
+                    ctx.join_pairs(&left, &right)
                 }
             },
             Cpq::Conj(a, b) => {
-                let left = self.evaluate(g, a);
+                let left = self.eval_ctx(g, a, ctx);
                 if left.is_empty() {
                     return Vec::new();
                 }
-                let right = self.evaluate(g, b);
+                let right = self.eval_ctx(g, b, ctx);
                 ops::intersect_pairs(&left, &right)
             }
         }

@@ -5,31 +5,90 @@
 //! baseline, and the BFS baseline all reuse these, so engine comparisons in
 //! the benchmarks measure index design rather than operator implementations
 //! (the paper does the same: "we used the same query plans for all methods").
+//!
+//! Hot compositions go through an [`EvalContext`]: a per-evaluation scratch
+//! buffer that the sorted-merge join re-keys the left operand into, so a
+//! plan with many joins allocates the buffer once instead of once per join.
+//! Operators that touch the graph read its per-chunk CSR faces
+//! ([`cpqx_graph::csr`]): [`expand_adjacency`] walks forward faces,
+//! [`join_label_left`] streams reverse faces — the left operand is never
+//! materialized or re-sorted at all.
 
 use cpqx_graph::{ExtLabel, Graph, Pair};
 
-/// Sorted-merge join `{(v, y) | (v, u) ∈ left, (u, y) ∈ right}`.
+/// Reusable per-evaluation scratch state for the pair-set operators.
 ///
-/// `right` must be normalized. `left` may be in any order (it is re-sorted
-/// target-major internally). Output is normalized.
-pub fn join_pairs(left: &[Pair], right: &[Pair]) -> Vec<Pair> {
-    join_pairs_inner(left, right, false)
+/// One evaluation (a plan execution, a BFS recursion, a path-index
+/// recursion) creates a context up front and threads it through its
+/// joins; the target-major re-key buffer then grows to the largest left
+/// operand once and is reused by every subsequent join instead of being
+/// allocated and freed per call.
+#[derive(Default)]
+pub struct EvalContext {
+    /// Scratch for the target-major re-key of the join's left operand.
+    swap: Vec<Pair>,
 }
 
-/// The paper's fused `JOIN-ID`: like [`join_pairs`] but keeps only cyclic
-/// results (`v = y`).
-pub fn join_pairs_id(left: &[Pair], right: &[Pair]) -> Vec<Pair> {
-    join_pairs_inner(left, right, true)
-}
-
-fn join_pairs_inner(left: &[Pair], right: &[Pair], require_loop: bool) -> Vec<Pair> {
-    if left.is_empty() || right.is_empty() {
-        return Vec::new();
+impl EvalContext {
+    /// Creates an empty context.
+    pub fn new() -> Self {
+        Self::default()
     }
-    // Re-key the left side target-major.
-    let mut by_target: Vec<Pair> = left.iter().map(|p| p.swap()).collect();
-    by_target.sort_unstable();
+
+    /// Sorted-merge join `{(v, y) | (v, u) ∈ left, (u, y) ∈ right}`.
+    ///
+    /// `right` must be normalized. `left` may be in any order (it is
+    /// re-keyed target-major into the context's scratch buffer). Output is
+    /// normalized.
+    pub fn join_pairs(&mut self, left: &[Pair], right: &[Pair]) -> Vec<Pair> {
+        self.join_inner(left, right, false)
+    }
+
+    /// The paper's fused `JOIN-ID`: like [`EvalContext::join_pairs`] but
+    /// keeps only cyclic results (`v = y`).
+    pub fn join_pairs_id(&mut self, left: &[Pair], right: &[Pair]) -> Vec<Pair> {
+        self.join_inner(left, right, true)
+    }
+
+    fn join_inner(&mut self, left: &[Pair], right: &[Pair], require_loop: bool) -> Vec<Pair> {
+        if left.is_empty() || right.is_empty() {
+            return Vec::new();
+        }
+        // Re-key the left side target-major into the reused scratch.
+        self.swap.clear();
+        self.swap.extend(left.iter().map(|p| p.swap()));
+        self.swap.sort_unstable();
+        let mut out = Vec::new();
+        merge_join(&self.swap, right, require_loop, &mut out);
+        cpqx_graph::pair::normalize(&mut out);
+        out
+    }
+}
+
+/// One-shot convenience wrapper over [`EvalContext::join_pairs`] (tests,
+/// cold paths). Hot loops should hold a context instead.
+pub fn join_pairs(left: &[Pair], right: &[Pair]) -> Vec<Pair> {
+    EvalContext::new().join_pairs(left, right)
+}
+
+/// One-shot convenience wrapper over [`EvalContext::join_pairs_id`].
+pub fn join_pairs_id(left: &[Pair], right: &[Pair]) -> Vec<Pair> {
+    EvalContext::new().join_pairs_id(left, right)
+}
+
+/// Join where the left operand is **already keyed target-major** — i.e.
+/// `left_by_target` holds `(u, v)` for every left pair `(v, u)`, sorted.
+/// Skips the re-key entirely; the canonical source is a reverse relation
+/// the graph already materializes (`⟦ℓ⁻¹⟧` is `⟦ℓ⟧` target-major).
+pub fn join_pairs_keyed(left_by_target: &[Pair], right: &[Pair]) -> Vec<Pair> {
     let mut out = Vec::new();
+    merge_join(left_by_target, right, false, &mut out);
+    cpqx_graph::pair::normalize(&mut out);
+    out
+}
+
+/// Sorted-merge join core over a target-major-keyed left operand.
+fn merge_join(by_target: &[Pair], right: &[Pair], require_loop: bool, out: &mut Vec<Pair>) {
     let (mut i, mut j) = (0usize, 0usize);
     while i < by_target.len() && j < right.len() {
         let ku = by_target[i].src();
@@ -54,11 +113,56 @@ fn join_pairs_inner(left: &[Pair], right: &[Pair], require_loop: bool) -> Vec<Pa
             }
         }
     }
+}
+
+/// Join `⟦ℓ⟧ ⋈ right` with the left operand streamed from the graph's
+/// per-chunk **reverse CSR faces** — zero materialization, zero sorting of
+/// the left side.
+///
+/// Each chunk's reverse face holds the chunk's `ℓ`-pairs keyed by target
+/// with grouped sorted sources; a sorted merge of those keys against
+/// `right`'s source groups yields the join contributions chunk by chunk,
+/// and one final normalization restores global source-major order (join
+/// output is normalized anyway, so per-chunk order costs nothing extra).
+/// With `require_loop`, keeps only cyclic results (fused `JOIN-ID`).
+pub fn join_label_left(g: &Graph, l: ExtLabel, right: &[Pair], require_loop: bool) -> Vec<Pair> {
+    let mut out = Vec::new();
+    for csr in g.csr_chunks() {
+        let Some(face) = csr.face(l) else { continue };
+        let keys = face.rev_keys();
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < keys.len() && j < right.len() {
+            let ku = keys[i];
+            let kv = right[j].src();
+            match ku.cmp(&kv) {
+                std::cmp::Ordering::Less => {
+                    i += keys[i..].partition_point(|&k| k < kv);
+                }
+                std::cmp::Ordering::Greater => {
+                    j += right[j..].partition_point(|p| p.src() < ku);
+                }
+                std::cmp::Ordering::Equal => {
+                    let j_end = j + right[j..].partition_point(|p| p.src() == kv);
+                    for &v in face.rev_sources(i) {
+                        for b in &right[j..j_end] {
+                            let y = b.dst();
+                            if !require_loop || v == y {
+                                out.push(Pair::new(v, y));
+                            }
+                        }
+                    }
+                    i += 1;
+                    j = j_end;
+                }
+            }
+        }
+    }
     cpqx_graph::pair::normalize(&mut out);
     out
 }
 
-/// Sorted intersection of two normalized pair sets.
+/// Sorted intersection of two normalized pair sets (galloping on skewed
+/// inputs — see [`cpqx_graph::pair::intersect_sorted`]).
 pub fn intersect_pairs(a: &[Pair], b: &[Pair]) -> Vec<Pair> {
     let mut out = Vec::new();
     cpqx_graph::pair::intersect_sorted(a, b, &mut out);
@@ -73,12 +177,41 @@ pub fn filter_loops(pairs: &[Pair]) -> Vec<Pair> {
 
 /// Expands a normalized pair set by one adjacency step: for every `(v, u)`
 /// and every edge `(u, t, ℓ)`, emits `(v, t)`. This is the frontier
-/// expansion the index-free BFS baseline uses for chain suffixes.
+/// expansion the index-free BFS baseline uses for chain suffixes, served
+/// from the per-chunk forward CSR faces (two array loads per step instead
+/// of binary searches over the mixed-label adjacency row).
 pub fn expand_adjacency(g: &Graph, pairs: &[Pair], l: ExtLabel) -> Vec<Pair> {
     let mut out = Vec::new();
     for p in pairs {
-        for &(_, t) in g.neighbors(p.dst(), l) {
+        for &t in g.csr_targets(p.dst(), l) {
             out.push(Pair::new(p.src(), t));
+        }
+    }
+    cpqx_graph::pair::normalize(&mut out);
+    out
+}
+
+/// Fused `expand ∩ id`: like [`expand_adjacency`] but keeps only cyclic
+/// results `(v, v)` — the one-label-suffix form of `JOIN-ID`.
+pub fn expand_adjacency_id(g: &Graph, pairs: &[Pair], l: ExtLabel) -> Vec<Pair> {
+    let mut out = Vec::new();
+    let rel = g.edge_pairs(l);
+    if rel.len() < pairs.len() {
+        // The label relation is the smaller side: scan it once and
+        // binary-search the (sorted) left operand for the closing pair —
+        // an edge `m →ℓ v` yields the loop `(v, v)` iff `(v, m)` is in
+        // the left. `O(|ℓ| · log |left|)` instead of one face probe per
+        // left pair.
+        for e in rel.iter() {
+            if pairs.binary_search(&e.swap()).is_ok() {
+                out.push(Pair::new(e.dst(), e.dst()));
+            }
+        }
+    } else {
+        for p in pairs {
+            if g.csr_targets(p.dst(), l).binary_search(&p.src()).is_ok() {
+                out.push(Pair::new(p.src(), p.src()));
+            }
         }
     }
     cpqx_graph::pair::normalize(&mut out);
@@ -127,6 +260,42 @@ mod tests {
     }
 
     #[test]
+    fn context_reuse_matches_one_shot() {
+        let mut ctx = EvalContext::new();
+        let left = vec![p(0, 1), p(0, 2), p(5, 1)];
+        let right = vec![p(1, 7), p(2, 8), p(3, 9)];
+        let a = ctx.join_pairs(&left, &right);
+        // Second join with a different shape reuses the same scratch.
+        let b = ctx.join_pairs(&right, &left);
+        assert_eq!(a, join_pairs(&left, &right));
+        assert_eq!(b, join_pairs(&right, &left));
+        assert_eq!(ctx.join_pairs_id(&[p(0, 1)], &[p(1, 0)]), vec![p(0, 0)]);
+    }
+
+    #[test]
+    fn keyed_join_skips_rekey() {
+        let left = vec![p(0, 1), p(0, 2), p(5, 1)];
+        let mut keyed: Vec<Pair> = left.iter().map(|q| q.swap()).collect();
+        keyed.sort_unstable();
+        let right = vec![p(1, 7), p(2, 8), p(3, 9)];
+        assert_eq!(join_pairs_keyed(&keyed, &right), join_pairs(&left, &right));
+    }
+
+    #[test]
+    fn label_left_join_streams_reverse_faces() {
+        let g = generate::gex();
+        let f = g.label_named("f").unwrap().fwd();
+        let v = g.label_named("v").unwrap().fwd();
+        for l in [f, v] {
+            let left = g.edge_pairs(l).to_vec();
+            let right = g.edge_pairs(f).to_vec();
+            assert_eq!(join_label_left(&g, l, &right, false), join_pairs(&left, &right));
+            assert_eq!(join_label_left(&g, l, &right, true), join_pairs_id(&left, &right));
+        }
+        assert!(join_label_left(&g, f, &[], false).is_empty());
+    }
+
+    #[test]
     fn expand_matches_join_on_edge_relation() {
         let g = generate::gex();
         let f = g.label_named("f").unwrap().fwd();
@@ -136,6 +305,9 @@ mod tests {
         let b = join_pairs(&base, &g.edge_pairs(v).to_vec());
         assert_eq!(a, b);
         assert!(!a.is_empty());
+        let a_id = expand_adjacency_id(&g, &base, v);
+        let b_id = join_pairs_id(&base, &g.edge_pairs(v).to_vec());
+        assert_eq!(a_id, b_id);
     }
 
     #[test]

@@ -89,11 +89,12 @@ impl<'i> IndexRpqEngine<'i> {
                 let Some(mut acc) = it.next() else {
                     return ops::all_loops(g); // all-ε concat
                 };
+                let mut ctx = ops::EvalContext::new();
                 for rel in it {
                     if acc.is_empty() {
                         return Vec::new();
                     }
-                    acc = ops::join_pairs(&acc, &rel);
+                    acc = ctx.join_pairs(&acc, &rel);
                 }
                 acc
             }
@@ -166,8 +167,9 @@ impl<'i> IndexRpqEngine<'i> {
 pub fn transitive_closure(base: &[Pair]) -> Vec<Pair> {
     let mut all: Vec<Pair> = base.to_vec();
     let mut delta: Vec<Pair> = base.to_vec();
+    let mut ctx = ops::EvalContext::new();
     while !delta.is_empty() {
-        let step = ops::join_pairs(&delta, base);
+        let step = ctx.join_pairs(&delta, base);
         // delta = step \ all
         let mut fresh = Vec::new();
         for p in step {
