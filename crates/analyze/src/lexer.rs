@@ -1,0 +1,395 @@
+//! A minimal Rust lexer with line spans.
+//!
+//! This is *not* a compiler front end: it produces exactly the structure
+//! the rules in [`crate::rules`] need — identifiers, literals and
+//! punctuation with the line they start on, plus the comment stream
+//! (comments carry the suppression pragmas, see [`crate::model`]). It
+//! understands everything that would otherwise desynchronize a token
+//! scan: line and (nested) block comments, string/char/byte/raw-string
+//! literals with escapes, lifetimes vs. char literals, raw identifiers,
+//! and numeric literals with type suffixes. `::` is fused into one token
+//! because every rule that matches paths wants it that way; all other
+//! punctuation is one token per character.
+
+/// Token classes. Keywords are ordinary [`TokKind::Ident`] tokens — the
+/// rules match on text, and a lexer that hard-codes the keyword list
+/// would have to chase editions for zero benefit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    Ident,
+    Lifetime,
+    Num,
+    /// String or byte-string literal; `text` keeps the full source form
+    /// (quotes included) so it can never collide with an identifier.
+    Str,
+    /// Char or byte-char literal, full source form.
+    Char,
+    Punct,
+}
+
+/// One token with the 1-based line it starts on.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+/// One comment (line or block, doc or plain) with the 1-based line it
+/// starts on. The text excludes the comment markers.
+#[derive(Clone, Debug)]
+pub struct Comment {
+    pub text: String,
+    pub line: u32,
+}
+
+/// The lexed form of one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `src`. Unterminated literals or comments do not abort the scan:
+/// the remainder of the file is consumed as the open literal, which is
+/// the best a diagnostic tool can do with a file rustc would reject.
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    // Advances over `n` chars, counting newlines.
+    macro_rules! bump {
+        ($n:expr) => {{
+            for _ in 0..$n {
+                if i < b.len() {
+                    if b[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+        }};
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        let start_line = line;
+        match c {
+            c if c.is_whitespace() => bump!(1),
+            '/' if b.get(i + 1) == Some(&'/') => {
+                let mut text = String::new();
+                bump!(2);
+                while i < b.len() && b[i] != '\n' {
+                    text.push(b[i]);
+                    bump!(1);
+                }
+                out.comments.push(Comment { text, line: start_line });
+            }
+            '/' if b.get(i + 1) == Some(&'*') => {
+                let mut text = String::new();
+                let mut depth = 1u32;
+                bump!(2);
+                while i < b.len() && depth > 0 {
+                    if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        text.push_str("/*");
+                        bump!(2);
+                    } else if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        if depth > 0 {
+                            text.push_str("*/");
+                        }
+                        bump!(2);
+                    } else {
+                        text.push(b[i]);
+                        bump!(1);
+                    }
+                }
+                out.comments.push(Comment { text, line: start_line });
+            }
+            '"' => {
+                let text = lex_string(&b, &mut i, &mut line);
+                out.toks.push(Tok { kind: TokKind::Str, text, line: start_line });
+            }
+            'r' | 'b' if starts_prefixed_literal(&b, i) => {
+                let text = lex_prefixed_literal(&b, &mut i, &mut line);
+                let kind = if text.contains('"') { TokKind::Str } else { TokKind::Char };
+                out.toks.push(Tok { kind, text, line: start_line });
+            }
+            '\'' => {
+                // Lifetime (`'a`, `'_`, `'static`) vs char literal
+                // (`'x'`, `'\n'`): a lifetime is `'` + ident chars *not*
+                // followed by a closing quote.
+                let next = b.get(i + 1).copied();
+                let is_lifetime = matches!(next, Some(n) if n == '_' || n.is_alphabetic())
+                    && b.get(i + 2) != Some(&'\'');
+                if is_lifetime {
+                    let mut text = String::from("'");
+                    bump!(1);
+                    while i < b.len() && (b[i] == '_' || b[i].is_alphanumeric()) {
+                        text.push(b[i]);
+                        bump!(1);
+                    }
+                    out.toks.push(Tok { kind: TokKind::Lifetime, text, line: start_line });
+                } else {
+                    let mut text = String::from("'");
+                    bump!(1);
+                    while i < b.len() {
+                        if b[i] == '\\' {
+                            text.push(b[i]);
+                            bump!(1);
+                            if i < b.len() {
+                                text.push(b[i]);
+                                bump!(1);
+                            }
+                        } else if b[i] == '\'' {
+                            text.push('\'');
+                            bump!(1);
+                            break;
+                        } else {
+                            text.push(b[i]);
+                            bump!(1);
+                        }
+                    }
+                    out.toks.push(Tok { kind: TokKind::Char, text, line: start_line });
+                }
+            }
+            c if c == '_' || c.is_alphabetic() => {
+                let mut text = String::new();
+                // Raw identifier `r#name` lexes as `name`.
+                if c == 'r' && b.get(i + 1) == Some(&'#') && ident_start(b.get(i + 2)) {
+                    bump!(2);
+                }
+                while i < b.len() && (b[i] == '_' || b[i].is_alphanumeric()) {
+                    text.push(b[i]);
+                    bump!(1);
+                }
+                out.toks.push(Tok { kind: TokKind::Ident, text, line: start_line });
+            }
+            c if c.is_ascii_digit() => {
+                let mut text = String::new();
+                while i < b.len() && (b[i] == '_' || b[i].is_alphanumeric()) {
+                    // `1.5` continues the number, `1..n` and `1.method()`
+                    // do not.
+                    text.push(b[i]);
+                    bump!(1);
+                    if i < b.len()
+                        && b[i] == '.'
+                        && b.get(i + 1).is_some_and(|d| d.is_ascii_digit())
+                        && !text.contains('.')
+                    {
+                        text.push('.');
+                        bump!(1);
+                    }
+                    // Exponent sign: `1e-3`.
+                    if i > 0
+                        && (b[i - 1] == 'e' || b[i - 1] == 'E')
+                        && text.chars().next().is_some_and(|f| f.is_ascii_digit())
+                        && matches!(b.get(i), Some('+') | Some('-'))
+                        && b.get(i + 1).is_some_and(|d| d.is_ascii_digit())
+                    {
+                        text.push(b[i]);
+                        bump!(1);
+                    }
+                }
+                out.toks.push(Tok { kind: TokKind::Num, text, line: start_line });
+            }
+            ':' if b.get(i + 1) == Some(&':') => {
+                bump!(2);
+                out.toks.push(Tok { kind: TokKind::Punct, text: "::".into(), line: start_line });
+            }
+            _ => {
+                bump!(1);
+                out.toks.push(Tok { kind: TokKind::Punct, text: c.to_string(), line: start_line });
+            }
+        }
+    }
+    out
+}
+
+fn ident_start(c: Option<&char>) -> bool {
+    matches!(c, Some(c) if *c == '_' || c.is_alphabetic())
+}
+
+/// Does `b[i..]` start a raw/byte string or byte char (`r"`, `r#"`,
+/// `b"`, `br"`, `br#"`, `b'`)?
+fn starts_prefixed_literal(b: &[char], i: usize) -> bool {
+    let mut j = i;
+    if b.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if b.get(j) == Some(&'r') {
+        j += 1;
+        while b.get(j) == Some(&'#') {
+            j += 1;
+        }
+        return b.get(j) == Some(&'"');
+    }
+    // `b"..."` or `b'x'` (plain byte literals).
+    j > i && matches!(b.get(j), Some('"') | Some('\''))
+}
+
+/// Consumes a prefixed literal starting at `i` (see
+/// [`starts_prefixed_literal`]) and returns its full source text.
+fn lex_prefixed_literal(b: &[char], i: &mut usize, line: &mut u32) -> String {
+    let mut text = String::new();
+    let bump = |i: &mut usize, line: &mut u32, text: &mut String| {
+        if *i < b.len() {
+            if b[*i] == '\n' {
+                *line += 1;
+            }
+            text.push(b[*i]);
+            *i += 1;
+        }
+    };
+    if b.get(*i) == Some(&'b') {
+        bump(i, line, &mut text);
+    }
+    if b.get(*i) == Some(&'r') {
+        bump(i, line, &mut text);
+        let mut hashes = 0usize;
+        while b.get(*i) == Some(&'#') {
+            hashes += 1;
+            bump(i, line, &mut text);
+        }
+        bump(i, line, &mut text); // opening quote
+        loop {
+            if *i >= b.len() {
+                break;
+            }
+            if b[*i] == '"' {
+                let tail_hashes = (1..=hashes).all(|h| b.get(*i + h) == Some(&'#'));
+                if tail_hashes {
+                    bump(i, line, &mut text);
+                    for _ in 0..hashes {
+                        bump(i, line, &mut text);
+                    }
+                    break;
+                }
+            }
+            bump(i, line, &mut text);
+        }
+        return text;
+    }
+    // `b"..."` / `b'x'`: delegate to the escaped scanners.
+    match b.get(*i) {
+        Some('"') => {
+            let inner = lex_string(b, i, line);
+            text.push_str(&inner);
+        }
+        Some('\'') => {
+            bump(i, line, &mut text);
+            while *i < b.len() {
+                if b[*i] == '\\' {
+                    bump(i, line, &mut text);
+                    bump(i, line, &mut text);
+                } else if b[*i] == '\'' {
+                    bump(i, line, &mut text);
+                    break;
+                } else {
+                    bump(i, line, &mut text);
+                }
+            }
+        }
+        _ => {}
+    }
+    text
+}
+
+/// Consumes a `"…"` string starting at the opening quote; returns the
+/// full source text with quotes.
+fn lex_string(b: &[char], i: &mut usize, line: &mut u32) -> String {
+    let mut text = String::from("\"");
+    *i += 1;
+    while *i < b.len() {
+        let c = b[*i];
+        if c == '\n' {
+            *line += 1;
+        }
+        if c == '\\' {
+            text.push(c);
+            *i += 1;
+            if *i < b.len() {
+                if b[*i] == '\n' {
+                    *line += 1;
+                }
+                text.push(b[*i]);
+                *i += 1;
+            }
+        } else if c == '"' {
+            text.push('"');
+            *i += 1;
+            break;
+        } else {
+            text.push(c);
+            *i += 1;
+        }
+    }
+    text
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).toks.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            texts("fn foo(a: u32) -> &'a [u8] { a[0] }"),
+            [
+                "fn", "foo", "(", "a", ":", "u32", ")", "-", ">", "&", "'a", "[", "u8", "]", "{",
+                "a", "[", "0", "]", "}"
+            ]
+        );
+    }
+
+    #[test]
+    fn paths_fuse_double_colon() {
+        assert_eq!(texts("Arc::make_mut(x)"), ["Arc", "::", "make_mut", "(", "x", ")"]);
+    }
+
+    #[test]
+    fn comments_are_captured_with_lines() {
+        let l = lex("let a = 1; // trailing\n/* block\nspans */ let b = 2;");
+        assert_eq!(l.comments.len(), 2);
+        assert_eq!(l.comments[0].text, " trailing");
+        assert_eq!(l.comments[0].line, 1);
+        assert_eq!(l.comments[1].line, 2);
+        assert_eq!(l.toks.last().unwrap().line, 3);
+    }
+
+    #[test]
+    fn strings_chars_lifetimes_do_not_desync() {
+        let toks = texts(r#"let s = "a // not a comment"; let c = '}'; let l: &'static str = x;"#);
+        assert!(toks.contains(&"\"a // not a comment\"".to_string()));
+        assert!(toks.contains(&"'}'".to_string()));
+        assert!(toks.contains(&"'static".to_string()));
+    }
+
+    #[test]
+    fn raw_strings_and_escapes() {
+        let toks = texts(r####"let a = r#"quote " inside"#; let b = "esc \" q"; let c = '\'';"####);
+        assert_eq!(toks.iter().filter(|t| t.starts_with('r') && t.contains('"')).count(), 1);
+        assert!(toks.contains(&r#""esc \" q""#.to_string()));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("/* outer /* inner */ still outer */ fn f() {}");
+        assert_eq!(l.comments.len(), 1);
+        assert_eq!(l.toks[0].text, "fn");
+    }
+
+    #[test]
+    fn numbers_ranges_and_floats() {
+        assert_eq!(texts("0..n"), ["0", ".", ".", "n"]);
+        assert_eq!(texts("1.5e-3_f64"), ["1.5e-3_f64"]);
+        assert_eq!(texts("x.0"), ["x", ".", "0"]);
+    }
+}

@@ -1,0 +1,65 @@
+//! The `cpqx-analyze` binary: scan the workspace, print findings,
+//! exit nonzero when any survive suppression.
+//!
+//! ```text
+//! cpqx-analyze [--json] [--rules] [ROOT]
+//! ```
+//!
+//! * `--json` — machine-readable output for CI;
+//! * `--rules` — print the rule catalogue and exit;
+//! * `ROOT` — workspace root (default: discovered by walking up from
+//!   the current directory, falling back to this crate's grandparent).
+//!
+//! Exit status: `0` clean, `1` findings, `2` usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--rules" => {
+                print!("{}", cpqx_analyze::report::rules_text());
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("usage: cpqx-analyze [--json] [--rules] [ROOT]");
+                return ExitCode::SUCCESS;
+            }
+            _ if !arg.starts_with('-') && root.is_none() => root = Some(PathBuf::from(arg)),
+            _ => {
+                eprintln!("cpqx-analyze: unknown argument `{arg}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = root.or_else(|| {
+        let cwd = std::env::current_dir().ok()?;
+        cpqx_analyze::find_workspace_root(&cwd)
+            .or_else(|| Some(PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")))
+    });
+    let Some(root) = root else {
+        eprintln!("cpqx-analyze: cannot determine workspace root");
+        return ExitCode::from(2);
+    };
+    let analysis = match cpqx_analyze::analyze_workspace(&root) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("cpqx-analyze: scan failed under {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if json {
+        print!("{}", cpqx_analyze::report::json(&analysis));
+    } else {
+        print!("{}", cpqx_analyze::report::human(&analysis));
+    }
+    if analysis.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,184 @@
+//! `atomic-ordering`: every atomic site is classified and ordered
+//! accordingly.
+//!
+//! The obs histograms (PR 7), the engine counters and the net server's
+//! shutdown flag all hand-pick `std::sync::atomic` orderings. The
+//! correctness argument differs by *role*, so the rule first classifies
+//! each site, then checks the ordering against the class:
+//!
+//! * **counter** — a monotonically accumulated statistic (or an
+//!   advisory flag) whose readers tolerate arbitrary staleness; nothing
+//!   is published through it. Required ordering: `Relaxed`. Anything
+//!   stronger taxes the hot path for no correctness gain (`SeqCst` on a
+//!   counter also *suggests* a publication protocol that does not
+//!   exist, which is worse than the cost).
+//! * **publication** — a flag/pointer another thread reads to decide
+//!   whether some *other* state is visible (e.g. the server stop flag).
+//!   Required orderings: `Acquire` loads, `Release` stores, `AcqRel`
+//!   RMWs. `Relaxed` here is a real bug; `SeqCst` hides which edge the
+//!   site actually needs and is flagged as over-ordering (use a
+//!   justified `allow(atomic-ordering)` pragma for a genuine
+//!   total-order protocol — none exists in this workspace today).
+//!
+//! Classification is by site shape and a declared field table:
+//! `fetch_*` RMWs are counters by construction; `load`s default to
+//! counter unless the field is declared a publication edge; `store`/
+//! `swap`/`compare_exchange` — the writes capable of publishing — must
+//! name a declared field, so a new atomic write cannot slip in
+//! unclassified.
+
+use crate::model::SourceFile;
+use crate::rules::{Finding, Rule};
+
+pub struct AtomicOrdering;
+
+const ID: &str = "atomic-ordering";
+
+/// Fields that publish: another thread's load of this field gates its
+/// view of other state (or its control flow). Each entry documents why.
+const PUBLICATION_FIELDS: &[&str] = &[
+    // cpqx-net server shutdown flag: workers/acceptor observe it to stop
+    // touching shared server state; the set happens-before the join.
+    "stop",
+];
+
+/// Fields written with counter semantics (advisory values, readers
+/// tolerate staleness; all heavyweight state they describe is guarded
+/// by locks). Declared so that atomic *writes* are never unclassified.
+const COUNTER_WRITE_FIELDS: &[&str] = &[
+    // cpqx-obs sampling switch: advisory — a racing probe merely records
+    // or skips one extra trace; the rings themselves are mutex-guarded.
+    "enabled",
+    // cpqx-obs slow-query threshold: advisory tuning knob, same story.
+    "slow_us",
+    // cpqx-store WAL byte gauge: reset under the Store's inner lock;
+    // readers only use it as a checkpoint heuristic.
+    "wal_bytes",
+];
+
+const FETCH_RMWS: &[&str] =
+    &["fetch_add", "fetch_sub", "fetch_and", "fetch_or", "fetch_xor", "fetch_max", "fetch_min"];
+
+/// Crates whose `src/` trees are in scope: everything that runs atomics
+/// on the serving path.
+const SCOPE: &[&str] = &[
+    "crates/core/src/",
+    "crates/engine/src/",
+    "crates/net/src/",
+    "crates/obs/src/",
+    "crates/store/src/",
+];
+
+impl Rule for AtomicOrdering {
+    fn id(&self) -> &'static str {
+        ID
+    }
+
+    fn explanation(&self) -> &'static str {
+        "atomic sites are classified counter vs. publication edge: counters must be Relaxed, \
+         publication edges Acquire/Release/AcqRel (not Relaxed, not blanket SeqCst), and \
+         atomic writes must name a declared field"
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        let in_scope =
+            SCOPE.iter().any(|p| file.rel.starts_with(p)) || crate::rules::is_fixture(&file.rel);
+        if !in_scope {
+            return;
+        }
+        for at in file.find_seq(0..file.toks.len(), &["Ordering", "::"]) {
+            let ordering = file.text(at + 2).to_string();
+            let Some((method, field)) = call_site(file, at) else {
+                continue;
+            };
+            let mut finding = |message: String| {
+                out.push(Finding {
+                    file: file.rel.clone(),
+                    line: file.line(at),
+                    rule: ID,
+                    message,
+                });
+            };
+            let publication = field.as_deref().is_some_and(|f| PUBLICATION_FIELDS.contains(&f));
+            let counter_write = field.as_deref().is_some_and(|f| COUNTER_WRITE_FIELDS.contains(&f));
+            let site = field.unwrap_or_else(|| "<expr>".into());
+            if FETCH_RMWS.contains(&method.as_str()) && !publication {
+                if ordering != "Relaxed" {
+                    finding(format!(
+                        "`{site}.{method}` is a plain counter RMW ordered {ordering} — counters \
+                         must be Relaxed (stronger orderings tax the hot path and imply a \
+                         publication protocol that does not exist)",
+                    ));
+                }
+            } else if method == "load" {
+                match (publication, ordering.as_str()) {
+                    (true, "Acquire") | (false, "Relaxed") => {}
+                    (true, o) => finding(format!(
+                        "`{site}.load` is a publication-edge read ordered {o} — it must be \
+                         Acquire so the writer's Release edge is observed",
+                    )),
+                    (false, o) => finding(format!(
+                        "`{site}.load` is a counter read ordered {o} — counter reads must be \
+                         Relaxed",
+                    )),
+                }
+            } else if matches!(method.as_str(), "store" | "swap")
+                || method.starts_with("compare_exchange")
+                || FETCH_RMWS.contains(&method.as_str())
+            {
+                let required: &[&str] = if publication {
+                    if method == "store" {
+                        &["Release"]
+                    } else {
+                        &["AcqRel"]
+                    }
+                } else if counter_write {
+                    &["Relaxed"]
+                } else {
+                    finding(format!(
+                        "`{site}.{method}` is an unclassified atomic write — add the field to \
+                         the rule's publication or counter table (with justification) so its \
+                         required ordering is declared",
+                    ));
+                    continue;
+                };
+                if !required.contains(&ordering.as_str()) {
+                    finding(format!(
+                        "`{site}.{method}` is a {} write ordered {ordering} — required: {}",
+                        if publication { "publication-edge" } else { "counter" },
+                        required.join("/"),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// For an `Ordering::X` argument at token `at`, finds the enclosing call:
+/// returns the method name and the receiver's base field (if the
+/// receiver chain ends in an identifier).
+fn call_site(file: &SourceFile, at: usize) -> Option<(String, Option<String>)> {
+    // Walk back to the unbalanced `(` that opened this argument list.
+    let mut depth = 0i64;
+    let mut j = at;
+    loop {
+        j = j.checked_sub(1)?;
+        match file.text(j) {
+            ")" | "]" => depth += 1,
+            "(" | "[" if depth > 0 => depth -= 1,
+            "(" => break,
+            "" => return None,
+            _ => {}
+        }
+    }
+    let method = file.toks.get(j.checked_sub(1)?)?.text.clone();
+    // Receiver base: `recv.method(` — the token before the method must
+    // be a dot for a field to exist.
+    let dot = j.checked_sub(2)?;
+    let field = if file.text(dot) == "." {
+        file.receiver_field(dot).map(|b| file.text(b).to_string())
+    } else {
+        None
+    };
+    Some((method, field))
+}

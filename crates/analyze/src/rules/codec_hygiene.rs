@@ -1,0 +1,171 @@
+//! `codec-hygiene`: wire decode paths must be panic-free on hostile
+//! input.
+//!
+//! Scope: fns in `crates/net/src/` whose signature mentions
+//! `DecodeError` or `FrameError` — the typed-error decode surface of
+//! PR 2's protocol layer. A panic anywhere on that surface is a
+//! remote denial of service: one malformed frame kills the worker
+//! thread serving the connection.
+//!
+//! Checks inside each decode fn body:
+//!
+//! * no `unwrap` / `expect` / `panic!` / `unreachable!` / `todo!` /
+//!   `unimplemented!` / `assert*!` (including `debug_assert*!` — debug
+//!   builds must survive hostile input too);
+//! * no direct indexing (`expr[...]`) — use `get`/`get_mut`/pattern
+//!   destructuring, which return typed errors instead of panicking;
+//! * no truncating `as` casts (`as u8/u16/u32/i*`) — widening casts
+//!   (`as usize`/`as u64`/`as u128`) are fine, narrowing must go
+//!   through `try_from` so out-of-range wire values become errors;
+//! * every `Vec::with_capacity(n)` where `n` came off the wire must be
+//!   preceded by a bounds check — either `.min(...)` in the argument or
+//!   a `self_inconsistent_count(...)` guard since the previous
+//!   allocation — so a hostile count cannot balloon memory before the
+//!   payload is even long enough to contain the items.
+
+use crate::model::{SourceFile, TokKind};
+use crate::rules::{Finding, Rule};
+
+pub struct CodecHygiene;
+
+const ID: &str = "codec-hygiene";
+
+/// Macro names whose invocation is a panic path.
+const PANIC_MACROS: &[&str] = &[
+    "panic",
+    "unreachable",
+    "todo",
+    "unimplemented",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+    "debug_assert",
+    "debug_assert_eq",
+    "debug_assert_ne",
+];
+
+/// Cast targets that can drop bits of a wider wire integer.
+const TRUNCATING_TARGETS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32", "i64", "isize"];
+
+impl Rule for CodecHygiene {
+    fn id(&self) -> &'static str {
+        ID
+    }
+
+    fn explanation(&self) -> &'static str {
+        "wire decode paths (fns returning DecodeError/FrameError) must be panic-free: no \
+         unwrap/expect/panics, no direct indexing, no truncating `as` casts, wire counts \
+         bounds-checked before Vec::with_capacity"
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        if !file.rel.starts_with("crates/net/src/") && !crate::rules::is_fixture(&file.rel) {
+            return;
+        }
+        for f in &file.fns {
+            let sig = f.sig();
+            let is_decode =
+                sig.clone().any(|i| matches!(file.text(i), "DecodeError" | "FrameError"));
+            if !is_decode || f.body().is_empty() {
+                continue;
+            }
+            let body = f.body();
+            let mut finding = |line: u32, message: String| {
+                out.push(Finding { file: file.rel.clone(), line, rule: ID, message });
+            };
+
+            let mut guards_available = 0usize;
+            for i in body.clone() {
+                let text = file.text(i);
+                match text {
+                    "unwrap" | "expect" if file.is_seq(i.wrapping_sub(1), &["."]) => {
+                        if file.text(i + 1) == "(" {
+                            finding(
+                                file.line(i),
+                                format!(
+                                    "decode fn `{}` calls `.{text}(...)` — a hostile frame \
+                                     must surface as a typed DecodeError, not a panic",
+                                    f.name
+                                ),
+                            );
+                        }
+                    }
+                    "[" => {
+                        // Postfix `[` = indexing: previous token ends an
+                        // expression. `let [b] = ...` destructuring and
+                        // attribute `#[...]`/type `&[u8]` positions do not.
+                        let prev_i = i.wrapping_sub(1);
+                        let prev = file.text(prev_i);
+                        let prev_is_expr = prev == ")"
+                            || prev == "]"
+                            || (file.toks.get(prev_i).map(|t| t.kind) == Some(TokKind::Ident)
+                                && !matches!(prev, "let" | "mut" | "box" | "ref" | "in" | "as"));
+                        if prev_is_expr {
+                            finding(
+                                file.line(i),
+                                format!(
+                                    "decode fn `{}` indexes directly (`{prev}[...]`) — use \
+                                     `get`/`get_mut` or destructuring so out-of-range wire \
+                                     data errors instead of panicking",
+                                    f.name
+                                ),
+                            );
+                        }
+                    }
+                    "as" if file.toks.get(i).map(|t| t.kind) == Some(TokKind::Ident) => {
+                        let target = file.text(i + 1);
+                        if TRUNCATING_TARGETS.contains(&target) {
+                            finding(
+                                file.line(i),
+                                format!(
+                                    "decode fn `{}` uses a truncating cast `as {target}` — \
+                                     narrow with `try_from` so out-of-range values become \
+                                     typed errors",
+                                    f.name
+                                ),
+                            );
+                        }
+                    }
+                    "self_inconsistent_count" if file.text(i + 1) == "(" => {
+                        guards_available += 1;
+                    }
+                    "with_capacity" if file.text(i + 1) == "(" => {
+                        let close = file.matching_close(i + 1);
+                        let arg_has_min = (i + 2..close).any(|j| file.text(j) == "min");
+                        if arg_has_min {
+                            continue;
+                        }
+                        if guards_available > 0 {
+                            guards_available -= 1;
+                        } else {
+                            finding(
+                                file.line(i),
+                                format!(
+                                    "decode fn `{}` allocates `with_capacity` from an \
+                                     unchecked wire count — clamp with `.min(...)` or guard \
+                                     with `self_inconsistent_count(...)` first",
+                                    f.name
+                                ),
+                            );
+                        }
+                    }
+                    _ => {
+                        if PANIC_MACROS.contains(&text)
+                            && file.text(i + 1) == "!"
+                            && !file.is_seq(i.wrapping_sub(1), &["."])
+                        {
+                            finding(
+                                file.line(i),
+                                format!(
+                                    "decode fn `{}` invokes `{text}!` — hostile input must \
+                                     never reach a panic path, even in debug builds",
+                                    f.name
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

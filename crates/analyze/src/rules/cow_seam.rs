@@ -1,0 +1,81 @@
+//! `cow-seam`: chunk mutation must invalidate the cached CSR face.
+//!
+//! The graph's `VertexChunk`s cache a lazily built CSR read face in a
+//! `OnceLock` (PR 8). `Arc::make_mut` does **not** clone at refcount 1,
+//! so a mutation seam that forgets the explicit `csr.take()` serves
+//! stale reads — silently, and only under the refcount-1 interleaving,
+//! which is exactly the kind of bug a test suite misses. This rule makes
+//! the discipline machine-checked:
+//!
+//! * any fn calling `Arc::make_mut(...)` with the chunk storage
+//!   (`chunks`) in the argument, and
+//! * any fn whose signature takes or returns `&mut VertexChunk`,
+//!
+//! must contain a `.csr.take()` invalidation in its body (or carry a
+//! justified `allow(cow-seam)` pragma). Scoped to `src/` files — tests
+//! mutate through the public API, which funnels into the checked seams.
+
+use crate::model::SourceFile;
+use crate::rules::{Finding, Rule};
+
+pub struct CowSeam;
+
+const ID: &str = "cow-seam";
+
+impl Rule for CowSeam {
+    fn id(&self) -> &'static str {
+        ID
+    }
+
+    fn explanation(&self) -> &'static str {
+        "chunk COW seams (Arc::make_mut on chunk storage, &mut VertexChunk) must invalidate the \
+         cached CSR face via .csr.take() on the same path"
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        if !file.rel.contains("/src/") && !crate::rules::is_fixture(&file.rel) {
+            return;
+        }
+        for f in &file.fns {
+            let body = f.body();
+            let invalidates = file.contains_seq(body.clone(), &[".", "csr", ".", "take", "("]);
+
+            // Seam form 1: Arc::make_mut(<expr mentioning chunk storage>).
+            for at in file.find_seq(body.clone(), &["Arc", "::", "make_mut", "("]) {
+                let open = at + 3;
+                let close = file.matching_close(open);
+                let arg_mentions_chunks = (open + 1..close).any(|i| file.text(i) == "chunks");
+                if arg_mentions_chunks && !invalidates {
+                    out.push(Finding {
+                        file: file.rel.clone(),
+                        line: file.line(at),
+                        rule: ID,
+                        message: format!(
+                            "fn `{}` calls Arc::make_mut on chunk storage without invalidating \
+                             the CSR face (`.csr.take()`) on the same path — at refcount 1 \
+                             make_mut mutates in place and the cached face goes stale",
+                            f.name
+                        ),
+                    });
+                }
+            }
+
+            // Seam form 2: the signature hands out `&mut VertexChunk`.
+            let sig = f.sig();
+            let hands_out_chunk = (sig.start..sig.end.saturating_sub(2))
+                .any(|i| file.is_seq(i, &["&", "mut", "VertexChunk"]));
+            if hands_out_chunk && !invalidates {
+                out.push(Finding {
+                    file: file.rel.clone(),
+                    line: f.line,
+                    rule: ID,
+                    message: format!(
+                        "fn `{}` takes or returns `&mut VertexChunk` but never invalidates the \
+                         CSR face (`.csr.take()`) — every mutable chunk access is a COW seam",
+                        f.name
+                    ),
+                });
+            }
+        }
+    }
+}

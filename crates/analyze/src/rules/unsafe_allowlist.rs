@@ -1,0 +1,65 @@
+//! `unsafe-allowlist`: `unsafe` appears only where it is audited.
+//!
+//! The workspace is currently 100% safe Rust — the PR 6 worker pool was
+//! deliberately built on scoped threads and mutex slots instead of raw
+//! pointers. If `unsafe` ever becomes necessary it belongs in
+//! `crates/core/src/pool.rs` (the one module whose job is cross-thread
+//! hand-off), where it can be reviewed as a unit; this rule turns that
+//! policy into a diagnostic so an `unsafe` block cannot quietly land in
+//! a codec or an executor.
+
+use crate::model::{SourceFile, TokKind};
+use crate::rules::{Finding, Rule};
+
+pub struct UnsafeAllowlist;
+
+const ID: &str = "unsafe-allowlist";
+
+/// Files allowed to contain `unsafe` code.
+const ALLOWED: &[&str] = &[
+    // The worker pool owns all cross-thread hand-off; any future unsafe
+    // (e.g. an uninitialized slot optimisation) is audited here.
+    "crates/core/src/pool.rs",
+];
+
+impl Rule for UnsafeAllowlist {
+    fn id(&self) -> &'static str {
+        ID
+    }
+
+    fn explanation(&self) -> &'static str {
+        "`unsafe` is permitted only in allowlisted files (crates/core/src/pool.rs); everywhere \
+         else the workspace stays 100% safe Rust"
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        if ALLOWED.contains(&file.rel.as_str()) {
+            return;
+        }
+        let in_scope = file.rel.ends_with(".rs") || crate::rules::is_fixture(&file.rel);
+        if !in_scope {
+            return;
+        }
+        for (i, t) in file.toks.iter().enumerate() {
+            if t.kind == TokKind::Ident && t.text == "unsafe" {
+                let context = match file.text(i + 1) {
+                    "{" => "block",
+                    "fn" => "fn",
+                    "impl" => "impl",
+                    "trait" => "trait",
+                    _ => "keyword",
+                };
+                out.push(Finding {
+                    file: file.rel.clone(),
+                    line: t.line,
+                    rule: ID,
+                    message: format!(
+                        "`unsafe` {context} outside the allowlist — the workspace is safe Rust \
+                         by policy; move the code into crates/core/src/pool.rs or justify an \
+                         allowlist entry in rules/unsafe_allowlist.rs",
+                    ),
+                });
+            }
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! atomic-ordering fixture: tilde-marked lines must each yield the named
+//! finding; everything else must stay silent. Never compiled.
+
+fn bad_counter_rmw(c: &Counters) {
+    c.hits.fetch_add(1, Ordering::SeqCst); //~ atomic-ordering
+}
+
+fn bad_counter_load(c: &Counters) -> u64 {
+    c.hits.load(Ordering::Acquire) //~ atomic-ordering
+}
+
+fn bad_publication_load(s: &Shared) -> bool {
+    s.stop.load(Ordering::Relaxed) //~ atomic-ordering
+}
+
+fn bad_publication_store(s: &Shared) {
+    s.stop.store(true, Ordering::SeqCst); //~ atomic-ordering
+}
+
+fn bad_unclassified_store(s: &Shared) {
+    s.mystery.store(1, Ordering::Relaxed); //~ atomic-ordering
+}
+
+fn good_sites(s: &Shared, c: &Counters) {
+    c.hits.fetch_add(1, Ordering::Relaxed);
+    let _ = c.hits.load(Ordering::Relaxed);
+    let _ = s.stop.load(Ordering::Acquire);
+    s.stop.store(true, Ordering::Release);
+    s.stop.swap(true, Ordering::AcqRel);
+    s.enabled.store(true, Ordering::Relaxed);
+    s.wal_bytes.store(0, Ordering::Relaxed);
+}

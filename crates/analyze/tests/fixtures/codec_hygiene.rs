@@ -1,0 +1,52 @@
+//! codec-hygiene fixture: tilde-marked lines must each yield the named
+//! finding; everything else must stay silent. Never compiled.
+
+fn bad_unwrap(buf: &[u8]) -> Result<u8, DecodeError> {
+    Ok(buf.first().copied().unwrap()) //~ codec-hygiene
+}
+
+fn bad_expect(buf: &[u8]) -> Result<u8, DecodeError> {
+    Ok(buf.first().copied().expect("byte")) //~ codec-hygiene
+}
+
+fn bad_index(buf: &[u8]) -> Result<u8, DecodeError> {
+    Ok(buf[0]) //~ codec-hygiene
+}
+
+fn bad_macro(buf: &[u8]) -> Result<u8, DecodeError> {
+    debug_assert!(!buf.is_empty()); //~ codec-hygiene
+    Err(DecodeError::Truncated)
+}
+
+fn bad_cast(n: u64) -> Result<u32, DecodeError> {
+    Ok(n as u32) //~ codec-hygiene
+}
+
+fn bad_capacity(n: usize) -> Result<Vec<u8>, DecodeError> {
+    Ok(Vec::with_capacity(n)) //~ codec-hygiene
+}
+
+fn good_guarded(n: usize, remaining: usize) -> Result<Vec<u8>, DecodeError> {
+    if self_inconsistent_count(n, 1, remaining) {
+        return Err(DecodeError::Truncated);
+    }
+    Ok(Vec::with_capacity(n))
+}
+
+fn good_clamped(n: usize) -> Result<Vec<u8>, DecodeError> {
+    Ok(Vec::with_capacity(n.min(1024)))
+}
+
+fn good_destructuring(buf: &[u8]) -> Result<u8, DecodeError> {
+    let [b] = take_arr(buf)?;
+    Ok(b)
+}
+
+fn good_widening(n: u32) -> Result<u64, DecodeError> {
+    Ok(n as u64)
+}
+
+fn not_a_decode_fn(buf: &[u8]) -> u8 {
+    // Outside the decode surface: panics are the caller's contract.
+    buf[0]
+}

@@ -1,0 +1,30 @@
+//! cow-seam fixture: every tilde-marked line must produce
+//! exactly one finding of that rule; unmarked lines must stay silent.
+//! Never compiled — scanned by tests/analyzer.rs.
+
+use std::sync::Arc;
+
+fn bad_make_mut(g: &mut Graph) {
+    let c = Arc::make_mut(&mut g.chunks[0]); //~ cow-seam
+    c.adj.push(Vec::new());
+}
+
+fn bad_handout(c: &mut VertexChunk) { //~ cow-seam
+    c.adj.clear();
+}
+
+fn good_make_mut(g: &mut Graph) {
+    let c = Arc::make_mut(&mut g.chunks[0]);
+    c.csr.take();
+    c.adj.push(Vec::new());
+}
+
+fn good_handout(c: &mut VertexChunk) {
+    c.csr.take();
+    c.adj.clear();
+}
+
+fn make_mut_elsewhere(names: &mut Arc<Vec<String>>) {
+    // Not chunk storage: no CSR face to invalidate.
+    Arc::make_mut(names).push(String::new());
+}

@@ -1,0 +1,63 @@
+//! lock-order fixture: tilde-marked lines must each yield the named finding;
+//! everything else must stay silent. Never compiled.
+
+fn bad_inverted_order(e: &Engine) {
+    let _r = e.results.lock().unwrap();
+    let _w = e.writer.lock().unwrap(); //~ lock-order
+}
+
+fn bad_reentrant(e: &Engine) {
+    let _a = e.writer.lock().unwrap();
+    let _b = e.writer.lock().unwrap(); //~ lock-order
+}
+
+fn bad_undeclared(e: &Engine) {
+    let _x = e.mystery.lock().unwrap(); //~ lock-order
+}
+
+fn locks_results(e: &Engine) {
+    let mut res = e.results.lock().unwrap();
+    res.clear();
+}
+
+fn bad_via_call(e: &Engine) {
+    let _r = e.results.lock().unwrap();
+    locks_results(e); //~ lock-order
+}
+
+fn good_declared_order(e: &Engine) {
+    let _w = e.writer.lock().unwrap();
+    let _r = e.results.lock().unwrap();
+}
+
+fn good_scoped(e: &Engine) {
+    {
+        let _r = e.results.lock().unwrap();
+    }
+    let _w = e.writer.lock().unwrap();
+}
+
+fn good_dropped(e: &Engine) {
+    let r = e.results.lock().unwrap();
+    drop(r);
+    let _w = e.writer.lock().unwrap();
+}
+
+fn good_temporary(e: &Engine) {
+    // A consumed guard dies at the semicolon: no hold, no ordering.
+    e.results.lock().unwrap().clear();
+    let _w = e.writer.lock().unwrap();
+}
+
+fn good_call_after_release(e: &Engine) {
+    {
+        let _r = e.results.lock().unwrap();
+    }
+    locks_results(e);
+}
+
+fn good_rwlock_and_tuple(e: &Engine) {
+    let _w = e.writer.lock().unwrap();
+    let _c = e.current.read().unwrap();
+    let _q = e.queue.0.lock().unwrap();
+}

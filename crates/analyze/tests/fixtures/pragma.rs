@@ -1,0 +1,21 @@
+//! pragma fixture: tilde-marked lines must each yield the named finding;
+//! everything else must stay silent (the suppressed cow-seam finding
+//! is asserted separately). Never compiled.
+
+fn suppressed(c: &mut VertexChunk) { // cpqx-analyze: allow(cow-seam): fixture — caller invalidates the face
+    c.adj.clear();
+}
+
+// cpqx-analyze: allow(no-such-rule): whatever //~ pragma
+fn after_unknown_rule() {}
+
+// cpqx-analyze: allow(cow-seam) //~ pragma
+fn unjustified(c: &mut VertexChunk) { //~ cow-seam
+    c.adj.clear();
+}
+
+// cpqx-analyze: allow(codec-hygiene): nothing here ever fires //~ pragma
+fn unused_suppression() {}
+
+// cpqx-analyze: this is not the allow grammar //~ pragma
+fn after_malformed() {}

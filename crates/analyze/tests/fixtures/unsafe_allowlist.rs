@@ -1,0 +1,15 @@
+//! unsafe-allowlist fixture: tilde-marked lines must each yield the named
+//! finding; everything else must stay silent. Never compiled.
+
+fn bad_block() {
+    unsafe { core::ptr::null::<u8>().read_volatile() }; //~ unsafe-allowlist
+}
+
+unsafe fn bad_fn(p: *const u8) -> u8 { //~ unsafe-allowlist
+    *p
+}
+
+fn mentions_unsafe_in_prose() {
+    // The word unsafe in a comment or string is not a keyword use.
+    let _ = "unsafe";
+}

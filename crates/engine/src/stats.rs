@@ -32,6 +32,10 @@ pub fn nearest_rank_quantile<T: Copy>(sorted: &[T], p: f64) -> Option<T> {
 
 /// Live counters owned by the engine. Cheap to bump concurrently; read
 /// them through [`EngineCounters::report`].
+///
+/// Every field is a plain counter in the cpqx-analyze atomic-ordering
+/// sense: all accesses are `Relaxed` (audited — nothing is published
+/// through these values), and the rule keeps it that way.
 #[derive(Default)]
 pub struct EngineCounters {
     queries: AtomicU64,

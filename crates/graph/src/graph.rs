@@ -453,9 +453,8 @@ impl Graph {
             self.names.push(Arc::new(vec![name.into()]));
             self.chunk_starts.push(id);
         } else {
-            let c = Arc::make_mut(self.chunks.last_mut().unwrap());
-            // The grown chunk has one more row: its CSR face is stale.
-            c.csr.take();
+            let last = self.chunks.len() - 1;
+            let c = self.chunk_mut(last);
             c.adj.push(Vec::new());
             Arc::make_mut(self.names.last_mut().unwrap()).push(name.into());
         }
@@ -521,16 +520,25 @@ impl Graph {
     ) {
         for (x, y, el) in [(v, u, l.fwd()), (u, v, l.inv())] {
             let (ci, off) = self.locate(x);
-            let c = Arc::make_mut(&mut self.chunks[ci]);
-            // Invalidate the read face *before* mutating: `make_mut` does
-            // not clone at refcount 1, so an explicit take is the only
-            // thing standing between the cached CSR and stale reads.
-            c.csr.take();
+            let c = self.chunk_mut(ci);
             // Split borrows: the adjacency row and the pair segment live in
             // different fields of the same chunk.
             let (row, seg) = (&mut c.adj[off], &mut c.pairs[el.0 as usize]);
             apply(row, (el.0, y), seg, Pair::new(x, y));
         }
+    }
+
+    /// The one audited COW seam: clones chunk `ci` if shared and
+    /// invalidates its cached CSR face *before* handing out the mutable
+    /// reference. `Arc::make_mut` does not clone at refcount 1, so the
+    /// explicit `csr.take()` here is the only thing standing between
+    /// the cached read face and stale reads — route every chunk
+    /// mutation through this fn (the cpqx-analyze cow-seam rule checks
+    /// that).
+    fn chunk_mut(&mut self, ci: usize) -> &mut VertexChunk {
+        let c = Arc::make_mut(&mut self.chunks[ci]);
+        c.csr.take();
+        c
     }
 
     /// Removes every edge incident to `v` (the paper's vertex-deletion

@@ -610,28 +610,34 @@ impl<'a> Cur<'a> {
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
-        if self.buf.len() - self.at < n {
-            return Err(DecodeError::Truncated);
-        }
-        let s = &self.buf[self.at..self.at + n];
-        self.at += n;
+        let end = self.at.checked_add(n).ok_or(DecodeError::Truncated)?;
+        let s = self.buf.get(self.at..end).ok_or(DecodeError::Truncated)?;
+        self.at = end;
         Ok(s)
     }
 
+    /// `take(N)` as a fixed array; the length mismatch arm is
+    /// unreachable but still surfaces as `Truncated` rather than a
+    /// panic.
+    fn take_arr<const N: usize>(&mut self) -> Result<[u8; N], DecodeError> {
+        <[u8; N]>::try_from(self.take(N)?).map_err(|_| DecodeError::Truncated)
+    }
+
     fn u8(&mut self) -> Result<u8, DecodeError> {
-        Ok(self.take(1)?[0])
+        let [b] = self.take_arr()?;
+        Ok(b)
     }
 
     fn u16(&mut self) -> Result<u16, DecodeError> {
-        Ok(u16::from_be_bytes(self.take(2)?.try_into().unwrap()))
+        Ok(u16::from_be_bytes(self.take_arr()?))
     }
 
     fn u32(&mut self) -> Result<u32, DecodeError> {
-        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_be_bytes(self.take_arr()?))
     }
 
     fn u64(&mut self) -> Result<u64, DecodeError> {
-        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_be_bytes(self.take_arr()?))
     }
 
     fn bool(&mut self) -> Result<bool, DecodeError> {
@@ -692,8 +698,9 @@ impl<'a> Cur<'a> {
     fn pairs(&mut self) -> Result<Vec<Pair>, DecodeError> {
         let n = self.u32()? as usize;
         // The count must be consistent with the remaining payload before
-        // any allocation, so a hostile length cannot balloon memory.
-        if self.buf.len() - self.at < n * 8 {
+        // any allocation, so a hostile length cannot balloon memory (and
+        // the 8×n product is overflow-checked, unlike the old `n * 8`).
+        if self_inconsistent_count(n, 8, self.remaining()) {
             return Err(DecodeError::Truncated);
         }
         (0..n).map(|_| self.u64().map(Pair)).collect()
@@ -1314,7 +1321,11 @@ pub fn read_frame(r: &mut impl Read, max_len: usize) -> Result<Vec<u8>, FrameErr
             n => got = n,
         }
     }
-    r.read_exact(&mut header[got..])?;
+    // `got` is 1..=4, so the tail slice always exists; `get_mut` keeps
+    // this decode path free of panic-capable indexing regardless.
+    if let Some(rest) = header.get_mut(got..) {
+        r.read_exact(rest)?;
+    }
     let len = u32::from_be_bytes(header) as usize;
     if len > max_len {
         return Err(FrameError::TooLarge { len, max: max_len });

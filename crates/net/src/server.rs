@@ -134,6 +134,8 @@ impl NetCounters {
 struct Shared {
     engine: Arc<Engine>,
     opts: ServerOptions,
+    /// Shutdown publication edge: set once with `AcqRel`, observed with
+    /// `Acquire` (classified by the cpqx-analyze atomic-ordering rule).
     stop: AtomicBool,
     queue: Mutex<VecDeque<TcpStream>>,
     queue_cv: Condvar,
@@ -214,7 +216,11 @@ impl Server {
     }
 
     fn stop_and_join(&mut self) {
-        if !self.shared.stop.swap(true, Ordering::SeqCst) {
+        // AcqRel, not SeqCst: `stop` is a plain publication edge
+        // (Release the set, Acquire at every load) — nothing here needs
+        // a single total order across atomics (see the cpqx-analyze
+        // atomic-ordering rule).
+        if !self.shared.stop.swap(true, Ordering::AcqRel) {
             // Wake the acceptor out of accept() by connecting to it; any
             // failure means it is already unblocked (e.g. listener gone).
             let _ = TcpStream::connect_timeout(&self.local_addr, Duration::from_secs(1));
@@ -244,7 +250,7 @@ fn acceptor_loop(listener: &TcpListener, s: &Shared) {
     loop {
         match listener.accept() {
             Ok((stream, _peer)) => {
-                if s.stop.load(Ordering::SeqCst) {
+                if s.stop.load(Ordering::Acquire) {
                     break; // the wake-up connection (or a race with it)
                 }
                 let mut q = s.queue.lock().unwrap();
@@ -259,7 +265,7 @@ fn acceptor_loop(listener: &TcpListener, s: &Shared) {
                 }
             }
             Err(_) => {
-                if s.stop.load(Ordering::SeqCst) {
+                if s.stop.load(Ordering::Acquire) {
                     break;
                 }
                 // Transient accept failure (EMFILE, ECONNABORTED, …):
@@ -279,7 +285,7 @@ fn worker_loop(s: &Shared) {
                 if let Some(stream) = q.pop_front() {
                     break Some(stream);
                 }
-                if s.stop.load(Ordering::SeqCst) {
+                if s.stop.load(Ordering::Acquire) {
                     break None;
                 }
                 let (guard, _) = s.queue_cv.wait_timeout(q, Duration::from_millis(200)).unwrap();
@@ -289,7 +295,7 @@ fn worker_loop(s: &Shared) {
         let Some(stream) = stream else {
             return;
         };
-        if s.stop.load(Ordering::SeqCst) {
+        if s.stop.load(Ordering::Acquire) {
             return; // drop the queued connection on shutdown
         }
         serve_connection(s, stream);
@@ -310,7 +316,7 @@ fn serve_connection(s: &Shared, stream: TcpStream) {
         let Ok(clone) = stream.try_clone() else {
             return;
         };
-        if s.stop.load(Ordering::SeqCst) {
+        if s.stop.load(Ordering::Acquire) {
             return;
         }
         conns.insert(id, clone);
@@ -368,7 +374,7 @@ fn run_connection(s: &Shared, stream: &TcpStream) -> io::Result<()> {
 
     // Pipelined request loop: one response per request, arrival order.
     loop {
-        if s.stop.load(Ordering::SeqCst) {
+        if s.stop.load(Ordering::Acquire) {
             return Ok(());
         }
         let payload = match read_frame(&mut reader, s.opts.max_frame_len) {
