@@ -68,10 +68,13 @@ const LOCK_RANKS: &[(&str, u32)] = &[
     ("slow", 9),
     // obs: workload counter map — leaf.
     ("workload", 10),
-    // net: accepted-connection queue; never nests with `conns`.
-    ("queue", 11),
-    // net: registered connection sockets — leaf.
-    ("conns", 12),
+    // net: evaluation jobs queued for the worker pool; pushes and pops
+    // are consuming temporaries except the worker's condvar wait, which
+    // holds no other lock.
+    ("jobs", 11),
+    // net: finished evaluations travelling back to the event loop —
+    // leaf, touched only as a consuming temporary.
+    ("done", 12),
     // core pool: per-item work slots — leaf inside worker bodies.
     ("work", 13),
     // core pool / engine batch: per-item output slots — leaf.

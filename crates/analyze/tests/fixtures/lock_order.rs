@@ -59,5 +59,5 @@ fn good_call_after_release(e: &Engine) {
 fn good_rwlock_and_tuple(e: &Engine) {
     let _w = e.writer.lock().unwrap();
     let _c = e.current.read().unwrap();
-    let _q = e.queue.0.lock().unwrap();
+    let _q = e.jobs.0.lock().unwrap();
 }

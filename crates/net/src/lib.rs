@@ -8,13 +8,17 @@
 //!    `UPDATE` / `STATS` / `METRICS` / `PING` requests, typed error
 //!    frames (parse
 //!    errors keep their byte position and their syntax-vs-unknown-label
-//!    classification), and pure, panic-free codecs.
-//! 2. **Server** ([`server`]): a `std::net::TcpListener` front-end — one
-//!    acceptor feeding a bounded queue, a fixed worker pool serving
-//!    pipelined connections, read/write timeouts, per-opcode counters,
-//!    and graceful shutdown via a stop flag + self-connect wakeup. No
-//!    async runtime: the build environment is offline, so the design
-//!    sticks to the standard library (see ROADMAP for the epoll option).
+//!    classification), pure, panic-free codecs, and an incremental
+//!    [`proto::FrameAssembler`] for nonblocking reads.
+//! 2. **Server** ([`server`]): an event-driven front-end — one
+//!    event-loop thread multiplexes the listener and every connection
+//!    over raw level-triggered `epoll` ([`sys`]), a fixed worker pool
+//!    evaluates queries and deltas, completions flow back over an
+//!    eventfd wake and leave each connection in strict arrival order.
+//!    Idle connections cost buffers, not threads; timeouts run on a
+//!    timer wheel; overload answers with BUSY error frames. No async
+//!    runtime: the build environment is offline, so the design sticks
+//!    to the standard library plus an audited syscall shim.
 //! 3. **Client** ([`client`]): a blocking library used by the examples,
 //!    the integration tests and the loopback CI smoke job.
 //!
@@ -44,9 +48,12 @@
 #![warn(rust_2018_idioms)]
 
 pub mod client;
+mod conn;
+mod event;
 pub mod metrics;
 pub mod proto;
 pub mod server;
+pub mod sys;
 
 pub use client::{
     BatchReply, Client, ClientError, ClientOptions, DeltaReply, QueryReply, UpdateReply,

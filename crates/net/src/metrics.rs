@@ -52,6 +52,9 @@ pub fn render_prometheus(m: &WireMetrics) -> String {
     let _ = writeln!(w, "cpqx_connections_total {}", m.net.connections);
     let _ = writeln!(w, "# TYPE cpqx_rejected_connections_total counter");
     let _ = writeln!(w, "cpqx_rejected_connections_total {}", m.net.rejected_connections);
+    let _ = writeln!(w, "# HELP cpqx_open_connections Connections currently open.");
+    let _ = writeln!(w, "# TYPE cpqx_open_connections gauge");
+    let _ = writeln!(w, "cpqx_open_connections {}", m.net.open_connections);
     let _ = writeln!(w, "# TYPE cpqx_error_responses_total counter");
     let _ = writeln!(w, "cpqx_error_responses_total {}", m.net.error_responses);
 
@@ -125,6 +128,7 @@ mod tests {
             net: WireNetCounters {
                 connections: 1,
                 query_requests: 4,
+                open_connections: 1,
                 ..WireNetCounters::default()
             },
             slow_total: 1,
@@ -134,6 +138,7 @@ mod tests {
         let text = render_prometheus(&m);
         assert!(text.contains("cpqx_epoch 3"));
         assert!(text.contains("cpqx_requests_total{op=\"query\"} 4"));
+        assert!(text.contains("cpqx_open_connections 1"));
         assert!(text.contains("cpqx_op_latency_us{op=\"query\",quantile=\"0.99\"}"));
         assert!(text.contains("cpqx_op_latency_us_count{op=\"query\"} 4"));
         assert!(text.contains("cpqx_stage_latency_us_max{stage=\"eval\"} 4000"));

@@ -47,8 +47,13 @@ pub const MAGIC: [u8; 4] = *b"CPQX";
 /// durability gauges (`wal_appends` / `wal_bytes` / `snapshots_written`
 /// / `snapshot_chunks_skipped`); version 5 added the METRICS /
 /// METRICS_RESULT frames (per-opcode and per-stage latency histograms,
-/// the slow-query ring, and observed-workload key counts).
-pub const PROTOCOL_VERSION: u16 = 5;
+/// the slow-query ring, and observed-workload key counts); version 6
+/// extended STATS with the front-end counters it silently dropped
+/// (`metrics_requests` / `rejected_connections`), added the
+/// `open_connections` gauge to the METRICS net counters, the event-loop
+/// server stages to the METRICS stage histograms, and the
+/// [`ErrorCode::Busy`] / [`ErrorCode::Timeout`] error codes.
+pub const PROTOCOL_VERSION: u16 = 6;
 
 /// Default bound on accepted payload sizes (16 MiB). Servers apply it to
 /// requests, clients to responses; both sides make it configurable.
@@ -277,6 +282,15 @@ pub enum ErrorCode {
     BadUpdate,
     /// The server failed internally.
     Internal,
+    /// The server is at its connection capacity (protocol ≥ 6): sent
+    /// best-effort before an over-capacity connection is closed, so
+    /// clients can tell overload from a crashed server.
+    Busy,
+    /// The connection timed out mid-frame (protocol ≥ 6): the stream is
+    /// desynchronized and the server drops it after this final frame. An
+    /// *idle* timeout — no partial frame buffered — closes cleanly
+    /// without an error frame.
+    Timeout,
 }
 
 impl ErrorCode {
@@ -289,6 +303,8 @@ impl ErrorCode {
             ErrorCode::UnknownLabel => 5,
             ErrorCode::BadUpdate => 6,
             ErrorCode::Internal => 7,
+            ErrorCode::Busy => 8,
+            ErrorCode::Timeout => 9,
         }
     }
 
@@ -301,6 +317,8 @@ impl ErrorCode {
             5 => ErrorCode::UnknownLabel,
             6 => ErrorCode::BadUpdate,
             7 => ErrorCode::Internal,
+            8 => ErrorCode::Busy,
+            9 => ErrorCode::Timeout,
             _ => return Err(DecodeError::BadValue("error code")),
         })
     }
@@ -409,10 +427,17 @@ pub struct WireStats {
     pub delta_requests: u64,
     /// STATS requests served (includes the one reporting).
     pub stats_requests: u64,
+    /// METRICS requests served (protocol ≥ 6 — tracked since protocol 5
+    /// but dropped from the STATS frame until then).
+    pub metrics_requests: u64,
     /// Error frames the server has sent.
     pub error_responses: u64,
     /// Connections the server has accepted and served.
     pub connections: u64,
+    /// Connections refused because the server was at capacity
+    /// (protocol ≥ 6 — tracked since protocol 1 but dropped from the
+    /// STATS frame until then).
+    pub rejected_connections: u64,
     /// Delta transactions appended to the write-ahead log (zero when the
     /// server runs without a durability layer).
     pub wal_appends: u64,
@@ -444,6 +469,7 @@ impl WireStats {
             + self.update_requests
             + self.delta_requests
             + self.stats_requests
+            + self.metrics_requests
     }
 
     /// Current fragmentation ratio of the serving index,
@@ -482,6 +508,11 @@ pub struct WireNetCounters {
     pub metrics_requests: u64,
     /// Error frames sent.
     pub error_responses: u64,
+    /// Connections open right now (a gauge, not a counter; protocol
+    /// ≥ 6). With the event-driven core an open idle connection costs
+    /// buffers rather than a parked thread, so this may legitimately
+    /// dwarf the worker count.
+    pub open_connections: u64,
 }
 
 /// The observability report the METRICS frame carries (protocol ≥ 5):
@@ -1156,7 +1187,7 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, DecodeError> {
     Ok(resp)
 }
 
-const STATS_FIELDS: usize = 31;
+const STATS_FIELDS: usize = 33;
 
 fn stats_fields(s: &WireStats) -> [u64; STATS_FIELDS] {
     [
@@ -1185,8 +1216,10 @@ fn stats_fields(s: &WireStats) -> [u64; STATS_FIELDS] {
         s.update_requests,
         s.delta_requests,
         s.stats_requests,
+        s.metrics_requests,
         s.error_responses,
         s.connections,
+        s.rejected_connections,
         s.wal_appends,
         s.wal_bytes,
         s.snapshots_written,
@@ -1194,7 +1227,7 @@ fn stats_fields(s: &WireStats) -> [u64; STATS_FIELDS] {
     ]
 }
 
-const NET_COUNTER_FIELDS: usize = 10;
+const NET_COUNTER_FIELDS: usize = 11;
 
 fn net_counter_fields(n: &WireNetCounters) -> [u64; NET_COUNTER_FIELDS] {
     [
@@ -1208,6 +1241,7 @@ fn net_counter_fields(n: &WireNetCounters) -> [u64; NET_COUNTER_FIELDS] {
         n.stats_requests,
         n.metrics_requests,
         n.error_responses,
+        n.open_connections,
     ]
 }
 
@@ -1223,6 +1257,7 @@ fn net_counters_from_fields(f: [u64; NET_COUNTER_FIELDS]) -> WireNetCounters {
         stats_requests: f[7],
         metrics_requests: f[8],
         error_responses: f[9],
+        open_connections: f[10],
     }
 }
 
@@ -1253,12 +1288,14 @@ fn stats_from_fields(f: [u64; STATS_FIELDS]) -> WireStats {
         update_requests: f[22],
         delta_requests: f[23],
         stats_requests: f[24],
-        error_responses: f[25],
-        connections: f[26],
-        wal_appends: f[27],
-        wal_bytes: f[28],
-        snapshots_written: f[29],
-        snapshot_chunks_skipped: f[30],
+        metrics_requests: f[25],
+        error_responses: f[26],
+        connections: f[27],
+        rejected_connections: f[28],
+        wal_appends: f[29],
+        wal_bytes: f[30],
+        snapshots_written: f[31],
+        snapshot_chunks_skipped: f[32],
     }
 }
 
@@ -1335,6 +1372,84 @@ pub fn read_frame(r: &mut impl Read, max_len: usize) -> Result<Vec<u8>, FrameErr
     Ok(payload)
 }
 
+/// Incremental frame reassembly for nonblocking sockets.
+///
+/// [`read_frame`] needs a blocking `Read`; a readiness-driven server
+/// instead feeds whatever bytes `read` returned into this buffer with
+/// [`FrameAssembler::extend`] and pops complete payloads with
+/// [`FrameAssembler::next_frame`]. The announced length is checked
+/// against the bound as soon as the 4-byte header is buffered, so a
+/// hostile header is refused before its payload is ever allocated —
+/// buffered data therefore never exceeds `max_len` plus one read chunk.
+#[derive(Debug)]
+pub struct FrameAssembler {
+    /// Raw bytes as received; `at..` is the unparsed tail.
+    buf: Vec<u8>,
+    /// Parse offset: bytes before it belong to already-popped frames.
+    at: usize,
+    /// Per-connection payload bound (the server's `max_frame_len`).
+    max_len: usize,
+}
+
+/// Compact the buffer once the consumed prefix passes this size, so a
+/// long-lived connection does not accrete every frame it ever received.
+const ASSEMBLER_COMPACT: usize = 64 * 1024;
+
+impl FrameAssembler {
+    /// An empty assembler enforcing `max_len` on announced payloads.
+    pub fn new(max_len: usize) -> FrameAssembler {
+        FrameAssembler { buf: Vec::new(), at: 0, max_len }
+    }
+
+    /// Appends bytes received from the socket.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Unparsed bytes currently buffered.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.at
+    }
+
+    /// `true` when a frame is partially buffered — a timeout now leaves
+    /// the stream desynchronized (versus a clean idle close at a frame
+    /// boundary).
+    pub fn mid_frame(&self) -> bool {
+        self.at < self.buf.len()
+    }
+
+    /// Pops the next complete frame payload, `Ok(None)` when more bytes
+    /// are needed. [`FrameError::TooLarge`] means the stream is
+    /// desynchronized and the connection must be dropped; the assembler
+    /// keeps returning it for the same frame.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, FrameError> {
+        let Some(header) = self.buf.get(self.at..self.at + 4) else {
+            return Ok(None);
+        };
+        let Ok(header) = <[u8; 4]>::try_from(header) else {
+            return Ok(None);
+        };
+        let len = u32::from_be_bytes(header) as usize;
+        if len > self.max_len {
+            return Err(FrameError::TooLarge { len, max: self.max_len });
+        }
+        let start = self.at + 4;
+        let Some(payload) = self.buf.get(start..start + len) else {
+            return Ok(None);
+        };
+        let payload = payload.to_vec();
+        self.at = start + len;
+        if self.at == self.buf.len() {
+            self.buf.clear();
+            self.at = 0;
+        } else if self.at >= ASSEMBLER_COMPACT {
+            self.buf.drain(..self.at);
+            self.at = 0;
+        }
+        Ok(Some(payload))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1389,6 +1504,7 @@ mod tests {
                 connections: 2,
                 query_requests: 5,
                 metrics_requests: 1,
+                open_connections: 2,
                 ..WireNetCounters::default()
             },
             slow: vec![Trace {
@@ -1436,7 +1552,9 @@ mod tests {
                 result_misses: 60,
                 p99_us: 1234,
                 query_requests: 100,
+                metrics_requests: 3,
                 connections: 8,
+                rejected_connections: 2,
                 wal_appends: 12,
                 wal_bytes: 4096,
                 snapshots_written: 2,
@@ -1668,10 +1786,72 @@ mod tests {
             result_misses: 1,
             ping_requests: 1,
             query_requests: 4,
+            metrics_requests: 2,
             ..WireStats::default()
         };
         assert!((s.result_hit_rate() - 0.75).abs() < 1e-9);
-        assert_eq!(s.total_requests(), 5);
+        // METRICS requests count too (dropped from the sum before v6).
+        assert_eq!(s.total_requests(), 7);
         assert_eq!(WireStats::default().result_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn assembler_matches_read_frame_byte_at_a_time() {
+        let payloads: Vec<Vec<u8>> = all_requests().iter().map(encode_request).collect();
+        let mut wire = Vec::new();
+        for p in &payloads {
+            write_frame(&mut wire, p).unwrap();
+        }
+        // Feed the whole stream one byte at a time: every frame must pop
+        // exactly when its last byte arrives, never earlier.
+        let mut asm = FrameAssembler::new(DEFAULT_MAX_FRAME);
+        let mut got = Vec::new();
+        for b in &wire {
+            asm.extend(std::slice::from_ref(b));
+            while let Some(frame) = asm.next_frame().unwrap() {
+                got.push(frame);
+            }
+        }
+        assert_eq!(got, payloads);
+        assert!(!asm.mid_frame());
+        assert_eq!(asm.buffered(), 0);
+    }
+
+    #[test]
+    fn assembler_pops_pipelined_frames_from_one_chunk() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &encode_request(&Request::Ping)).unwrap();
+        write_frame(&mut wire, &encode_request(&Request::Stats)).unwrap();
+        write_frame(&mut wire, &encode_request(&Request::Query("f".into()))).unwrap();
+        let mut asm = FrameAssembler::new(DEFAULT_MAX_FRAME);
+        asm.extend(&wire);
+        let mut got = Vec::new();
+        while let Some(frame) = asm.next_frame().unwrap() {
+            got.push(decode_request(&frame).unwrap());
+        }
+        assert_eq!(got, vec![Request::Ping, Request::Stats, Request::Query("f".into())]);
+    }
+
+    #[test]
+    fn assembler_tracks_mid_frame_state() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &encode_request(&Request::Ping)).unwrap();
+        let mut asm = FrameAssembler::new(DEFAULT_MAX_FRAME);
+        assert!(!asm.mid_frame()); // empty = clean boundary
+        asm.extend(&wire[..3]); // partial header counts as mid-frame
+        assert!(asm.mid_frame());
+        assert!(asm.next_frame().unwrap().is_none());
+        asm.extend(&wire[3..]);
+        assert!(asm.next_frame().unwrap().is_some());
+        assert!(!asm.mid_frame());
+    }
+
+    #[test]
+    fn assembler_refuses_oversized_headers_before_payload() {
+        let mut asm = FrameAssembler::new(1024);
+        asm.extend(&u32::MAX.to_be_bytes());
+        assert!(matches!(asm.next_frame(), Err(FrameError::TooLarge { max: 1024, .. })));
+        // The error is sticky: the stream cannot resynchronize.
+        assert!(matches!(asm.next_frame(), Err(FrameError::TooLarge { .. })));
     }
 }

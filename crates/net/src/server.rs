@@ -1,12 +1,22 @@
-//! The threaded TCP front-end over [`cpqx_engine::Engine`].
+//! The event-driven TCP front-end over [`cpqx_engine::Engine`].
 //!
-//! Architecture: one **acceptor** thread blocks in `accept()` and feeds a
-//! *bounded* connection queue; a fixed **worker pool** (reusing the
-//! sizing default of [`cpqx_engine::pool`]) pops connections and serves
-//! them to completion — handshake first, then a pipelined
-//! request/response loop in strict arrival order. When the queue is full
-//! the acceptor closes new connections immediately instead of queueing
-//! unbounded work (counted in [`NetStats::rejected_connections`]).
+//! Architecture: one **event-loop** thread owns the nonblocking
+//! listener and every connection socket, multiplexed through raw
+//! level-triggered `epoll` ([`crate::sys`]). The loop accepts, reads,
+//! reassembles frames ([`crate::proto::FrameAssembler`]), answers cheap
+//! requests inline and hands evaluation work (QUERY/BATCH/UPDATE/DELTA)
+//! to a fixed **worker pool**; completions return over a shared list
+//! plus an eventfd wake and are written out by the loop in strict
+//! per-connection arrival order (see [`crate::event`] and
+//! [`crate::conn`]). An idle connection therefore costs two buffers, not
+//! a parked thread — thousands of idle clients coexist with a handful
+//! of workers.
+//!
+//! Backpressure: per-connection pipeline and write-backlog bounds pause
+//! reading from a peer that overruns the server, and a global
+//! [`ServerOptions::max_connections`] cap rejects new connections with
+//! a best-effort BUSY error frame (counted in
+//! [`NetStats::rejected_connections`]).
 //!
 //! Consistency: every QUERY pins one engine snapshot for parse *and*
 //! evaluation, and every BATCH parses and evaluates all its queries on
@@ -14,24 +24,25 @@
 //! maintenance running concurrently (via UPDATE frames or in-process
 //! writers) never produces a torn read.
 //!
-//! Shutdown: [`Server::shutdown`] flips a stop flag, *self-connects* to
-//! wake the acceptor out of `accept()` (no platform-specific socket
-//! deregistration needed), closes the sockets of in-flight connections,
-//! and joins every thread. Dropping the server does the same.
+//! Shutdown: [`Server::shutdown`] flips a stop flag, signals the
+//! event-loop's wake eventfd, and joins every thread; the loop shuts
+//! down every connection socket on its way out (accepted-but-unserved
+//! ones included), so a peer blocked in a read observes EOF.
 
+use crate::event::{event_loop, worker_loop, Completion, Job};
 use crate::proto::{
-    decode_request, encode_response, read_frame, write_frame, ErrorCode, FrameError, Request,
-    Response, WireError, WireMetrics, WireNetCounters, WireOp, WireOutcome, WireSeqLabel,
-    WireStats, DEFAULT_MAX_FRAME, PROTOCOL_VERSION,
+    ErrorCode, Request, Response, WireError, WireMetrics, WireNetCounters, WireOp, WireOutcome,
+    WireSeqLabel, WireStats, DEFAULT_MAX_FRAME,
 };
+use crate::sys::EventFd;
 use cpqx_engine::delta::{Delta, DeltaOp, OpOutcome};
 use cpqx_engine::{BatchOptions, Engine};
 use cpqx_graph::{Graph, Label, LabelSeq};
 use cpqx_obs::{Op as ObsOp, Stage, TraceKind};
 use cpqx_query::parse_cpq;
-use std::collections::{HashMap, VecDeque};
-use std::io::{self, BufReader, BufWriter};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::collections::VecDeque;
+use std::io;
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -40,19 +51,29 @@ use std::time::Duration;
 /// Server construction knobs.
 #[derive(Clone, Debug)]
 pub struct ServerOptions {
-    /// Worker threads serving connections. Default: the machine's
-    /// available parallelism, capped at 8.
+    /// Worker threads evaluating queries and deltas. Default: the
+    /// machine's available parallelism, capped at 8. Workers never
+    /// touch sockets, so this bounds CPU, not concurrency.
     pub workers: usize,
-    /// Bound on connections waiting for a free worker; beyond it the
-    /// acceptor closes new connections immediately. Default 64.
-    pub accept_backlog: usize,
+    /// Global cap on concurrently open connections; beyond it new
+    /// connections get a best-effort BUSY error frame and are closed.
+    /// Default 10 000.
+    pub max_connections: usize,
+    /// Per-connection bound on requests in flight (decoded, response
+    /// not yet flushed). Past it the loop stops reading from that
+    /// connection until responses drain. Default 128.
+    pub max_pipeline: usize,
     /// Maximum accepted request payload size. Default
     /// [`DEFAULT_MAX_FRAME`].
     pub max_frame_len: usize,
-    /// Per-connection read timeout (an idle connection past it is
-    /// closed). Default 30 s; `None` waits forever.
+    /// Per-connection idle timeout: a connection with no request in
+    /// flight and no bytes arriving past it is closed — cleanly at a
+    /// frame boundary, with a final TIMEOUT error frame if it dies
+    /// mid-frame (the stream is desynchronized either way). Default
+    /// 30 s; `None` waits forever.
     pub read_timeout: Option<Duration>,
-    /// Per-connection write timeout. Default 30 s.
+    /// Per-connection write timeout: a peer that accepts no response
+    /// bytes for this long is dropped. Default 30 s.
     pub write_timeout: Option<Duration>,
     /// Worker threads each BATCH frame fans out over (see
     /// [`Engine::evaluate_batch_on`]); `None` uses the engine default.
@@ -65,7 +86,8 @@ impl Default for ServerOptions {
     fn default() -> Self {
         ServerOptions {
             workers: cpqx_engine::pool::default_threads().min(8),
-            accept_backlog: 64,
+            max_connections: 10_000,
+            max_pipeline: 128,
             max_frame_len: DEFAULT_MAX_FRAME,
             read_timeout: Some(Duration::from_secs(30)),
             write_timeout: Some(Duration::from_secs(30)),
@@ -77,10 +99,13 @@ impl Default for ServerOptions {
 /// Point-in-time front-end counters (see [`Server::net_stats`]).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct NetStats {
-    /// Connections accepted and handed to a worker.
+    /// Connections accepted and registered with the event loop.
     pub connections: u64,
-    /// Connections closed because the queue was full.
+    /// Connections refused at the [`ServerOptions::max_connections`]
+    /// cap (each got a best-effort BUSY error frame).
     pub rejected_connections: u64,
+    /// Connections currently open (a gauge, not a counter).
+    pub open_connections: u64,
     /// PING requests served.
     pub ping_requests: u64,
     /// QUERY requests served.
@@ -95,22 +120,24 @@ pub struct NetStats {
     pub stats_requests: u64,
     /// METRICS requests served.
     pub metrics_requests: u64,
-    /// Error frames sent.
+    /// Error frames sent (BUSY rejections included).
     pub error_responses: u64,
 }
 
 #[derive(Default)]
-struct NetCounters {
-    connections: AtomicU64,
-    rejected_connections: AtomicU64,
-    ping: AtomicU64,
-    query: AtomicU64,
-    batch: AtomicU64,
-    update: AtomicU64,
-    delta: AtomicU64,
-    stats: AtomicU64,
-    metrics: AtomicU64,
-    errors: AtomicU64,
+pub(crate) struct NetCounters {
+    pub(crate) connections: AtomicU64,
+    pub(crate) rejected_connections: AtomicU64,
+    /// Gauge: incremented on register, decremented on close.
+    pub(crate) open: AtomicU64,
+    pub(crate) ping: AtomicU64,
+    pub(crate) query: AtomicU64,
+    pub(crate) batch: AtomicU64,
+    pub(crate) update: AtomicU64,
+    pub(crate) delta: AtomicU64,
+    pub(crate) stats: AtomicU64,
+    pub(crate) metrics: AtomicU64,
+    pub(crate) errors: AtomicU64,
 }
 
 impl NetCounters {
@@ -118,6 +145,7 @@ impl NetCounters {
         NetStats {
             connections: self.connections.load(Ordering::Relaxed),
             rejected_connections: self.rejected_connections.load(Ordering::Relaxed),
+            open_connections: self.open.load(Ordering::Relaxed),
             ping_requests: self.ping.load(Ordering::Relaxed),
             query_requests: self.query.load(Ordering::Relaxed),
             batch_requests: self.batch.load(Ordering::Relaxed),
@@ -130,20 +158,22 @@ impl NetCounters {
     }
 }
 
-/// State shared by the acceptor, the workers and the handle.
-struct Shared {
-    engine: Arc<Engine>,
-    opts: ServerOptions,
+/// State shared by the event loop, the workers and the handle.
+pub(crate) struct Shared {
+    pub(crate) engine: Arc<Engine>,
+    pub(crate) opts: ServerOptions,
     /// Shutdown publication edge: set once with `AcqRel`, observed with
     /// `Acquire` (classified by the cpqx-analyze atomic-ordering rule).
-    stop: AtomicBool,
-    queue: Mutex<VecDeque<TcpStream>>,
-    queue_cv: Condvar,
-    counters: NetCounters,
-    /// Socket clones of in-flight connections, so shutdown can unblock
-    /// workers parked in `read`.
-    conns: Mutex<HashMap<u64, TcpStream>>,
-    next_conn: AtomicU64,
+    pub(crate) stop: AtomicBool,
+    /// Evaluation work queued for the pool (event loop → workers).
+    pub(crate) jobs: Mutex<VecDeque<Job>>,
+    pub(crate) jobs_cv: Condvar,
+    /// Finished evaluations awaiting the loop (workers → event loop).
+    pub(crate) done: Mutex<Vec<Completion>>,
+    /// Wakes the event loop out of `epoll_wait` (completions posted,
+    /// shutdown requested).
+    pub(crate) waker: EventFd,
+    pub(crate) counters: NetCounters,
 }
 
 /// A running TCP front-end. Threads start in [`Server::bind`] and stop in
@@ -151,13 +181,13 @@ struct Shared {
 pub struct Server {
     shared: Arc<Shared>,
     local_addr: SocketAddr,
-    acceptor: Option<JoinHandle<()>>,
+    event: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
 impl Server {
     /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
-    /// starts the acceptor and worker threads.
+    /// starts the event-loop and worker threads.
     pub fn bind(
         engine: Arc<Engine>,
         addr: impl ToSocketAddrs,
@@ -169,11 +199,11 @@ impl Server {
             engine,
             opts: opts.clone(),
             stop: AtomicBool::new(false),
-            queue: Mutex::new(VecDeque::new()),
-            queue_cv: Condvar::new(),
+            jobs: Mutex::new(VecDeque::new()),
+            jobs_cv: Condvar::new(),
+            done: Mutex::new(Vec::new()),
+            waker: EventFd::new()?,
             counters: NetCounters::default(),
-            conns: Mutex::new(HashMap::new()),
-            next_conn: AtomicU64::new(0),
         });
         let workers = (0..opts.workers.max(1))
             .map(|i| {
@@ -184,14 +214,14 @@ impl Server {
                     .expect("spawn worker")
             })
             .collect();
-        let acceptor = {
+        let event = {
             let s = Arc::clone(&shared);
             std::thread::Builder::new()
-                .name("cpqx-net-acceptor".into())
-                .spawn(move || acceptor_loop(&listener, &s))
-                .expect("spawn acceptor")
+                .name("cpqx-net-event".into())
+                .spawn(move || event_loop(&s, listener))
+                .expect("spawn event loop")
         };
-        Ok(Server { shared, local_addr, acceptor: Some(acceptor), workers })
+        Ok(Server { shared, local_addr, event: Some(event), workers })
     }
 
     /// The bound address (resolves the actual port for `:0` binds).
@@ -209,8 +239,8 @@ impl Server {
         self.shared.counters.report()
     }
 
-    /// Stops accepting, closes in-flight connections, and joins every
-    /// thread. Idempotent with drop.
+    /// Stops accepting, closes every connection (queued work included),
+    /// and joins every thread. Idempotent with drop.
     pub fn shutdown(mut self) {
         self.stop_and_join();
     }
@@ -220,23 +250,18 @@ impl Server {
         // (Release the set, Acquire at every load) — nothing here needs
         // a single total order across atomics (see the cpqx-analyze
         // atomic-ordering rule).
-        if !self.shared.stop.swap(true, Ordering::AcqRel) {
-            // Wake the acceptor out of accept() by connecting to it; any
-            // failure means it is already unblocked (e.g. listener gone).
-            let _ = TcpStream::connect_timeout(&self.local_addr, Duration::from_secs(1));
-        }
-        self.shared.queue_cv.notify_all();
-        for conn in self.shared.conns.lock().unwrap().values() {
-            let _ = conn.shutdown(Shutdown::Both);
-        }
-        if let Some(acceptor) = self.acceptor.take() {
-            let _ = acceptor.join();
+        self.shared.stop.swap(true, Ordering::AcqRel);
+        // Wake the event loop out of epoll_wait and the workers out of
+        // their condvar; the loop shuts down every connection socket
+        // (even ones accepted but never yet served) before exiting.
+        self.shared.waker.signal();
+        self.shared.jobs_cv.notify_all();
+        if let Some(event) = self.event.take() {
+            let _ = event.join();
         }
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
-        // Connections still queued but never served: close them.
-        self.shared.queue.lock().unwrap().clear();
     }
 }
 
@@ -246,162 +271,9 @@ impl Drop for Server {
     }
 }
 
-fn acceptor_loop(listener: &TcpListener, s: &Shared) {
-    loop {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                if s.stop.load(Ordering::Acquire) {
-                    break; // the wake-up connection (or a race with it)
-                }
-                let mut q = s.queue.lock().unwrap();
-                if q.len() >= s.opts.accept_backlog {
-                    drop(q);
-                    s.counters.rejected_connections.fetch_add(1, Ordering::Relaxed);
-                    let _ = stream.shutdown(Shutdown::Both);
-                } else {
-                    q.push_back(stream);
-                    drop(q);
-                    s.queue_cv.notify_one();
-                }
-            }
-            Err(_) => {
-                if s.stop.load(Ordering::Acquire) {
-                    break;
-                }
-                // Transient accept failure (EMFILE, ECONNABORTED, …):
-                // back off briefly instead of spinning.
-                std::thread::sleep(Duration::from_millis(10));
-            }
-        }
-    }
-    s.queue_cv.notify_all();
-}
-
-fn worker_loop(s: &Shared) {
-    loop {
-        let stream = {
-            let mut q = s.queue.lock().unwrap();
-            loop {
-                if let Some(stream) = q.pop_front() {
-                    break Some(stream);
-                }
-                if s.stop.load(Ordering::Acquire) {
-                    break None;
-                }
-                let (guard, _) = s.queue_cv.wait_timeout(q, Duration::from_millis(200)).unwrap();
-                q = guard;
-            }
-        };
-        let Some(stream) = stream else {
-            return;
-        };
-        if s.stop.load(Ordering::Acquire) {
-            return; // drop the queued connection on shutdown
-        }
-        serve_connection(s, stream);
-    }
-}
-
-fn serve_connection(s: &Shared, stream: TcpStream) {
-    let id = s.next_conn.fetch_add(1, Ordering::Relaxed);
-    // Register a socket clone *under the conns lock with a stop
-    // re-check*: shutdown closes registered sockets while holding this
-    // lock, so a connection either registers before the close sweep (and
-    // gets closed by it) or observes `stop` here and never serves — it
-    // cannot slip between the two and stall shutdown on a blocking read.
-    // A connection whose socket cannot be cloned is dropped outright for
-    // the same reason.
-    {
-        let mut conns = s.conns.lock().unwrap();
-        let Ok(clone) = stream.try_clone() else {
-            return;
-        };
-        if s.stop.load(Ordering::Acquire) {
-            return;
-        }
-        conns.insert(id, clone);
-    }
-    s.counters.connections.fetch_add(1, Ordering::Relaxed);
-    let _ = run_connection(s, &stream); // any error just closes the conn
-    s.conns.lock().unwrap().remove(&id);
-    let _ = stream.shutdown(Shutdown::Both);
-}
-
-fn run_connection(s: &Shared, stream: &TcpStream) -> io::Result<()> {
-    stream.set_read_timeout(s.opts.read_timeout)?;
-    stream.set_write_timeout(s.opts.write_timeout)?;
-    let _ = stream.set_nodelay(true);
-    let mut reader = BufReader::new(stream);
-    let mut writer = BufWriter::new(stream);
-    let mut send = |resp: &Response| -> io::Result<()> {
-        if matches!(resp, Response::Error(_)) {
-            s.counters.errors.fetch_add(1, Ordering::Relaxed);
-        }
-        write_frame(&mut writer, &encode_response(resp))
-    };
-
-    // Handshake: the first frame must be a version-matching HELLO.
-    let payload = match read_frame(&mut reader, s.opts.max_frame_len) {
-        Ok(p) => p,
-        Err(too_large @ FrameError::TooLarge { .. }) => {
-            // PROTOCOL.md promises one final ERROR frame before the
-            // desynchronized connection is dropped, handshake included.
-            return send(&Response::Error(WireError::new(
-                ErrorCode::BadFrame,
-                too_large.to_string(),
-            )));
-        }
-        Err(_) => return Ok(()),
-    };
-    match decode_request(&payload) {
-        Ok(Request::Hello { version }) if version == PROTOCOL_VERSION => {
-            send(&Response::HelloAck { version })?;
-        }
-        Ok(Request::Hello { version }) => {
-            return send(&Response::Error(WireError::new(
-                ErrorCode::UnsupportedVersion,
-                format!("server speaks protocol {PROTOCOL_VERSION}, client sent {version}"),
-            )));
-        }
-        Ok(other) => {
-            return send(&Response::Error(WireError::new(
-                ErrorCode::BadFrame,
-                format!("expected HELLO, got {other:?}"),
-            )));
-        }
-        Err(e) => return send(&Response::Error(WireError::from(e))),
-    }
-
-    // Pipelined request loop: one response per request, arrival order.
-    loop {
-        if s.stop.load(Ordering::Acquire) {
-            return Ok(());
-        }
-        let payload = match read_frame(&mut reader, s.opts.max_frame_len) {
-            Ok(p) => p,
-            Err(FrameError::Closed) => return Ok(()),
-            Err(too_large @ FrameError::TooLarge { .. }) => {
-                // The stream is desynchronized; report and drop.
-                return send(&Response::Error(WireError::new(
-                    ErrorCode::BadFrame,
-                    too_large.to_string(),
-                )));
-            }
-            Err(FrameError::Io(_)) => return Ok(()), // timeout or broken pipe
-        };
-        let resp = match decode_request(&payload) {
-            // Decode failures leave the frame boundary intact, so the
-            // connection survives them.
-            Err(e) => Response::Error(WireError::from(e)),
-            Ok(req) => handle(s, req),
-        };
-        send(&resp)?;
-    }
-}
-
 /// Serves one decoded request. Pure with respect to the connection: all
-/// I/O stays in [`run_connection`].
-fn handle(s: &Shared, req: Request) -> Response {
+/// socket I/O stays on the event loop ([`crate::event`]).
+pub(crate) fn handle(s: &Shared, req: Request) -> Response {
     match req {
         Request::Hello { .. } => Response::Error(WireError::new(
             ErrorCode::BadFrame,
@@ -629,8 +501,10 @@ fn wire_stats(s: &Shared) -> WireStats {
         update_requests: net.update_requests,
         delta_requests: net.delta_requests,
         stats_requests: net.stats_requests,
+        metrics_requests: net.metrics_requests,
         error_responses: net.error_responses,
         connections: net.connections,
+        rejected_connections: net.rejected_connections,
         wal_appends: engine.wal_appends,
         wal_bytes: engine.wal_bytes,
         snapshots_written: engine.snapshots_written,
@@ -673,6 +547,7 @@ fn wire_metrics(s: &Shared) -> WireMetrics {
             stats_requests: net.stats_requests,
             metrics_requests: net.metrics_requests,
             error_responses: net.error_responses,
+            open_connections: net.open_connections,
         },
         slow: obs.slow_queries(),
         slow_total: obs.slow_query_count(),

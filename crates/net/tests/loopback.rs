@@ -6,8 +6,8 @@ use cpqx_engine::{Engine, EngineOptions, Snapshot};
 use cpqx_graph::generate::{self, sample_edges, RandomGraphConfig};
 use cpqx_graph::Pair;
 use cpqx_net::proto::{
-    decode_response, encode_request, read_frame, write_frame, Request, Response, DEFAULT_MAX_FRAME,
-    PROTOCOL_VERSION,
+    decode_response, encode_request, read_frame, write_frame, FrameError, Request, Response,
+    DEFAULT_MAX_FRAME, PROTOCOL_VERSION,
 };
 use cpqx_net::{Client, ClientError, ErrorCode, Server, ServerOptions, WireOp, WireOutcome};
 use cpqx_query::workload::{GraphProbe, WorkloadGen};
@@ -549,6 +549,149 @@ fn batch_parse_failures_name_the_query() {
             assert!(e.message.contains("batch query 2"), "got {:?}", e.message);
         }
         other => panic!("expected batch parse error, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+/// Filling the connection cap answers new connections with a typed BUSY
+/// error frame — not a bare close — counts the rejection in STATS and
+/// METRICS, and frees the slot when a connection departs.
+#[test]
+fn connection_cap_rejects_with_busy_error() {
+    let g = generate::gex();
+    let (engine, _) = Engine::with_options(g, EngineOptions { k: 2, ..Default::default() });
+    let engine = Arc::new(engine);
+    let server = Server::bind(
+        Arc::clone(&engine),
+        "127.0.0.1:0",
+        ServerOptions { workers: 2, max_connections: 2, ..ServerOptions::default() },
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+
+    let mut a = Client::connect(addr).expect("first connection fits");
+    let b = Client::connect(addr).expect("second connection fits");
+
+    // Over capacity. Read without sending HELLO: the BUSY frame arrives
+    // unprompted, followed by a clean close (sending first could race
+    // the server's shutdown into an RST that discards the frame).
+    let mut rejected = TcpStream::connect(addr).expect("tcp connect still succeeds");
+    let payload = read_frame(&mut rejected, DEFAULT_MAX_FRAME).expect("a BUSY frame, not a close");
+    match decode_response(&payload).expect("decodes") {
+        Response::Error(e) => {
+            assert_eq!(e.code, ErrorCode::Busy);
+            assert!(e.message.contains("capacity"), "got {:?}", e.message);
+        }
+        other => panic!("expected BUSY error, got {other:?}"),
+    }
+    match read_frame(&mut rejected, DEFAULT_MAX_FRAME) {
+        Err(FrameError::Closed) => {}
+        other => panic!("expected close after BUSY, got {other:?}"),
+    }
+
+    // The rejection and the open-connection gauge are visible over the
+    // wire (METRICS) and in the process-local report.
+    let metrics = a.metrics().expect("metrics");
+    assert_eq!(metrics.net.rejected_connections, 1);
+    assert_eq!(metrics.net.open_connections, 2);
+    let stats = a.stats().expect("stats");
+    assert_eq!(stats.rejected_connections, 1);
+    assert_eq!(stats.metrics_requests, 1, "STATS must carry the METRICS counter");
+    assert!(stats.error_responses >= 1, "the BUSY frame counts as an error response");
+    let local = server.net_stats();
+    assert_eq!(local.rejected_connections, 1);
+    assert_eq!(local.open_connections, 2);
+
+    // Departures free slots: close one, the next connect succeeds.
+    drop(b);
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        match Client::connect(addr) {
+            Ok(_) => break,
+            Err(_) if std::time::Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) => panic!("slot never freed after departure: {e:?}"),
+        }
+    }
+    server.shutdown();
+}
+
+/// A read timeout that lands mid-frame means the stream is
+/// desynchronized: the server must send the promised final TIMEOUT
+/// error frame before closing, never a silent drop.
+#[test]
+fn mid_frame_read_timeout_sends_a_final_timeout_error() {
+    let g = generate::gex();
+    let (engine, _) = Engine::with_options(g, EngineOptions { k: 2, ..Default::default() });
+    let engine = Arc::new(engine);
+    let server = Server::bind(
+        Arc::clone(&engine),
+        "127.0.0.1:0",
+        ServerOptions {
+            workers: 2,
+            read_timeout: Some(Duration::from_millis(200)),
+            ..ServerOptions::default()
+        },
+    )
+    .expect("bind");
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    write_frame(&mut stream, &encode_request(&Request::Hello { version: PROTOCOL_VERSION }))
+        .unwrap();
+    let ack = read_frame(&mut stream, DEFAULT_MAX_FRAME).unwrap();
+    assert!(matches!(decode_response(&ack).unwrap(), Response::HelloAck { .. }));
+
+    // A header promising 8 payload bytes, followed by only 3, then
+    // silence: the connection dies mid-frame.
+    use std::io::Write;
+    stream.write_all(&8u32.to_be_bytes()).unwrap();
+    stream.write_all(&[1, 2, 3]).unwrap();
+    stream.flush().unwrap();
+
+    let payload =
+        read_frame(&mut stream, DEFAULT_MAX_FRAME).expect("a final error frame, not a bare close");
+    match decode_response(&payload).unwrap() {
+        Response::Error(e) => {
+            assert_eq!(e.code, ErrorCode::Timeout);
+            assert!(e.message.contains("mid-frame"), "got {:?}", e.message);
+        }
+        other => panic!("expected TIMEOUT error, got {other:?}"),
+    }
+    match read_frame(&mut stream, DEFAULT_MAX_FRAME) {
+        Err(FrameError::Closed) => {}
+        other => panic!("expected close after the final error, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+/// An idle timeout at a frame boundary is a clean close: EOF, no error
+/// frame — an idle client did nothing wrong.
+#[test]
+fn idle_timeout_at_a_frame_boundary_closes_cleanly() {
+    let g = generate::gex();
+    let (engine, _) = Engine::with_options(g, EngineOptions { k: 2, ..Default::default() });
+    let engine = Arc::new(engine);
+    let server = Server::bind(
+        Arc::clone(&engine),
+        "127.0.0.1:0",
+        ServerOptions {
+            workers: 2,
+            read_timeout: Some(Duration::from_millis(200)),
+            ..ServerOptions::default()
+        },
+    )
+    .expect("bind");
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    write_frame(&mut stream, &encode_request(&Request::Hello { version: PROTOCOL_VERSION }))
+        .unwrap();
+    let ack = read_frame(&mut stream, DEFAULT_MAX_FRAME).unwrap();
+    assert!(matches!(decode_response(&ack).unwrap(), Response::HelloAck { .. }));
+
+    // Go silent at the frame boundary; the next thing on the wire must
+    // be EOF, not an error frame.
+    match read_frame(&mut stream, DEFAULT_MAX_FRAME) {
+        Err(FrameError::Closed) => {}
+        other => panic!("expected a clean close, got {other:?}"),
     }
     server.shutdown();
 }

@@ -10,8 +10,9 @@
 
 use std::time::Instant;
 
-/// The instrumented stages, spanning the four pipelines the recorder
-/// covers: query serving, delta transactions, index builds, recovery.
+/// The instrumented stages, spanning the five pipelines the recorder
+/// covers: query serving, delta transactions, index builds, recovery,
+/// and the network server's event loop.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[repr(u8)]
 pub enum Stage {
@@ -43,10 +44,20 @@ pub enum Stage {
     RecoverChunks = 12,
     /// Recovery: WAL tail replay.
     RecoverReplay = 13,
+    /// Server: accepting a burst of new connections on the event loop.
+    Accept = 14,
+    /// Server: one readiness dispatch for a connection (read + frame
+    /// reassembly + decode + inline handling or worker hand-off).
+    Readiness = 15,
+    /// Server: worker-pool evaluation of one request (includes queue
+    /// wait, so the histogram reflects what the client experiences).
+    Evaluate = 16,
+    /// Server: encoding + flushing completed responses to a socket.
+    Write = 17,
 }
 
 /// Number of [`Stage`] variants (histogram array size).
-pub const STAGE_COUNT: usize = 14;
+pub const STAGE_COUNT: usize = 18;
 
 impl Stage {
     /// All stages, in tag order.
@@ -65,6 +76,10 @@ impl Stage {
         Stage::RecoverManifest,
         Stage::RecoverChunks,
         Stage::RecoverReplay,
+        Stage::Accept,
+        Stage::Readiness,
+        Stage::Evaluate,
+        Stage::Write,
     ];
 
     /// Stable lower-case name (wire-independent; used by the text
@@ -85,6 +100,10 @@ impl Stage {
             Stage::RecoverManifest => "recover_manifest",
             Stage::RecoverChunks => "recover_chunks",
             Stage::RecoverReplay => "recover_replay",
+            Stage::Accept => "accept",
+            Stage::Readiness => "readiness",
+            Stage::Evaluate => "evaluate",
+            Stage::Write => "write",
         }
     }
 

@@ -9,6 +9,12 @@
 //! clients or closing a connection. Finishes with one consistent BATCH
 //! frame, the server's STATS frame, and a graceful shutdown.
 //!
+//! The server core is event-driven: one epoll loop owns every socket,
+//! workers only evaluate, so idle connections cost buffers instead of
+//! threads. `--max-conns N` caps concurrently open connections (the
+//! default is 10 000; over-cap connects are answered with a BUSY error
+//! frame, visible in the final STATS line as rejected connections).
+//!
 //! Set `CPQX_NET_LISTEN` (e.g. `127.0.0.1:7777`) to keep the server in
 //! the foreground for external clients (`net_client` connects with
 //! `CPQX_NET_ADDR`) instead of running the self-contained demo.
@@ -131,10 +137,16 @@ fn main() {
     drop(snap);
     println!("workload: {} CPQs across {} templates", workload.len(), Template::ALL.len());
 
-    // Put it on the wire.
+    // Put it on the wire (event-driven core: one epoll loop, a small
+    // evaluation pool, BUSY rejections past the connection cap).
     let listen = std::env::var("CPQX_NET_LISTEN").unwrap_or_else(|_| "127.0.0.1:0".to_string());
-    let server = Server::bind(Arc::clone(&engine), &*listen, ServerOptions::default())
-        .expect("bind TCP listener");
+    let mut server_opts = ServerOptions::default();
+    if let Some(cap) = flag_value("max-conns") {
+        server_opts.max_connections = cap.parse().expect("--max-conns expects a count");
+        println!("connection cap: {}", server_opts.max_connections);
+    }
+    let server =
+        Server::bind(Arc::clone(&engine), &*listen, server_opts).expect("bind TCP listener");
     let addr = server.local_addr();
     println!("serving on {addr} (protocol v{})", cpqx::net::PROTOCOL_VERSION);
     if std::env::var("CPQX_NET_LISTEN").is_ok() {
